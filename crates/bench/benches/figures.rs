@@ -1,0 +1,23 @@
+//! Criterion benchmarks of the figure regeneration itself: one benchmark
+//! per paper table/figure, timing the quick-mode runner end to end. The
+//! full-sweep regeneration lives in the `repro` binary; these benches
+//! keep the per-figure cost visible and regression-tested.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mec_bench::figures::{registry, ExperimentOptions};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let opts = ExperimentOptions::quick();
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    for (id, run) in registry() {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run(&opts).expect("figure regenerates")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

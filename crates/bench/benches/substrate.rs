@@ -1,0 +1,106 @@
+//! Criterion benchmarks of the substrates: the LP solvers on growing
+//! problem sizes, the data-sharing bitset, the cost model and the
+//! discrete-event executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmec_core::costs::CostTable;
+use dsmec_core::hta::HtaAlgorithm;
+use linprog::{solve, ConstraintSense, LpProblem, Solver};
+use mec_sim::data::{DataItemId, ItemSet};
+use mec_sim::sim::{simulate, Contention};
+use mec_sim::workload::ScenarioConfig;
+use std::hint::black_box;
+
+/// A dense random-ish LP with box bounds, `rows` coupling rows and
+/// `3 * rows` variables — the shape LP-HTA produces.
+fn synthetic_lp(rows: usize) -> LpProblem {
+    let n = 3 * rows;
+    let mut lp = LpProblem::new(n);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let c: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+    lp.set_objective(c).unwrap();
+    for r in 0..rows {
+        let terms: Vec<(usize, f64)> = (0..n)
+            .filter(|j| (j + r) % 7 < 3)
+            .map(|j| (j, 0.5 + next()))
+            .collect();
+        lp.add_constraint(terms, ConstraintSense::Le, 5.0 + next() * 10.0)
+            .unwrap();
+    }
+    // Multiple-choice equality per variable triple, like C4.
+    for k in 0..rows {
+        lp.add_constraint(
+            vec![(3 * k, 1.0), (3 * k + 1, 1.0), (3 * k + 2, 1.0)],
+            ConstraintSense::Eq,
+            1.0,
+        )
+        .unwrap();
+    }
+    for v in 0..n {
+        lp.set_bounds(v, 0.0, 1.0).unwrap();
+    }
+    lp
+}
+
+fn bench_linprog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linprog");
+    group.sample_size(10);
+    for rows in [20usize, 60, 120] {
+        let lp = synthetic_lp(rows);
+        group.bench_with_input(BenchmarkId::new("interior_point", rows), &rows, |b, _| {
+            b.iter(|| black_box(solve(&lp, Solver::InteriorPoint).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("simplex", rows), &rows, |b, _| {
+            b.iter(|| black_box(solve(&lp, Solver::Simplex).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_itemset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itemset");
+    let capacity = 10_000;
+    let a = ItemSet::from_ids(capacity, (0..capacity).step_by(3).map(DataItemId));
+    let b = ItemSet::from_ids(capacity, (0..capacity).step_by(5).map(DataItemId));
+    group.bench_function("intersection_10k", |bch| {
+        bch.iter(|| black_box(a.intersection(&b)))
+    });
+    group.bench_function("intersection_len_10k", |bch| {
+        bch.iter(|| black_box(a.intersection_len(&b)))
+    });
+    group.bench_function("iterate_10k", |bch| {
+        bch.iter(|| black_box(a.iter().map(|d| d.0).sum::<usize>()))
+    });
+    group.finish();
+}
+
+fn bench_cost_and_sim(c: &mut Criterion) {
+    let mut cfg = ScenarioConfig::paper_defaults(4242);
+    cfg.tasks_total = 200;
+    let s = cfg.generate().unwrap();
+    c.bench_function("cost_table_200_tasks", |b| {
+        b.iter(|| black_box(CostTable::build(&s.system, &s.tasks).unwrap()))
+    });
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let a = dsmec_core::hta::LpHta::paper()
+        .assign(&s.system, &s.tasks, &costs)
+        .unwrap();
+    let exec = a.to_executable(&s.tasks).unwrap();
+    let mut group = c.benchmark_group("des");
+    group.bench_function("simulate_free_200", |b| {
+        b.iter(|| black_box(simulate(&s.system, &exec, Contention::None).unwrap()))
+    });
+    group.bench_function("simulate_queued_200", |b| {
+        b.iter(|| black_box(simulate(&s.system, &exec, Contention::Exclusive).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linprog, bench_itemset, bench_cost_and_sim);
+criterion_main!(benches);

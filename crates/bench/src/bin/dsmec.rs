@@ -1,0 +1,192 @@
+//! `dsmec` — command-line front end to the Data-Shared MEC toolkit.
+//!
+//! ```text
+//! dsmec generate --seed 42 --tasks 200 --out scenario.json
+//! dsmec assign   --scenario scenario.json --algorithm lp-hta --out assignment.json
+//! dsmec simulate --scenario scenario.json --assignment assignment.json --contention
+//! dsmec report   --scenario scenario.json --assignment assignment.json
+//! dsmec compare  --scenario scenario.json
+//! ```
+
+use mec_bench::cli::{
+    assign_scenario, generate_scenario, render_report, simulate_assignment, AlgorithmName,
+    AssignmentFile,
+};
+use mec_sim::sim::Contention;
+use mec_sim::workload::Scenario;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "--help".to_string());
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut switches: Vec<String> = Vec::new();
+    let mut pending: Option<String> = None;
+    for arg in args {
+        if let Some(name) = pending.take() {
+            flags.insert(name, arg);
+            continue;
+        }
+        if let Some(name) = arg.strip_prefix("--") {
+            match name {
+                "contention" | "quick" => switches.push(name.to_string()),
+                _ => pending = Some(name.to_string()),
+            }
+        } else {
+            return Err(format!("unexpected positional argument `{arg}`"));
+        }
+    }
+    if let Some(name) = pending {
+        return Err(format!("flag --{name} needs a value"));
+    }
+
+    let get_u64 = |flags: &HashMap<String, String>, name: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} must be an integer")))
+            .unwrap_or(Ok(default))
+    };
+    let get_usize = |flags: &HashMap<String, String>, name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} must be an integer")))
+            .unwrap_or(Ok(default))
+    };
+
+    match command.as_str() {
+        "generate" => {
+            let seed = get_u64(&flags, "seed", 42)?;
+            let stations = get_usize(&flags, "stations", 5)?;
+            let devices = get_usize(&flags, "devices-per-station", 10)?;
+            let tasks = get_usize(&flags, "tasks", 100)?;
+            let kb: f64 = flags
+                .get("max-input-kb")
+                .map(|v| v.parse().map_err(|_| "--max-input-kb must be a number".to_string()))
+                .unwrap_or(Ok(3000.0))?;
+            let scenario = generate_scenario(seed, stations, devices, tasks, kb)
+                .map_err(|e| e.to_string())?;
+            let out = flags.get("out").cloned().unwrap_or("scenario.json".into());
+            write_json(&out, &scenario)?;
+            println!(
+                "wrote {out}: {} stations, {} devices, {} tasks",
+                scenario.system.num_stations(),
+                scenario.system.num_devices(),
+                scenario.tasks.len()
+            );
+            Ok(())
+        }
+        "assign" => {
+            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let name = flags.get("algorithm").map(String::as_str).unwrap_or("lp-hta");
+            let algorithm = AlgorithmName::parse(name)
+                .ok_or_else(|| format!("unknown algorithm `{name}` (try lp-hta, hgos, nash, …)"))?;
+            let seed = get_u64(&flags, "seed", 42)?;
+            let file = assign_scenario(&scenario, algorithm, seed).map_err(|e| e.to_string())?;
+            let out = flags.get("out").cloned().unwrap_or("assignment.json".into());
+            write_json(&out, &file)?;
+            print!("{}", render_report(&file, None));
+            println!("wrote {out}");
+            Ok(())
+        }
+        "simulate" | "report" => {
+            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let file: AssignmentFile =
+                read_json(flags.get("assignment").ok_or("--assignment required")?)?;
+            let sim = if command == "simulate" {
+                let contention = if switches.iter().any(|s| s == "contention") {
+                    Contention::Exclusive
+                } else {
+                    Contention::None
+                };
+                Some(simulate_assignment(&scenario, &file, contention).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            print!("{}", render_report(&file, sim.as_ref()));
+            Ok(())
+        }
+        "divisible" => {
+            use dsmec_core::dta::{run_dta, DtaConfig};
+            use mec_sim::workload::DivisibleScenarioConfig;
+            let seed = get_u64(&flags, "seed", 42)?;
+            let tasks = get_usize(&flags, "tasks", 100)?;
+            let items = get_usize(&flags, "items", 1000)?;
+            let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
+            cfg.tasks_total = tasks;
+            cfg.num_items = items;
+            let s = cfg.generate().map_err(|e| e.to_string())?;
+            println!(
+                "{:<14} {:>12} {:>10} {:>16} {:>8}",
+                "strategy", "energy (J)", "devices", "processing (s)", "pieces"
+            );
+            println!("{}", "-".repeat(66));
+            for dta in [DtaConfig::workload(), DtaConfig::number()] {
+                let r = run_dta(&s, dta).map_err(|e| e.to_string())?;
+                println!(
+                    "{:<14} {:>12.1} {:>10} {:>16.3} {:>8}",
+                    dta.strategy.to_string(),
+                    r.total_energy.value(),
+                    r.involved_devices,
+                    r.processing_time.value(),
+                    r.pieces.len()
+                );
+            }
+            Ok(())
+        }
+        "compare" => {
+            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let seed = get_u64(&flags, "seed", 42)?;
+            println!(
+                "{:<12} {:>12} {:>12} {:>12}",
+                "algorithm", "energy (J)", "latency (s)", "unsatisfied"
+            );
+            println!("{}", "-".repeat(52));
+            for name in AlgorithmName::ALL {
+                let file = assign_scenario(&scenario, name, seed).map_err(|e| e.to_string())?;
+                println!(
+                    "{:<12} {:>12.1} {:>12.3} {:>11.1}%",
+                    name.as_str(),
+                    file.metrics.total_energy.value(),
+                    file.metrics.mean_latency.value(),
+                    file.metrics.unsatisfied_rate * 100.0
+                );
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            eprintln!("usage: dsmec <command> [flags]");
+            eprintln!("commands:");
+            eprintln!("  generate  --seed N --stations K --devices-per-station D --tasks T \\");
+            eprintln!("            --max-input-kb KB --out scenario.json");
+            eprintln!("  assign    --scenario F --algorithm NAME --out assignment.json");
+            eprintln!("  simulate  --scenario F --assignment F [--contention]");
+            eprintln!("  report    --scenario F --assignment F");
+            eprintln!("  compare   --scenario F");
+            eprintln!("  divisible --seed N --tasks T --items M");
+            eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (see --help)")),
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}

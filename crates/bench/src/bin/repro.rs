@@ -1,0 +1,77 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!   repro                 run every experiment (full sweeps)
+//!   repro fig2a fig3      run selected experiments
+//!   repro --quick         CI-sized sweeps
+//!   repro --out DIR       CSV output directory (default target/experiments)
+
+use mec_bench::figures::{registry, ExperimentOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = ExperimentOptions::default();
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts = ExperimentOptions::quick(),
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--quick] [--out DIR] [EXPERIMENT...]");
+                eprintln!("experiments:");
+                for (id, _) in registry() {
+                    eprintln!("  {id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+
+    let runners = registry();
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|s| !runners.iter().any(|(id, _)| id == s))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiments: {unknown:?} (see --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for (id, run) in runners {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        match run(&opts) {
+            Ok(fig) => {
+                println!("{}", fig.render_table());
+                if let Err(e) = fig.write_csv(&out_dir) {
+                    eprintln!("warning: could not write {id}.csv: {e}");
+                } else {
+                    println!("   -> {}  ({:.1}s)\n", out_dir.join(format!("{id}.csv")).display(), start.elapsed().as_secs_f64());
+                }
+            }
+            Err(e) => {
+                eprintln!("{id} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,241 @@
+//! Reusable implementation of the `dsmec` command-line tool: generate
+//! scenarios, assign them with any algorithm, execute assignments on the
+//! discrete-event simulator and print reports — all via JSON files, so
+//! the pieces compose in shell pipelines.
+//!
+//! The binary in `src/bin/dsmec.rs` is a thin argument-parsing wrapper;
+//! everything testable lives here.
+
+use dsmec_core::assignment::Assignment;
+use dsmec_core::costs::CostTable;
+use dsmec_core::error::AssignError;
+use dsmec_core::hta::{
+    AllOffload, AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, NashOffload, RandomAssign,
+};
+use dsmec_core::metrics::{evaluate_assignment, Metrics};
+use mec_sim::sim::{simulate, Contention, SimReport};
+use mec_sim::workload::{Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Algorithms selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgorithmName {
+    /// The paper's LP-HTA.
+    LpHta,
+    /// The reconstructed HGOS.
+    Hgos,
+    /// Everything to the cloud.
+    AllToC,
+    /// Everything off the device.
+    AllOffload,
+    /// Keep local while capacity lasts.
+    LocalFirst,
+    /// Best-response game to Nash equilibrium.
+    Nash,
+    /// Seeded random placement.
+    Random,
+}
+
+impl AlgorithmName {
+    /// All selectable algorithms.
+    pub const ALL: [AlgorithmName; 7] = [
+        AlgorithmName::LpHta,
+        AlgorithmName::Hgos,
+        AlgorithmName::AllToC,
+        AlgorithmName::AllOffload,
+        AlgorithmName::LocalFirst,
+        AlgorithmName::Nash,
+        AlgorithmName::Random,
+    ];
+
+    /// Parses the CLI spelling (`lp-hta`, `hgos`, …).
+    pub fn parse(s: &str) -> Option<AlgorithmName> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "lp-hta" | "lphta" => AlgorithmName::LpHta,
+            "hgos" => AlgorithmName::Hgos,
+            "all-to-c" | "alltoc" | "cloud" => AlgorithmName::AllToC,
+            "all-offload" | "alloffload" => AlgorithmName::AllOffload,
+            "local-first" | "localfirst" => AlgorithmName::LocalFirst,
+            "nash" | "game" => AlgorithmName::Nash,
+            "random" => AlgorithmName::Random,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgorithmName::LpHta => "lp-hta",
+            AlgorithmName::Hgos => "hgos",
+            AlgorithmName::AllToC => "all-to-c",
+            AlgorithmName::AllOffload => "all-offload",
+            AlgorithmName::LocalFirst => "local-first",
+            AlgorithmName::Nash => "nash",
+            AlgorithmName::Random => "random",
+        }
+    }
+
+    /// Instantiates the algorithm (the `seed` feeds `Random`).
+    pub fn instantiate(&self, seed: u64) -> Box<dyn HtaAlgorithm> {
+        match self {
+            AlgorithmName::LpHta => Box::new(LpHta::paper()),
+            AlgorithmName::Hgos => Box::new(Hgos::default()),
+            AlgorithmName::AllToC => Box::new(AllToC),
+            AlgorithmName::AllOffload => Box::new(AllOffload),
+            AlgorithmName::LocalFirst => Box::new(LocalFirst),
+            AlgorithmName::Nash => Box::new(NashOffload::default()),
+            AlgorithmName::Random => Box::new(RandomAssign { seed }),
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// On-disk bundle tying an assignment to the scenario it was made for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssignmentFile {
+    /// Which algorithm produced it.
+    pub algorithm: AlgorithmName,
+    /// The scenario seed (sanity-checked on load).
+    pub scenario_seed: u64,
+    /// The decisions.
+    pub assignment: Assignment,
+    /// Metrics at assignment time.
+    pub metrics: Metrics,
+}
+
+/// Generates a scenario from CLI-level knobs.
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn generate_scenario(
+    seed: u64,
+    stations: usize,
+    devices_per_station: usize,
+    tasks: usize,
+    max_input_kb: f64,
+) -> Result<Scenario, AssignError> {
+    let mut cfg = ScenarioConfig::paper_defaults(seed);
+    cfg.num_stations = stations;
+    cfg.devices_per_station = devices_per_station;
+    cfg.tasks_total = tasks;
+    cfg.max_input_kb = max_input_kb;
+    Ok(cfg.generate()?)
+}
+
+/// Assigns a scenario with the named algorithm.
+///
+/// # Errors
+///
+/// Propagates pricing and algorithm errors.
+pub fn assign_scenario(
+    scenario: &Scenario,
+    algorithm: AlgorithmName,
+    seed: u64,
+) -> Result<AssignmentFile, AssignError> {
+    let costs = CostTable::build(&scenario.system, &scenario.tasks)?;
+    let algo = algorithm.instantiate(seed);
+    let assignment = algo.assign(&scenario.system, &scenario.tasks, &costs)?;
+    let metrics = evaluate_assignment(&scenario.tasks, &costs, &assignment)?;
+    Ok(AssignmentFile {
+        algorithm,
+        scenario_seed: seed,
+        assignment,
+        metrics,
+    })
+}
+
+/// Executes an assignment on the discrete-event simulator.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn simulate_assignment(
+    scenario: &Scenario,
+    file: &AssignmentFile,
+    contention: Contention,
+) -> Result<SimReport, AssignError> {
+    let exec = file.assignment.to_executable(&scenario.tasks)?;
+    Ok(simulate(&scenario.system, &exec, contention)?)
+}
+
+/// Renders a one-screen report of assignment metrics (and optionally a
+/// simulation outcome).
+pub fn render_report(file: &AssignmentFile, sim: Option<&SimReport>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let m = &file.metrics;
+    let [d, s, c] = m.site_counts;
+    let _ = writeln!(out, "algorithm:        {}", file.algorithm);
+    let _ = writeln!(out, "total energy:     {:.2} J", m.total_energy.value());
+    let _ = writeln!(out, "mean latency:     {:.4} s", m.mean_latency.value());
+    let _ = writeln!(out, "unsatisfied rate: {:.2}%", m.unsatisfied_rate * 100.0);
+    let _ = writeln!(out, "cancelled tasks:  {}", m.cancelled);
+    let _ = writeln!(out, "placements:       device {d} / station {s} / cloud {c}");
+    if let Some(r) = sim {
+        let _ = writeln!(out, "--- discrete-event execution ---");
+        let _ = writeln!(out, "makespan:         {:.4} s", r.makespan().value());
+        let _ = writeln!(out, "sim mean latency: {:.4} s", r.mean_latency().value());
+        let _ = writeln!(out, "sim energy:       {:.2} J", r.total_energy().value());
+        let _ = writeln!(out, "deadline misses:  {:.2}%", r.deadline_miss_rate() * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for name in AlgorithmName::ALL {
+            assert_eq!(AlgorithmName::parse(name.as_str()), Some(name));
+        }
+        assert_eq!(AlgorithmName::parse("LP-HTA"), Some(AlgorithmName::LpHta));
+        assert_eq!(AlgorithmName::parse("cloud"), Some(AlgorithmName::AllToC));
+        assert_eq!(AlgorithmName::parse("bogus"), None);
+    }
+
+    #[test]
+    fn generate_assign_simulate_pipeline() {
+        let scenario = generate_scenario(5, 2, 4, 24, 2000.0).unwrap();
+        assert_eq!(scenario.tasks.len(), 24);
+        let file = assign_scenario(&scenario, AlgorithmName::LpHta, 5).unwrap();
+        assert_eq!(file.assignment.len(), 24);
+        let sim = simulate_assignment(&scenario, &file, Contention::None).unwrap();
+        // Analytic and simulated energies agree.
+        let d = (sim.total_energy().value() - file.metrics.total_energy.value()).abs();
+        assert!(d < 1e-6 * (1.0 + sim.total_energy().value()));
+        let report = render_report(&file, Some(&sim));
+        assert!(report.contains("lp-hta"));
+        assert!(report.contains("makespan"));
+    }
+
+    #[test]
+    fn scenario_and_assignment_serialize() {
+        let scenario = generate_scenario(6, 1, 3, 9, 1000.0).unwrap();
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+
+        let file = assign_scenario(&scenario, AlgorithmName::Hgos, 6).unwrap();
+        let json = serde_json::to_string(&file).unwrap();
+        let back: AssignmentFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.assignment, file.assignment);
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_cli_path() {
+        let scenario = generate_scenario(7, 2, 3, 18, 1500.0).unwrap();
+        for name in AlgorithmName::ALL {
+            let file = assign_scenario(&scenario, name, 7).unwrap();
+            assert_eq!(file.assignment.len(), 18, "{name}");
+        }
+    }
+}

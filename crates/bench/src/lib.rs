@@ -1,0 +1,31 @@
+//! # mec-bench — experiment harness for the Data-Shared MEC reproduction
+//!
+//! One runner per table and figure of the paper's Section V (plus the
+//! DESIGN.md ablations), producing aligned text tables and CSV files.
+//!
+//! ```no_run
+//! use mec_bench::figures::{fig2a, ExperimentOptions};
+//!
+//! let fig = fig2a(&ExperimentOptions::default())?;
+//! println!("{}", fig.render_table());
+//! # Ok::<(), dsmec_core::AssignError>(())
+//! ```
+//!
+//! The `repro` binary regenerates everything:
+//!
+//! ```text
+//! cargo run -p mec-bench --bin repro --release            # all experiments
+//! cargo run -p mec-bench --bin repro --release -- fig2a   # one experiment
+//! cargo run -p mec-bench --bin repro --release -- --quick # CI-sized sweeps
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use figures::ExperimentOptions;
+pub use table::{Figure, Series};

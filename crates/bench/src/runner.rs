@@ -1,0 +1,188 @@
+//! Sweep machinery: algorithm dispatch, seed-averaged metric extraction
+//! and a small crossbeam-based parallel map used to spread a figure's
+//! x-points over cores.
+
+use dsmec_core::costs::CostTable;
+use dsmec_core::error::AssignError;
+use dsmec_core::hta::{AllOffload, AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, NashOffload, RandomAssign};
+use dsmec_core::metrics::{evaluate_assignment, Metrics};
+use mec_sim::workload::{Scenario, ScenarioConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The holistic algorithms a figure can sweep, as a value type so sweeps
+/// are `Send + Sync` without trait-object plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// The paper's LP-HTA.
+    LpHta(LpHta),
+    /// The reconstructed HGOS comparator.
+    Hgos(Hgos),
+    /// Everything to the cloud.
+    AllToC,
+    /// Everything off the device.
+    AllOffload,
+    /// Keep work local while capacity lasts.
+    LocalFirst,
+    /// Seeded random placement.
+    Random(u64),
+    /// Best-response offloading game to Nash equilibrium (refs \[8\]/\[13\]).
+    Nash(NashOffload),
+}
+
+impl Algo {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::LpHta(_) => "LP-HTA",
+            Algo::Hgos(_) => "HGOS",
+            Algo::AllToC => "AllToC",
+            Algo::AllOffload => "AllOffload",
+            Algo::LocalFirst => "LocalFirst",
+            Algo::Random(_) => "Random",
+            Algo::Nash(_) => "NashOffload",
+        }
+    }
+
+    /// Runs the algorithm over an already-generated scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped algorithm's errors.
+    pub fn run(&self, scenario: &Scenario, costs: &CostTable) -> Result<Metrics, AssignError> {
+        let assignment = match self {
+            Algo::LpHta(a) => a.assign(&scenario.system, &scenario.tasks, costs)?,
+            Algo::Hgos(a) => a.assign(&scenario.system, &scenario.tasks, costs)?,
+            Algo::AllToC => AllToC.assign(&scenario.system, &scenario.tasks, costs)?,
+            Algo::AllOffload => AllOffload.assign(&scenario.system, &scenario.tasks, costs)?,
+            Algo::LocalFirst => LocalFirst.assign(&scenario.system, &scenario.tasks, costs)?,
+            Algo::Random(seed) => {
+                RandomAssign { seed: *seed }.assign(&scenario.system, &scenario.tasks, costs)?
+            }
+            Algo::Nash(a) => a.assign(&scenario.system, &scenario.tasks, costs)?,
+        };
+        evaluate_assignment(&scenario.tasks, costs, &assignment)
+    }
+}
+
+/// The paper's Fig. 2–4 comparator set.
+pub fn paper_comparators() -> Vec<Algo> {
+    vec![
+        Algo::LpHta(LpHta::paper()),
+        Algo::Hgos(Hgos::default()),
+        Algo::AllToC,
+        Algo::AllOffload,
+    ]
+}
+
+/// Runs every algorithm over every seed of a configuration and averages
+/// the metric extracted by `extract`.
+///
+/// # Errors
+///
+/// Propagates generation and algorithm errors.
+pub fn seed_averaged(
+    base: &ScenarioConfig,
+    seeds: &[u64],
+    algos: &[Algo],
+    extract: impl Fn(&Metrics) -> f64,
+) -> Result<Vec<f64>, AssignError> {
+    let mut sums = vec![0.0; algos.len()];
+    for &seed in seeds {
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        let scenario = cfg.generate()?;
+        let costs = CostTable::build(&scenario.system, &scenario.tasks)?;
+        for (k, algo) in algos.iter().enumerate() {
+            let m = algo.run(&scenario, &costs)?;
+            sums[k] += extract(&m);
+        }
+    }
+    Ok(sums.into_iter().map(|s| s / seeds.len() as f64).collect())
+}
+
+/// Parallel map preserving input order, spreading work over available
+/// cores with a shared work queue.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Mean of a slice; zero for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = vec![];
+        assert!(par_map(&empty, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn algo_names() {
+        assert_eq!(Algo::LpHta(LpHta::paper()).name(), "LP-HTA");
+        assert_eq!(Algo::AllToC.name(), "AllToC");
+        assert_eq!(paper_comparators().len(), 4);
+    }
+
+    #[test]
+    fn seed_averaging_runs_all_algorithms() {
+        let mut cfg = ScenarioConfig::paper_defaults(0);
+        cfg.tasks_total = 20;
+        let algos = paper_comparators();
+        let means =
+            seed_averaged(&cfg, &[1, 2], &algos, |m| m.total_energy.value()).unwrap();
+        assert_eq!(means.len(), algos.len());
+        assert!(means.iter().all(|&v| v > 0.0));
+        // LP-HTA should be the cheapest of the four on average.
+        let lp = means[0];
+        assert!(means.iter().skip(1).all(|&v| lp <= v * 1.001));
+    }
+
+    #[test]
+    fn mean_of_slice() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Figure/table data structures and rendering: every experiment produces
+//! a [`Figure`] (an x-axis plus one series per algorithm) that can be
+//! printed as an aligned text table or written as CSV next to the paper's
+//! plots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One plotted series (an algorithm's curve).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// `y` values, parallel to the figure's x labels.
+    pub values: Vec<f64>,
+}
+
+/// One reproduced figure or table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Stable identifier, e.g. `"fig2a"`.
+    pub id: String,
+    /// Human title, e.g. `"Energy vs number of tasks"`.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis (with unit).
+    pub y_label: String,
+    /// X tick labels (numeric sweeps or categorical points).
+    pub x_ticks: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure shell.
+    pub fn new(
+        id: &str,
+        title: &str,
+        x_label: &str,
+        y_label: &str,
+        x_ticks: Vec<String>,
+    ) -> Figure {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_ticks,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series length disagrees with the x ticks.
+    pub fn push_series(&mut self, name: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.x_ticks.len(),
+            "series `{name}` length must match x ticks"
+        );
+        self.series.push(Series {
+            name: name.to_string(),
+            values,
+        });
+    }
+
+    /// A series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders an aligned text table (x down the rows, series across).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, tick) in self.x_ticks.iter().enumerate() {
+            let mut row = vec![tick.clone()];
+            for s in &self.series {
+                row.push(format_value(s.values[i]));
+            }
+            rows.push(row);
+        }
+
+        let widths: Vec<usize> = headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                rows.iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&headers));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders CSV content (header row then one row per x tick).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let _ = writeln!(out, "{}", headers.join(","));
+        for (i, tick) in self.x_ticks.iter().enumerate() {
+            let mut row = vec![tick.clone()];
+            for s in &self.series {
+                row.push(format!("{}", s.values[i]));
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Human-friendly numeric formatting: large magnitudes get thousands
+/// precision, small ones keep significant digits.
+fn format_value(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new(
+            "figX",
+            "demo",
+            "tasks",
+            "energy (J)",
+            vec!["100".into(), "200".into()],
+        );
+        f.push_series("LP-HTA", vec![1234.5678, 2.5]);
+        f.push_series("AllToC", vec![9999.1, 0.125]);
+        f
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = sample().render_table();
+        assert!(t.contains("LP-HTA"));
+        assert!(t.contains("AllToC"));
+        assert!(t.contains("100"));
+        assert!(t.contains("1235") || t.contains("1234"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "tasks,LP-HTA,AllToC");
+        assert!(lines[1].starts_with("100,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_series_panics() {
+        let mut f = sample();
+        f.push_series("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert!(f.series_named("LP-HTA").is_some());
+        assert!(f.series_named("nope").is_none());
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("dsmec_table_test");
+        sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert!(content.contains("LP-HTA"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

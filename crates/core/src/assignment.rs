@@ -1,0 +1,161 @@
+//! Assignment results: the `x_ijl` decision of every task, including the
+//! paper's "cancel the task and inform the user" outcome.
+
+use crate::error::AssignError;
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use serde::{Deserialize, Serialize};
+
+/// The decision for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Run at the given subsystem (`x_ijl = 1`).
+    Assigned(ExecutionSite),
+    /// No feasible placement; the user is informed (paper Steps 4–6).
+    Cancelled,
+}
+
+impl Decision {
+    /// The site, when assigned.
+    pub fn site(self) -> Option<ExecutionSite> {
+        match self {
+            Decision::Assigned(s) => Some(s),
+            Decision::Cancelled => None,
+        }
+    }
+}
+
+/// Decisions for a task list, parallel to the input `tasks` slice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    decisions: Vec<Decision>,
+}
+
+impl Assignment {
+    /// Builds an assignment from per-task decisions.
+    pub fn new(decisions: Vec<Decision>) -> Assignment {
+        Assignment { decisions }
+    }
+
+    /// An assignment sending every task to one fixed site.
+    pub fn uniform(len: usize, site: ExecutionSite) -> Assignment {
+        Assignment {
+            decisions: vec![Decision::Assigned(site); len],
+        }
+    }
+
+    /// Number of decisions (equals the task count).
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True iff there are no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The decision of task `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn decision(&self, idx: usize) -> Decision {
+        self.decisions[idx]
+    }
+
+    /// All decisions, parallel to the task list.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Mutable access for repair passes.
+    pub(crate) fn set(&mut self, idx: usize, d: Decision) {
+        self.decisions[idx] = d;
+    }
+
+    /// Indices of cancelled tasks.
+    pub fn cancelled(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Decision::Cancelled)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of tasks assigned to each site `(device, station, cloud)`.
+    pub fn site_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for d in &self.decisions {
+            if let Decision::Assigned(s) = d {
+                counts[s.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Pairs each assigned task with its site, skipping cancelled tasks —
+    /// the format the discrete-event executor consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::LengthMismatch`] when `tasks` has a
+    /// different length than the assignment.
+    pub fn to_executable(
+        &self,
+        tasks: &[HolisticTask],
+    ) -> Result<Vec<(HolisticTask, ExecutionSite)>, AssignError> {
+        if tasks.len() != self.decisions.len() {
+            return Err(AssignError::LengthMismatch {
+                tasks: tasks.len(),
+                other: self.decisions.len(),
+            });
+        }
+        Ok(tasks
+            .iter()
+            .zip(self.decisions.iter())
+            .filter_map(|(t, d)| d.site().map(|s| (*t, s)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::workload::ScenarioConfig;
+
+    #[test]
+    fn uniform_and_counts() {
+        let a = Assignment::uniform(5, ExecutionSite::Cloud);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a.site_counts(), [0, 0, 5]);
+        assert!(a.cancelled().is_empty());
+    }
+
+    #[test]
+    fn cancellation_tracking() {
+        let mut a = Assignment::uniform(3, ExecutionSite::Device);
+        a.set(1, Decision::Cancelled);
+        assert_eq!(a.cancelled(), vec![1]);
+        assert_eq!(a.site_counts(), [2, 0, 0]);
+        assert_eq!(a.decision(1).site(), None);
+        assert_eq!(a.decision(0).site(), Some(ExecutionSite::Device));
+    }
+
+    #[test]
+    fn to_executable_skips_cancelled() {
+        let s = ScenarioConfig::paper_defaults(1).generate().unwrap();
+        let mut a = Assignment::uniform(s.tasks.len(), ExecutionSite::Station);
+        a.set(0, Decision::Cancelled);
+        let exec = a.to_executable(&s.tasks).unwrap();
+        assert_eq!(exec.len(), s.tasks.len() - 1);
+        assert!(exec.iter().all(|(_, site)| *site == ExecutionSite::Station));
+    }
+
+    #[test]
+    fn to_executable_checks_length() {
+        let s = ScenarioConfig::paper_defaults(1).generate().unwrap();
+        let a = Assignment::uniform(3, ExecutionSite::Device);
+        assert!(a.to_executable(&s.tasks).is_err());
+    }
+}

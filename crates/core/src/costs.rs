@@ -1,0 +1,97 @@
+//! Precomputed cost tables: `t_ijl`/`E_ijl` for every task × site, shared
+//! by all assignment algorithms so the Section II formulas are evaluated
+//! exactly once per scenario.
+
+use crate::error::AssignError;
+use mec_sim::cost::{evaluate, SiteCost, TaskCosts};
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use mec_sim::topology::MecSystem;
+use mec_sim::units::Seconds;
+
+/// Cost of every task at every site, indexed like the task slice it was
+/// built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    entries: Vec<TaskCosts>,
+}
+
+impl CostTable {
+    /// Prices every task in `tasks` against `system`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (invalid tasks, unknown devices).
+    pub fn build(system: &MecSystem, tasks: &[HolisticTask]) -> Result<CostTable, AssignError> {
+        let entries = tasks
+            .iter()
+            .map(|t| evaluate(system, t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CostTable { entries })
+    }
+
+    /// Number of priced tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Full per-site costs of task `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn task(&self, idx: usize) -> &TaskCosts {
+        &self.entries[idx]
+    }
+
+    /// Cost of task `idx` at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn at(&self, idx: usize, site: ExecutionSite) -> SiteCost {
+        self.entries[idx].at(site)
+    }
+
+    /// Whether task `idx` meets `deadline` when run at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn feasible(&self, idx: usize, site: ExecutionSite, deadline: Seconds) -> bool {
+        self.at(idx, site).time <= deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::workload::ScenarioConfig;
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let s = ScenarioConfig::paper_defaults(2).generate().unwrap();
+        let table = CostTable::build(&s.system, &s.tasks).unwrap();
+        assert_eq!(table.len(), s.tasks.len());
+        assert!(!table.is_empty());
+        for (i, t) in s.tasks.iter().enumerate() {
+            let direct = evaluate(&s.system, t).unwrap();
+            for site in ExecutionSite::ALL {
+                assert_eq!(table.at(i, site), direct.at(site));
+            }
+            assert!(table.feasible(i, ExecutionSite::Device, Seconds::new(f64::INFINITY)));
+        }
+    }
+
+    #[test]
+    fn build_rejects_invalid_tasks() {
+        let s = ScenarioConfig::paper_defaults(2).generate().unwrap();
+        let mut tasks = s.tasks.clone();
+        tasks[0].deadline = Seconds::ZERO;
+        assert!(CostTable::build(&s.system, &tasks).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Coverages: the disjoint data division of Section IV.
+//!
+//! A [`Coverage`] assigns every required data item to exactly one device
+//! that *owns* it (Definition 1 / Definition 2, conditions (1)–(2)):
+//! `C_i ⊆ D ∩ D_i`, pairwise disjoint, `∪ C_i = D`. Whether the division
+//! optimizes the largest share (DTA-Workload) or the device count
+//! (DTA-Number) is the business of the division algorithms; the type here
+//! checks and reports on any coverage.
+
+use mec_sim::data::{DataItemId, DataUniverse, ItemSet};
+use mec_sim::topology::{DeviceId, MecSystem};
+use mec_sim::units::{Bytes, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a coverage is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageViolation {
+    /// Two shares intersect.
+    Overlap {
+        /// First device.
+        a: DeviceId,
+        /// Second device.
+        b: DeviceId,
+    },
+    /// A device was given an item it does not own.
+    NotOwned {
+        /// The device.
+        device: DeviceId,
+        /// The foreign item.
+        item: DataItemId,
+    },
+    /// A device was given an item outside the required set `D`.
+    OutsideRequired {
+        /// The device.
+        device: DeviceId,
+        /// The stray item.
+        item: DataItemId,
+    },
+    /// Required items remain uncovered.
+    Uncovered {
+        /// How many items are missing.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for CoverageViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageViolation::Overlap { a, b } => write!(f, "shares of {a} and {b} overlap"),
+            CoverageViolation::NotOwned { device, item } => {
+                write!(f, "{device} was assigned item {item} it does not own")
+            }
+            CoverageViolation::OutsideRequired { device, item } => {
+                write!(f, "{device} was assigned item {item} outside the required set")
+            }
+            CoverageViolation::Uncovered { missing } => {
+                write!(f, "{missing} required items are uncovered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverageViolation {}
+
+/// A disjoint division of the required data over the devices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    shares: Vec<ItemSet>,
+}
+
+impl Coverage {
+    /// Wraps per-device shares (indexed by `DeviceId.0`). Use
+    /// [`Coverage::validate`] to check the Section IV conditions.
+    pub fn new(shares: Vec<ItemSet>) -> Coverage {
+        Coverage { shares }
+    }
+
+    /// All shares, indexed by device.
+    pub fn shares(&self) -> &[ItemSet] {
+        &self.shares
+    }
+
+    /// One device's share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device index is out of range.
+    pub fn share(&self, device: DeviceId) -> &ItemSet {
+        &self.shares[device.0]
+    }
+
+    /// Devices with nonempty shares — the paper's "involved" devices.
+    pub fn involved_devices(&self) -> usize {
+        self.shares.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Item count of the largest share (the min-max objective of
+    /// Definition 1).
+    pub fn max_share_len(&self) -> usize {
+        self.shares.iter().map(ItemSet::len).max().unwrap_or(0)
+    }
+
+    /// Byte size of the largest share.
+    pub fn max_share_size(&self, universe: &DataUniverse) -> Bytes {
+        self.shares
+            .iter()
+            .map(|s| universe.set_size(s))
+            .fold(Bytes::ZERO, Bytes::max)
+    }
+
+    /// Parallel processing time: each involved device chews through its
+    /// share locally; the slowest device gates (the Section IV.A argument
+    /// for uniform division).
+    pub fn processing_time(&self, system: &MecSystem, universe: &DataUniverse) -> Seconds {
+        self.shares
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| {
+                let device = &system.devices()[i];
+                let bytes = universe.set_size(s);
+                system.cycle_model.cycles(bytes, 1.0) / device.cpu
+            })
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Checks conditions (1)–(2) of Definitions 1/2 against the universe
+    /// and the required set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoverageViolation`] found.
+    pub fn validate(
+        &self,
+        universe: &DataUniverse,
+        required: &ItemSet,
+    ) -> Result<(), CoverageViolation> {
+        let capacity = required.capacity();
+        let mut union = ItemSet::new(capacity);
+        for (i, share) in self.shares.iter().enumerate() {
+            let device = DeviceId(i);
+            if !union.is_disjoint(share) {
+                // Find the earlier device it collides with for the report.
+                for (j, other) in self.shares.iter().enumerate().take(i) {
+                    if !other.is_disjoint(share) {
+                        return Err(CoverageViolation::Overlap {
+                            a: DeviceId(j),
+                            b: device,
+                        });
+                    }
+                }
+            }
+            union.union_with(share);
+            if let Ok(holdings) = universe.holdings(device) {
+                if let Some(item) = share.difference(holdings).iter().next() {
+                    return Err(CoverageViolation::NotOwned { device, item });
+                }
+            }
+            if let Some(item) = share.difference(required).iter().next() {
+                return Err(CoverageViolation::OutsideRequired { device, item });
+            }
+        }
+        let missing = required.difference(&union).len();
+        if missing > 0 {
+            return Err(CoverageViolation::Uncovered { missing });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::workload::DivisibleScenarioConfig;
+
+    fn ids(v: &[usize]) -> impl Iterator<Item = DataItemId> + '_ {
+        v.iter().map(|&i| DataItemId(i))
+    }
+
+    fn tiny_universe() -> DataUniverse {
+        let sizes = vec![Bytes::from_kb(10.0); 4];
+        let holdings = vec![
+            ItemSet::from_ids(4, ids(&[0, 1, 2])),
+            ItemSet::from_ids(4, ids(&[2, 3])),
+        ];
+        DataUniverse::new(sizes, holdings).unwrap()
+    }
+
+    #[test]
+    fn valid_coverage_passes() {
+        let u = tiny_universe();
+        let required = ItemSet::full(4);
+        let c = Coverage::new(vec![
+            ItemSet::from_ids(4, ids(&[0, 1, 2])),
+            ItemSet::from_ids(4, ids(&[3])),
+        ]);
+        assert!(c.validate(&u, &required).is_ok());
+        assert_eq!(c.involved_devices(), 2);
+        assert_eq!(c.max_share_len(), 3);
+        assert_eq!(c.max_share_size(&u), Bytes::from_kb(30.0));
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let u = tiny_universe();
+        let required = ItemSet::full(4);
+        let c = Coverage::new(vec![
+            ItemSet::from_ids(4, ids(&[0, 1, 2])),
+            ItemSet::from_ids(4, ids(&[2, 3])),
+        ]);
+        assert!(matches!(
+            c.validate(&u, &required),
+            Err(CoverageViolation::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_items_are_detected() {
+        let u = tiny_universe();
+        let required = ItemSet::full(4);
+        let c = Coverage::new(vec![
+            ItemSet::from_ids(4, ids(&[0, 1, 3])), // device 0 doesn't own 3
+            ItemSet::from_ids(4, ids(&[2])),
+        ]);
+        assert!(matches!(
+            c.validate(&u, &required),
+            Err(CoverageViolation::NotOwned { .. })
+        ));
+    }
+
+    #[test]
+    fn uncovered_items_are_detected() {
+        let u = tiny_universe();
+        let required = ItemSet::full(4);
+        let c = Coverage::new(vec![
+            ItemSet::from_ids(4, ids(&[0, 1])),
+            ItemSet::from_ids(4, ids(&[3])),
+        ]);
+        assert_eq!(
+            c.validate(&u, &required),
+            Err(CoverageViolation::Uncovered { missing: 1 })
+        );
+    }
+
+    #[test]
+    fn outside_required_is_detected() {
+        let u = tiny_universe();
+        let required = ItemSet::from_ids(4, ids(&[0, 1]));
+        let c = Coverage::new(vec![
+            ItemSet::from_ids(4, ids(&[0, 1, 2])), // item 2 not required
+            ItemSet::new(4),
+        ]);
+        assert!(matches!(
+            c.validate(&u, &required),
+            Err(CoverageViolation::OutsideRequired { .. })
+        ));
+    }
+
+    #[test]
+    fn processing_time_is_gated_by_slowest_share() {
+        let s = DivisibleScenarioConfig::paper_defaults(50).generate().unwrap();
+        // One device takes everything → worst possible balance.
+        let required = s.required_universe();
+        // Find a device owning at least one required item and give it all
+        // it owns; spread the rest arbitrarily among owners.
+        let n = s.system.num_devices();
+        let mut shares = vec![ItemSet::new(s.universe.num_items()); n];
+        for item in required.iter() {
+            let owner = s.universe.owners(item)[0];
+            shares[owner.0].insert(item);
+        }
+        let c = Coverage::new(shares);
+        c.validate(&s.universe, &required).unwrap();
+        let t = c.processing_time(&s.system, &s.universe);
+        assert!(t > Seconds::ZERO);
+        // Processing time equals the slowest per-device share time.
+        let manual = c
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                let bytes = s.universe.set_size(sh);
+                s.system.cycle_model.cycles(bytes, 1.0) / s.system.devices()[i].cpu
+            })
+            .fold(Seconds::ZERO, Seconds::max);
+        assert_eq!(t, manual);
+    }
+}

@@ -1,0 +1,423 @@
+//! Task rearrangement and the full DTA pipeline (Section IV.C).
+//!
+//! Given a coverage, every divisible task `T` is re-scoped onto each
+//! device whose share intersects `T`'s input: only the task *descriptor*
+//! (`op`, `C`, `T` — a few hundred bytes) travels to the device, the
+//! device processes its share locally, and only the *partial results*
+//! travel back to the task's owner for aggregation. LP-HTA then schedules
+//! the rearranged (now local-data-only) tasks, so capacity pressure can
+//! still push pieces to the station or cloud.
+//!
+//! Energy therefore decomposes into
+//! `E = E_schedule(LP-HTA on pieces) + E_descriptors + E_partials`,
+//! with no raw-data term — the entire point of Section IV.
+
+use crate::assignment::Assignment;
+use crate::costs::CostTable;
+use crate::dta::coverage::Coverage;
+use crate::dta::division::{divide_balanced, divide_min_devices};
+use crate::error::AssignError;
+use crate::hta::lp_hta::LpHta;
+use crate::metrics::{evaluate_assignment, Metrics};
+use mec_sim::data::ItemSet;
+use mec_sim::task::{HolisticTask, TaskId};
+use mec_sim::topology::DeviceId;
+use mec_sim::transfer;
+use mec_sim::units::{Bytes, Joules, Seconds};
+use mec_sim::workload::DivisibleScenario;
+use serde::{Deserialize, Serialize};
+
+/// Which Section IV division drives the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DivisionStrategy {
+    /// DTA-Workload (Section IV.A): balance the shares.
+    Workload,
+    /// DTA-Number (Section IV.B): minimize involved devices.
+    Number,
+}
+
+impl std::fmt::Display for DivisionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivisionStrategy::Workload => f.write_str("DTA-Workload"),
+            DivisionStrategy::Number => f.write_str("DTA-Number"),
+        }
+    }
+}
+
+/// Configuration of the DTA pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtaConfig {
+    /// Division strategy.
+    pub strategy: DivisionStrategy,
+    /// Size of one task descriptor (`op`, `C`, `T`) in bytes.
+    pub descriptor_bytes: f64,
+    /// Scheduler for the rearranged pieces.
+    pub hta: LpHta,
+}
+
+impl DtaConfig {
+    /// DTA-Workload with defaults.
+    pub fn workload() -> DtaConfig {
+        DtaConfig {
+            strategy: DivisionStrategy::Workload,
+            descriptor_bytes: 256.0,
+            hta: LpHta::paper(),
+        }
+    }
+
+    /// DTA-Number with defaults.
+    pub fn number() -> DtaConfig {
+        DtaConfig {
+            strategy: DivisionStrategy::Number,
+            ..DtaConfig::workload()
+        }
+    }
+}
+
+/// One rearranged piece: which device processes which slice of which
+/// original task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Piece {
+    /// The original divisible task.
+    pub original: TaskId,
+    /// Owner of the original task (aggregation target).
+    pub aggregator: DeviceId,
+    /// Device processing this piece.
+    pub processor: DeviceId,
+    /// Items of this piece.
+    pub items: ItemSet,
+    /// Byte size of the piece.
+    pub size: Bytes,
+}
+
+/// Outcome of a DTA pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtaReport {
+    /// The data division used.
+    pub coverage: Coverage,
+    /// Devices with nonempty shares.
+    pub involved_devices: usize,
+    /// Parallel processing time of the division (Fig. 6(a) metric).
+    pub processing_time: Seconds,
+    /// Pieces after rearrangement.
+    pub pieces: Vec<Piece>,
+    /// LP-HTA metrics over the rearranged local tasks.
+    pub schedule_metrics: Metrics,
+    /// Energy of shipping descriptors to processors.
+    pub descriptor_energy: Joules,
+    /// Energy of shipping partial results to aggregators.
+    pub partial_energy: Joules,
+    /// Grand total: scheduling + descriptors + partials.
+    pub total_energy: Joules,
+    /// Assignment of the rearranged tasks.
+    pub assignment: Assignment,
+}
+
+/// Runs the full DTA pipeline over a divisible scenario.
+///
+/// # Errors
+///
+/// Propagates division, cost-model and LP failures.
+pub fn run_dta(scenario: &DivisibleScenario, config: DtaConfig) -> Result<DtaReport, AssignError> {
+    let required = scenario.required_universe();
+    let coverage = match config.strategy {
+        DivisionStrategy::Workload => divide_balanced(&scenario.universe, &required)?,
+        DivisionStrategy::Number => divide_min_devices(&scenario.universe, &required)?,
+    };
+    run_dta_with_coverage(scenario, config, coverage)
+}
+
+/// Runs the pipeline with an externally supplied coverage (used by the
+/// ablation benches to compare division strategies on equal footing).
+///
+/// # Errors
+///
+/// Propagates cost-model and LP failures.
+pub fn run_dta_with_coverage(
+    scenario: &DivisibleScenario,
+    config: DtaConfig,
+    coverage: Coverage,
+) -> Result<DtaReport, AssignError> {
+    let system = &scenario.system;
+
+    // Rearrangement: a piece per (task, device with intersecting share).
+    let mut pieces = Vec::new();
+    let mut rearranged = Vec::new();
+    for task in &scenario.tasks {
+        for (i, share) in coverage.shares().iter().enumerate() {
+            let slice = share.intersection(&task.items);
+            if slice.is_empty() {
+                continue;
+            }
+            let size = scenario.universe.set_size(&slice);
+            let processor = DeviceId(i);
+            pieces.push(Piece {
+                original: task.id,
+                aggregator: task.owner,
+                processor,
+                items: slice,
+                size,
+            });
+            rearranged.push(HolisticTask {
+                id: TaskId {
+                    user: i,
+                    index: rearranged.len(),
+                },
+                owner: processor,
+                local_size: size,
+                external_size: Bytes::ZERO,
+                external_source: None,
+                complexity: task.complexity,
+                // A streaming aggregation processes its share block by
+                // block and holds only constant partial state, so the
+                // piece's steady-state occupation is the descriptor-sized
+                // constant, independent of the share (see DESIGN.md §4).
+                resource: Bytes::new(config.descriptor_bytes),
+                deadline: task.deadline,
+            });
+        }
+    }
+
+    // Schedule the pieces with LP-HTA (Section IV.C: "the LP-HTA algorithm
+    // in Section III is applied to schedule these new tasks").
+    let costs = CostTable::build(system, &rearranged)?;
+    let assignment = {
+        use crate::hta::HtaAlgorithm;
+        config.hta.assign(system, &rearranged, &costs)?
+    };
+    let schedule_metrics = evaluate_assignment(&rearranged, &costs, &assignment)?;
+
+    // Descriptor and partial-result transport energy.
+    let bb = system.backhaul.station_to_station;
+    let desc = Bytes::new(config.descriptor_bytes);
+    let mut descriptor_energy = Joules::ZERO;
+    let mut partial_energy = Joules::ZERO;
+    for piece in &pieces {
+        if piece.processor == piece.aggregator {
+            continue; // the owner's own share needs no transport
+        }
+        let from = system.device(piece.aggregator)?;
+        let to = system.device(piece.processor)?;
+        let cross = !system.same_cluster(piece.aggregator, piece.processor)?;
+        // Descriptor: aggregator → processor.
+        descriptor_energy += transfer::upload_energy(&from.link, desc)
+            + transfer::download_energy(&to.link, desc);
+        // Partial result: processor → aggregator.
+        let partial = system.result_model.result_size(piece.size);
+        partial_energy += transfer::upload_energy(&to.link, partial)
+            + transfer::download_energy(&from.link, partial);
+        if cross {
+            descriptor_energy += bb.transfer_energy(desc);
+            partial_energy += bb.transfer_energy(partial);
+        }
+    }
+
+    let total_energy = schedule_metrics.total_energy + descriptor_energy + partial_energy;
+    Ok(DtaReport {
+        involved_devices: coverage.involved_devices(),
+        processing_time: coverage.processing_time(system, &scenario.universe),
+        pieces,
+        schedule_metrics,
+        descriptor_energy,
+        partial_energy,
+        total_energy,
+        assignment,
+        coverage,
+    })
+}
+
+/// Converts divisible tasks into *holistic* ones (raw data must be
+/// gathered at one subsystem), for the Fig. 5 comparison of LP-HTA
+/// against the DTA pipeline on the same workload.
+///
+/// For each task, the owner's local data is whatever it holds of the
+/// input; the rest is external, sourced from the device holding the
+/// largest missing part. Deadlines are widened to keep every task
+/// schedulable, since Fig. 5 compares *energy*.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn divisible_as_holistic(
+    scenario: &DivisibleScenario,
+) -> Result<Vec<HolisticTask>, AssignError> {
+    let mut out = Vec::with_capacity(scenario.tasks.len());
+    for task in &scenario.tasks {
+        let local = scenario
+            .universe
+            .usable(task.owner, &task.items)?
+            .clone();
+        let missing = task.items.difference(&local);
+        let alpha = scenario.universe.set_size(&local);
+        let beta = scenario.universe.set_size(&missing);
+        let source = if missing.is_empty() {
+            None
+        } else {
+            // The device holding the largest part of the missing data.
+            let n = scenario.universe.num_devices();
+            (0..n)
+                .filter(|&i| DeviceId(i) != task.owner)
+                .max_by_key(|&i| {
+                    scenario
+                        .universe
+                        .holdings(DeviceId(i))
+                        .expect("device within universe")
+                        .intersection_len(&missing)
+                })
+                .map(DeviceId)
+        };
+        out.push(HolisticTask {
+            id: task.id,
+            owner: task.owner,
+            local_size: alpha,
+            external_size: beta,
+            external_source: if beta.value() > 0.0 { source } else { None },
+            complexity: task.complexity,
+            resource: alpha + beta,
+            deadline: Seconds::new(1e6), // energy-focused comparison
+        });
+    }
+    Ok(out)
+}
+
+/// Per-device battery attribution of a DTA run: each processor pays the
+/// compute energy of its pieces plus the partial-result upload; each
+/// aggregator pays the descriptor upload and the partial download.
+/// (Backhaul legs are infrastructure, as in
+/// [`mec_sim::battery::attribute_energy`].)
+///
+/// # Errors
+///
+/// Propagates topology errors.
+pub fn dta_device_shares(
+    scenario: &DivisibleScenario,
+    report: &DtaReport,
+    descriptor_bytes: f64,
+) -> Result<Vec<mec_sim::battery::DeviceShare>, AssignError> {
+    use mec_sim::battery::DeviceShare;
+    let system = &scenario.system;
+    let desc = Bytes::new(descriptor_bytes);
+    let mut shares: Vec<DeviceShare> = Vec::new();
+    let mut pay = |device: DeviceId, energy: mec_sim::units::Joules| {
+        if energy > mec_sim::units::Joules::ZERO {
+            match shares.iter_mut().find(|s| s.device == device) {
+                Some(s) => s.energy += energy,
+                None => shares.push(DeviceShare { device, energy }),
+            }
+        }
+    };
+    for piece in &report.pieces {
+        let proc_dev = system.device(piece.processor)?;
+        pay(
+            piece.processor,
+            system
+                .cycle_model
+                .device_energy(piece.size, 1.0, proc_dev.cpu),
+        );
+        if piece.processor != piece.aggregator {
+            let agg_dev = system.device(piece.aggregator)?;
+            let partial = system.result_model.result_size(piece.size);
+            pay(piece.processor, transfer::upload_energy(&proc_dev.link, partial));
+            pay(piece.aggregator, transfer::download_energy(&agg_dev.link, partial));
+            pay(piece.aggregator, transfer::upload_energy(&agg_dev.link, desc));
+            pay(piece.processor, transfer::download_energy(&proc_dev.link, desc));
+        }
+    }
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hta::HtaAlgorithm;
+    use mec_sim::workload::DivisibleScenarioConfig;
+
+    fn scenario(seed: u64) -> DivisibleScenario {
+        let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 40;
+        cfg.num_items = 300;
+        cfg.generate().unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_report() {
+        let s = scenario(80);
+        let r = run_dta(&s, DtaConfig::workload()).unwrap();
+        assert!(r.involved_devices > 0);
+        assert!(r.processing_time > Seconds::ZERO);
+        assert!(!r.pieces.is_empty());
+        let sum = r.schedule_metrics.total_energy + r.descriptor_energy + r.partial_energy;
+        assert!((r.total_energy.value() - sum.value()).abs() < 1e-9);
+        // Every piece is local-only data on its processor.
+        for p in &r.pieces {
+            assert!(p.size > Bytes::ZERO);
+        }
+    }
+
+    #[test]
+    fn pieces_cover_every_task_exactly() {
+        let s = scenario(81);
+        let r = run_dta(&s, DtaConfig::number()).unwrap();
+        for task in &s.tasks {
+            let mut acc = ItemSet::new(s.universe.num_items());
+            for p in r.pieces.iter().filter(|p| p.original == task.id) {
+                assert!(acc.is_disjoint(&p.items), "pieces of {} overlap", task.id);
+                acc.union_with(&p.items);
+            }
+            assert_eq!(acc, task.items, "pieces of {} must tile its items", task.id);
+        }
+    }
+
+    #[test]
+    fn dta_saves_energy_over_raw_data_hta() {
+        // Fig. 5(a) shape: the DTA pipeline moves descriptors + partials
+        // only, so its energy is far below LP-HTA over raw shared data.
+        let s = scenario(82);
+        let dta = run_dta(&s, DtaConfig::workload()).unwrap();
+        let holistic = divisible_as_holistic(&s).unwrap();
+        let costs = CostTable::build(&s.system, &holistic).unwrap();
+        let a = LpHta::paper().assign(&s.system, &holistic, &costs).unwrap();
+        let m = evaluate_assignment(&holistic, &costs, &a).unwrap();
+        assert!(
+            dta.total_energy.value() < m.total_energy.value(),
+            "DTA {} !< LP-HTA {}",
+            dta.total_energy,
+            m.total_energy
+        );
+    }
+
+    #[test]
+    fn workload_beats_number_on_time_number_on_devices() {
+        let s = scenario(83);
+        let w = run_dta(&s, DtaConfig::workload()).unwrap();
+        let n = run_dta(&s, DtaConfig::number()).unwrap();
+        assert!(
+            w.processing_time <= n.processing_time,
+            "workload {} !<= number {}",
+            w.processing_time,
+            n.processing_time
+        );
+        assert!(
+            n.involved_devices <= w.involved_devices,
+            "number {} !<= workload {}",
+            n.involved_devices,
+            w.involved_devices
+        );
+    }
+
+    #[test]
+    fn holistic_conversion_is_valid() {
+        let s = scenario(84);
+        let tasks = divisible_as_holistic(&s).unwrap();
+        assert_eq!(tasks.len(), s.tasks.len());
+        for t in &tasks {
+            t.validate().unwrap();
+        }
+        // Sizes add up to the tasks' full inputs.
+        for (h, d) in tasks.iter().zip(s.tasks.iter()) {
+            let full = s.universe.set_size(&d.items);
+            assert!((h.input_size().value() - full.value()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for `dsmec-core`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the assignment algorithms.
+#[derive(Debug)]
+pub enum AssignError {
+    /// The underlying MEC substrate rejected the input.
+    Mec(mec_sim::MecError),
+    /// The LP solver failed numerically.
+    Lp(linprog::LpError),
+    /// The instance is structurally unsolvable for this algorithm (e.g.
+    /// exact search asked to assign more tasks than it supports).
+    Unsupported {
+        /// Which algorithm.
+        algorithm: &'static str,
+        /// Why the instance cannot be handled.
+        reason: String,
+    },
+    /// Task and cost-table lengths disagree.
+    LengthMismatch {
+        /// Number of tasks supplied.
+        tasks: usize,
+        /// Number of entries in the other input.
+        other: usize,
+    },
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Mec(e) => write!(f, "substrate error: {e}"),
+            AssignError::Lp(e) => write!(f, "linear-programming error: {e}"),
+            AssignError::Unsupported { algorithm, reason } => {
+                write!(f, "{algorithm} cannot handle this instance: {reason}")
+            }
+            AssignError::LengthMismatch { tasks, other } => {
+                write!(f, "length mismatch: {tasks} tasks vs {other} entries")
+            }
+        }
+    }
+}
+
+impl Error for AssignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AssignError::Mec(e) => Some(e),
+            AssignError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mec_sim::MecError> for AssignError {
+    fn from(e: mec_sim::MecError) -> Self {
+        AssignError::Mec(e)
+    }
+}
+
+impl From<linprog::LpError> for AssignError {
+    fn from(e: linprog::LpError) -> Self {
+        AssignError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AssignError = mec_sim::MecError::NoStations.into();
+        assert!(e.to_string().contains("substrate"));
+        let e: AssignError = linprog::LpError::NumericalFailure("boom").into();
+        assert!(e.to_string().contains("linear-programming"));
+        let e = AssignError::Unsupported {
+            algorithm: "exact",
+            reason: "too many tasks".into(),
+        };
+        assert!(e.to_string().contains("exact"));
+    }
+}

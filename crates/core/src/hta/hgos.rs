@@ -1,0 +1,205 @@
+//! **HGOS** — the Heuristic Greedy Offloading Scheme of Guo, Liu & Zhang,
+//! "Computation offloading for multi-access mobile edge computing in
+//! ultra-dense networks" (the paper's reference \[12\] and its main
+//! comparator in Section V.B).
+//!
+//! Reference \[12\] has no public implementation; this reconstruction keeps
+//! the two properties the paper's evaluation relies on:
+//!
+//! 1. it is *energy/latency-competitive*: each task greedily picks the
+//!    site minimizing a normalized overhead `w·t̂ + (1−w)·Ê`, respecting
+//!    capacity as it goes;
+//! 2. it is *deadline-oblivious*: per the paper's Fig. 3 discussion, HGOS
+//!    "has quite large unsatisfied task rate" because task deadlines do
+//!    not enter its greedy choice.
+//!
+//! See DESIGN.md §4 for the substitution rationale.
+
+use crate::assignment::{Assignment, Decision};
+use crate::costs::CostTable;
+use crate::error::AssignError;
+use crate::hta::HtaAlgorithm;
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use mec_sim::topology::MecSystem;
+
+/// The HGOS comparator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hgos {
+    /// Weight of latency in the overhead (`1 - latency_weight` weighs
+    /// energy). Reference \[12\] balances both; 0.5 by default.
+    pub latency_weight: f64,
+}
+
+impl Default for Hgos {
+    fn default() -> Self {
+        Hgos {
+            latency_weight: 0.5,
+        }
+    }
+}
+
+impl HtaAlgorithm for Hgos {
+    fn name(&self) -> &'static str {
+        "HGOS"
+    }
+
+    fn assign(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+    ) -> Result<Assignment, AssignError> {
+        if tasks.len() != costs.len() {
+            return Err(AssignError::LengthMismatch {
+                tasks: tasks.len(),
+                other: costs.len(),
+            });
+        }
+        let w = self.latency_weight.clamp(0.0, 1.0);
+        let mut device_free: Vec<f64> = system
+            .devices()
+            .iter()
+            .map(|d| d.max_resource.value())
+            .collect();
+        let mut station_free: Vec<f64> = system
+            .stations()
+            .iter()
+            .map(|s| s.max_resource.value())
+            .collect();
+
+        let mut decisions = Vec::with_capacity(tasks.len());
+        for (idx, task) in tasks.iter().enumerate() {
+            let need = task.resource.value();
+            let dev = task.owner.0;
+            let st = system.station_of(task.owner)?.0;
+
+            // Normalize by the worst candidate so both terms are in [0,1].
+            let t_max = ExecutionSite::ALL
+                .iter()
+                .map(|&s| costs.at(idx, s).time.value())
+                .fold(0.0f64, f64::max)
+                .max(f64::MIN_POSITIVE);
+            let e_max = ExecutionSite::ALL
+                .iter()
+                .map(|&s| costs.at(idx, s).energy.value())
+                .fold(0.0f64, f64::max)
+                .max(f64::MIN_POSITIVE);
+
+            let mut best: Option<(ExecutionSite, f64)> = None;
+            for site in ExecutionSite::ALL {
+                let fits = match site {
+                    ExecutionSite::Device => device_free[dev] >= need,
+                    ExecutionSite::Station => station_free[st] >= need,
+                    ExecutionSite::Cloud => true,
+                };
+                if !fits {
+                    continue;
+                }
+                let c = costs.at(idx, site);
+                let overhead = w * c.time.value() / t_max + (1.0 - w) * c.energy.value() / e_max;
+                if best.is_none_or(|(_, b)| overhead < b) {
+                    best = Some((site, overhead));
+                }
+            }
+            let (site, _) = best.expect("the cloud always fits");
+            match site {
+                ExecutionSite::Device => device_free[dev] -= need,
+                ExecutionSite::Station => station_free[st] -= need,
+                ExecutionSite::Cloud => {}
+            }
+            decisions.push(Decision::Assigned(site));
+        }
+        Ok(Assignment::new(decisions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hta::{AllToC, LpHta};
+    use crate::metrics::{capacity_usage, evaluate_assignment};
+    use mec_sim::units::Bytes;
+    use mec_sim::workload::ScenarioConfig;
+
+    fn setup(seed: u64) -> (mec_sim::workload::Scenario, CostTable) {
+        let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        (s, costs)
+    }
+
+    #[test]
+    fn respects_capacities() {
+        let (s, costs) = setup(31);
+        let a = Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap();
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+        assert!(a.cancelled().is_empty(), "HGOS never cancels");
+    }
+
+    #[test]
+    fn energy_competitive_but_worse_than_lp_hta() {
+        let (s, costs) = setup(32);
+        let hgos = evaluate_assignment(
+            &s.tasks,
+            &costs,
+            &Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap(),
+        )
+        .unwrap();
+        let lp = evaluate_assignment(
+            &s.tasks,
+            &costs,
+            &LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap(),
+        )
+        .unwrap();
+        let cloud = evaluate_assignment(
+            &s.tasks,
+            &costs,
+            &AllToC.assign(&s.system, &s.tasks, &costs).unwrap(),
+        )
+        .unwrap();
+        // The paper's Fig. 2 shape: HGOS is close to LP-HTA and far below
+        // the cloud baseline, but LP-HTA still wins.
+        assert!(hgos.total_energy < cloud.total_energy * 0.8);
+        assert!(lp.total_energy <= hgos.total_energy * 1.001);
+    }
+
+    #[test]
+    fn deadline_oblivious_has_higher_unsatisfied_rate() {
+        // Tighten deadlines: HGOS ignores them, LP-HTA honors them.
+        let mut cfg = ScenarioConfig::paper_defaults(33);
+        cfg.deadline_factor_range = (1.0, 1.3);
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let hgos = evaluate_assignment(
+            &s.tasks,
+            &costs,
+            &Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap(),
+        )
+        .unwrap();
+        let lp = evaluate_assignment(
+            &s.tasks,
+            &costs,
+            &LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            lp.unsatisfied_rate <= hgos.unsatisfied_rate,
+            "LP-HTA {} vs HGOS {}",
+            lp.unsatisfied_rate,
+            hgos.unsatisfied_rate
+        );
+    }
+
+    #[test]
+    fn pure_latency_weight_prefers_fast_sites() {
+        let (s, costs) = setup(34);
+        let fast = Hgos { latency_weight: 1.0 };
+        let a = fast.assign(&s.system, &s.tasks, &costs).unwrap();
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        let frugal = Hgos { latency_weight: 0.0 };
+        let b = frugal.assign(&s.system, &s.tasks, &costs).unwrap();
+        let mb = evaluate_assignment(&s.tasks, &costs, &b).unwrap();
+        assert!(m.mean_latency <= mb.mean_latency);
+        assert!(mb.total_energy <= m.total_energy);
+    }
+}

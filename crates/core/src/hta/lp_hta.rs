@@ -1,0 +1,657 @@
+//! **LP-HTA** — the paper's Section III.A algorithm, all six steps:
+//!
+//! 1. solve the relaxed LP `P2` of every cluster (interior point by
+//!    default, per the paper's citation of Karmarkar);
+//! 2. reshape the solution into the fractional matrix `X`;
+//! 3. round every task to its largest fractional component;
+//! 4. repair deadline violations by moving to the feasible site with the
+//!    largest fraction, cancelling when none exists;
+//! 5. repair per-device capacity (C2) by greedily migrating the largest
+//!    occupations to the base station;
+//! 6. repair station capacity (C3) by greedily migrating to the cloud.
+//!
+//! [`LpHtaReport`] exposes `E_LP^(OPT)`, the rounding energy, the repair
+//! growth `Δ`, and both ratio-bound certificates (Theorem 2 and
+//! Corollary 1), so every run carries its own approximation guarantee.
+
+use crate::assignment::{Assignment, Decision};
+use crate::costs::CostTable;
+use crate::error::AssignError;
+use crate::hta::relaxation::build_cluster_relaxation;
+use crate::hta::{cluster_task_indices, HtaAlgorithm};
+use linprog::{solve, LpStatus, Solver};
+use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
+use mec_sim::topology::MecSystem;
+use mec_sim::units::Bytes;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How Step 3 turns fractions into a site choice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RoundingRule {
+    /// The paper's rule: pick `argmax_l X[i,j,l]` (ties toward the lower
+    /// level, i.e. the device).
+    #[default]
+    ArgMax,
+    /// Randomized rounding proportional to the fractions (ablation A2);
+    /// deterministic in the seed.
+    Randomized {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Diagnostics of one LP-HTA run (summed over clusters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpHtaReport {
+    /// `E_LP^(OPT)`: the optimum of the relaxation (a lower bound on the
+    /// optimal integral energy).
+    pub lp_objective: f64,
+    /// Energy of the Step-3 rounding `x̂` before repair.
+    pub rounded_energy: f64,
+    /// Energy of the final assignment (assigned tasks only).
+    pub final_energy: f64,
+    /// `Δ`: energy growth caused by the Step 4–6 migrations.
+    pub delta: f64,
+    /// Theorem 2 certificate: `3 + Δ / E_LP^(OPT)`.
+    pub theorem2_bound: f64,
+    /// Corollary 1 certificate: `max E_ij3 / min E_ij1`.
+    pub corollary1_bound: f64,
+    /// The tighter of the two certificates.
+    pub ratio_bound: f64,
+    /// Tasks cancelled by the repair steps.
+    pub cancelled: Vec<TaskId>,
+    /// Total LP iterations across clusters.
+    pub lp_iterations: usize,
+}
+
+/// The LP-HTA algorithm with a configurable LP backend and rounding rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpHta {
+    /// LP backend for Step 1.
+    pub solver: Solver,
+    /// Rounding rule for Step 3.
+    pub rounding: RoundingRule,
+    /// Enables the provably exact greedy fast path: when every task's
+    /// globally cheapest site is deadline-feasible and picking it for all
+    /// tasks satisfies C2/C3, that assignment attains the per-task lower
+    /// bound `Σ min_l E_ijl` and is therefore optimal — no LP needed.
+    /// Instances under capacity or deadline pressure still take the full
+    /// six-step LP path. Disable for the LP-backend ablation.
+    pub fast_path: bool,
+    /// Scalability guard: clusters with more tasks than this skip the
+    /// dense LP (whose normal equations grow cubically) and seed Steps
+    /// 3–6 with the greedy cheapest-feasible indicator instead. The
+    /// repair steps still enforce every constraint; only the fractional
+    /// seed differs. The paper's own experiments (≤ 450 tasks over 5
+    /// clusters) never reach this limit.
+    pub lp_cluster_limit: usize,
+}
+
+impl Default for LpHta {
+    fn default() -> Self {
+        LpHta::paper()
+    }
+}
+
+impl LpHta {
+    /// LP-HTA exactly as the paper states it: interior-point Step 1,
+    /// arg-max Step 3 (with the exact fast path enabled).
+    pub fn paper() -> LpHta {
+        LpHta {
+            solver: Solver::InteriorPoint,
+            rounding: RoundingRule::ArgMax,
+            fast_path: true,
+            lp_cluster_limit: 600,
+        }
+    }
+
+    /// The full six-step pipeline with no fast path (ablation).
+    pub fn without_fast_path(self) -> LpHta {
+        LpHta {
+            fast_path: false,
+            ..self
+        }
+    }
+
+    /// Greedy exact fast path. Returns `None` when its optimality
+    /// precondition fails and the LP pipeline must run.
+    fn try_fast_path(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+    ) -> Result<Option<(Assignment, LpHtaReport)>, AssignError> {
+        let mut device_free: Vec<f64> = system
+            .devices()
+            .iter()
+            .map(|d| d.max_resource.value())
+            .collect();
+        let mut station_free: Vec<f64> = system
+            .stations()
+            .iter()
+            .map(|s| s.max_resource.value())
+            .collect();
+        let mut decisions = Vec::with_capacity(tasks.len());
+        let mut energy = 0.0;
+        for (idx, task) in tasks.iter().enumerate() {
+            let cheapest = ExecutionSite::ALL
+                .iter()
+                .min_by(|&&a, &&b| {
+                    costs
+                        .at(idx, a)
+                        .energy
+                        .value()
+                        .total_cmp(&costs.at(idx, b).energy.value())
+                })
+                .copied()
+                .expect("three sites");
+            if !costs.feasible(idx, cheapest, task.deadline) {
+                return Ok(None); // the lower bound is not attainable
+            }
+            let need = task.resource.value();
+            match cheapest {
+                ExecutionSite::Device => {
+                    let d = task.owner.0;
+                    if device_free[d] < need {
+                        return Ok(None);
+                    }
+                    device_free[d] -= need;
+                }
+                ExecutionSite::Station => {
+                    let st = system.station_of(task.owner)?.0;
+                    if station_free[st] < need {
+                        return Ok(None);
+                    }
+                    station_free[st] -= need;
+                }
+                ExecutionSite::Cloud => {}
+            }
+            energy += costs.at(idx, cheapest).energy.value();
+            decisions.push(Decision::Assigned(cheapest));
+        }
+        // Every task sits at its unconstrained per-task minimum and all
+        // constraints hold: this is the exact optimum, and it also equals
+        // the LP optimum (the LP cannot go below Σ min_l E_ijl).
+        let report = LpHtaReport {
+            lp_objective: energy,
+            rounded_energy: energy,
+            final_energy: energy,
+            delta: 0.0,
+            theorem2_bound: 3.0,
+            corollary1_bound: f64::INFINITY,
+            ratio_bound: 3.0,
+            cancelled: Vec::new(),
+            lp_iterations: 0,
+        };
+        Ok(Some((Assignment::new(decisions), report)))
+    }
+
+    /// Runs the algorithm and returns both the assignment and the
+    /// ratio-bound diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for substrate failures or irrecoverable LP
+    /// numerical failures. Per-task infeasibility is reported through
+    /// cancellations, not errors.
+    pub fn assign_with_report(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+    ) -> Result<(Assignment, LpHtaReport), AssignError> {
+        if tasks.len() != costs.len() {
+            return Err(AssignError::LengthMismatch {
+                tasks: tasks.len(),
+                other: costs.len(),
+            });
+        }
+        if self.fast_path {
+            if let Some(result) = self.try_fast_path(system, tasks, costs)? {
+                return Ok(result);
+            }
+        }
+        let mut assignment = Assignment::new(vec![Decision::Cancelled; tasks.len()]);
+        let mut report = LpHtaReport {
+            lp_objective: 0.0,
+            rounded_energy: 0.0,
+            final_energy: 0.0,
+            delta: 0.0,
+            theorem2_bound: f64::INFINITY,
+            corollary1_bound: f64::INFINITY,
+            ratio_bound: f64::INFINITY,
+            cancelled: Vec::new(),
+            lp_iterations: 0,
+        };
+        let mut rng = match self.rounding {
+            RoundingRule::Randomized { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
+            RoundingRule::ArgMax => None,
+        };
+
+        for (station, idxs) in cluster_task_indices(system, tasks)? {
+            if idxs.is_empty() {
+                continue;
+            }
+            let x: Vec<[f64; 3]> = if idxs.len() > self.lp_cluster_limit {
+                // Scalability guard: greedy cheapest-feasible indicator
+                // seed; the true LP optimum is lower-bounded by the sum
+                // of per-task minima, which keeps the certificate valid.
+                let mut seed = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let mut row = [0.0; 3];
+                    let best = ExecutionSite::ALL
+                        .iter()
+                        .filter(|&&s| costs.feasible(i, s, tasks[i].deadline))
+                        .min_by(|&&a, &&b| {
+                            costs
+                                .at(i, a)
+                                .energy
+                                .value()
+                                .total_cmp(&costs.at(i, b).energy.value())
+                        })
+                        .copied()
+                        .unwrap_or(ExecutionSite::Cloud);
+                    row[best.index()] = 1.0;
+                    seed.push(row);
+                    report.lp_objective += ExecutionSite::ALL
+                        .iter()
+                        .map(|&s| costs.at(i, s).energy.value())
+                        .fold(f64::INFINITY, f64::min);
+                }
+                seed
+            } else {
+                let Some(rel) = build_cluster_relaxation(system, tasks, costs, station, &idxs)?
+                else {
+                    continue;
+                };
+                // Step 1: solve the relaxation.
+                let sol = solve(&rel.lp, self.solver)?;
+                report.lp_iterations += sol.iterations;
+                // Step 2: the fractional matrix X. If the LP could not be
+                // solved to optimality (pathological custom instances), fall
+                // back to the always-feasible all-cloud fractional point.
+                if sol.status == LpStatus::Optimal {
+                    report.lp_objective += sol.objective;
+                    rel.fractional_matrix(&sol.x)
+                } else {
+                    report.lp_objective += idxs
+                        .iter()
+                        .map(|&i| costs.at(i, ExecutionSite::Cloud).energy.value())
+                        .sum::<f64>();
+                    idxs.iter().map(|_| [0.0, 0.0, 1.0]).collect()
+                }
+            };
+
+            // Step 3: rounding.
+            let mut sites: Vec<Option<ExecutionSite>> = Vec::with_capacity(idxs.len());
+            for row in &x {
+                let site = match &mut rng {
+                    None => argmax_site(row),
+                    Some(rng) => sample_site(row, rng),
+                };
+                sites.push(Some(site));
+            }
+            for (k, &idx) in idxs.iter().enumerate() {
+                if let Some(site) = sites[k] {
+                    report.rounded_energy += costs.at(idx, site).energy.value();
+                }
+            }
+
+            // Step 4: deadline repair.
+            for (k, &idx) in idxs.iter().enumerate() {
+                let deadline = tasks[idx].deadline;
+                let site = sites[k].expect("just rounded");
+                if costs.feasible(idx, site, deadline) {
+                    continue;
+                }
+                let fallback = ExecutionSite::ALL
+                    .iter()
+                    .filter(|&&s| costs.feasible(idx, s, deadline))
+                    .max_by(|&&a, &&b| x[k][a.index()].total_cmp(&x[k][b.index()]))
+                    .copied();
+                sites[k] = fallback; // None ⇒ cancelled
+            }
+
+            // Step 5: per-device capacity repair (C2).
+            for &device in system.cluster(station)? {
+                let max_i = system.device(device)?.max_resource;
+                repair_capacity(
+                    tasks,
+                    costs,
+                    &idxs,
+                    &mut sites,
+                    ExecutionSite::Device,
+                    ExecutionSite::Station,
+                    max_i,
+                    |idx| tasks[idx].owner == device,
+                );
+            }
+
+            // Step 6: station capacity repair (C3).
+            let max_s = system.station(station)?.max_resource;
+            repair_capacity(
+                tasks,
+                costs,
+                &idxs,
+                &mut sites,
+                ExecutionSite::Station,
+                ExecutionSite::Cloud,
+                max_s,
+                |_| true,
+            );
+
+            // Materialize decisions.
+            for (k, &idx) in idxs.iter().enumerate() {
+                match sites[k] {
+                    Some(site) => {
+                        assignment.set(idx, Decision::Assigned(site));
+                        report.final_energy += costs.at(idx, site).energy.value();
+                    }
+                    None => {
+                        assignment.set(idx, Decision::Cancelled);
+                        report.cancelled.push(tasks[idx].id);
+                    }
+                }
+            }
+        }
+
+        // Ratio-bound certificates.
+        report.delta = (report.final_energy - report.rounded_energy).max(0.0);
+        if report.lp_objective > 0.0 {
+            report.theorem2_bound = 3.0 + report.delta / report.lp_objective;
+        }
+        let max_e3 = (0..tasks.len())
+            .map(|i| costs.at(i, ExecutionSite::Cloud).energy.value())
+            .fold(0.0f64, f64::max);
+        let min_e1 = (0..tasks.len())
+            .map(|i| costs.at(i, ExecutionSite::Device).energy.value())
+            .fold(f64::INFINITY, f64::min);
+        if min_e1 > 0.0 && min_e1.is_finite() {
+            report.corollary1_bound = max_e3 / min_e1;
+        }
+        report.ratio_bound = report.theorem2_bound.min(report.corollary1_bound);
+
+        Ok((assignment, report))
+    }
+}
+
+impl HtaAlgorithm for LpHta {
+    fn name(&self) -> &'static str {
+        "LP-HTA"
+    }
+
+    fn assign(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+    ) -> Result<Assignment, AssignError> {
+        Ok(self.assign_with_report(system, tasks, costs)?.0)
+    }
+}
+
+/// Step-3 arg-max rule; ties break toward the lower level, matching the
+/// paper's preference for keeping work at the edge.
+fn argmax_site(row: &[f64; 3]) -> ExecutionSite {
+    let mut best = ExecutionSite::Device;
+    for site in [ExecutionSite::Station, ExecutionSite::Cloud] {
+        if row[site.index()] > row[best.index()] {
+            best = site;
+        }
+    }
+    best
+}
+
+/// Randomized rounding: sample a site proportional to the fractions.
+fn sample_site(row: &[f64; 3], rng: &mut ChaCha8Rng) -> ExecutionSite {
+    let total: f64 = row.iter().sum();
+    if total <= 0.0 {
+        return ExecutionSite::Cloud;
+    }
+    let mut draw = rng.gen_range(0.0..total);
+    for site in ExecutionSite::ALL {
+        let w = row[site.index()];
+        if draw < w {
+            return site;
+        }
+        draw -= w;
+    }
+    ExecutionSite::Cloud
+}
+
+/// Shared logic of Steps 5 and 6: while the tasks at `from` (filtered by
+/// `belongs`) exceed `capacity`, migrate the largest occupation whose
+/// deadline admits `to`; if none is movable, cancel the largest.
+#[allow(clippy::too_many_arguments)]
+fn repair_capacity(
+    tasks: &[HolisticTask],
+    costs: &CostTable,
+    idxs: &[usize],
+    sites: &mut [Option<ExecutionSite>],
+    from: ExecutionSite,
+    to: ExecutionSite,
+    capacity: Bytes,
+    belongs: impl Fn(usize) -> bool,
+) {
+    let usage = |sites: &[Option<ExecutionSite>]| -> Bytes {
+        idxs.iter()
+            .enumerate()
+            .filter(|(k, &idx)| sites[*k] == Some(from) && belongs(idx))
+            .map(|(_, &idx)| tasks[idx].resource)
+            .sum()
+    };
+
+    while usage(sites) > capacity {
+        // Movable set: at `from`, belongs, and deadline-feasible at `to`.
+        let movable = idxs
+            .iter()
+            .enumerate()
+            .filter(|(k, &idx)| {
+                sites[*k] == Some(from)
+                    && belongs(idx)
+                    && costs.feasible(idx, to, tasks[idx].deadline)
+            })
+            .max_by(|(_, &a), (_, &b)| {
+                tasks[a].resource.value().total_cmp(&tasks[b].resource.value())
+            })
+            .map(|(k, _)| k);
+        if let Some(k) = movable {
+            sites[k] = Some(to);
+            continue;
+        }
+        // Nothing movable: cancel the largest remaining occupant.
+        let victim = idxs
+            .iter()
+            .enumerate()
+            .filter(|(k, &idx)| sites[*k] == Some(from) && belongs(idx))
+            .max_by(|(_, &a), (_, &b)| {
+                tasks[a].resource.value().total_cmp(&tasks[b].resource.value())
+            })
+            .map(|(k, _)| k);
+        match victim {
+            Some(k) => sites[k] = None,
+            None => break, // no occupants left; capacity must now hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{capacity_usage, evaluate_assignment};
+    use mec_sim::units::Seconds;
+    use mec_sim::workload::ScenarioConfig;
+
+    fn run(seed: u64) -> (
+        mec_sim::workload::Scenario,
+        CostTable,
+        Assignment,
+        LpHtaReport,
+    ) {
+        // Exercise the full six-step LP pipeline, not the fast path.
+        let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let (a, r) = LpHta::paper()
+            .without_fast_path()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        (s, costs, a, r)
+    }
+
+    #[test]
+    fn fast_path_matches_full_pipeline_when_unconstrained() {
+        let s = ScenarioConfig::paper_defaults(17).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let (fast, fr) = LpHta::paper()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let (full, lr) = LpHta::paper()
+            .without_fast_path()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        if fr.lp_iterations == 0 {
+            // Fast path fired: it is exact, so the full pipeline cannot
+            // beat it (and must be within its own certificate of it).
+            assert!(lr.final_energy >= fr.final_energy - 1e-6);
+            assert!(fr.final_energy <= lr.lp_objective * lr.ratio_bound + 1e-6);
+            let _ = (fast, full);
+        }
+    }
+
+    #[test]
+    fn produces_feasible_assignments() {
+        let (s, costs, a, _) = run(1);
+        // C2/C3 hold.
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+        // C1 holds for every assigned task.
+        for (idx, task) in s.tasks.iter().enumerate() {
+            if let Some(site) = a.decision(idx).site() {
+                assert!(
+                    costs.feasible(idx, site, task.deadline),
+                    "{} misses its deadline at {site}",
+                    task.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_certificates_are_consistent() {
+        let (_, _, a, r) = run(2);
+        assert!(r.lp_objective > 0.0);
+        // Note: the rounded point may *violate* capacity constraints, so
+        // its energy can legitimately fall below the constrained LP
+        // optimum; only the Lemma-1 upper bound is guaranteed.
+        assert!(
+            r.rounded_energy <= 3.0 * r.lp_objective + 1e-6,
+            "Lemma 1: rounding within 3x of the LP optimum"
+        );
+        assert!((r.theorem2_bound - (3.0 + r.delta / r.lp_objective)).abs() < 1e-12);
+        assert_eq!(r.ratio_bound, r.theorem2_bound.min(r.corollary1_bound));
+        assert!(r.final_energy > 0.0);
+        assert_eq!(a.cancelled().len(), r.cancelled.len());
+    }
+
+    #[test]
+    fn beats_all_cloud_on_energy() {
+        let (s, costs, a, _) = run(3);
+        let lp = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        let cloud = Assignment::uniform(s.tasks.len(), ExecutionSite::Cloud);
+        let cloud_m = evaluate_assignment(&s.tasks, &costs, &cloud).unwrap();
+        assert!(
+            lp.total_energy.value() < cloud_m.total_energy.value() * 0.6,
+            "LP-HTA {} should be well below AllToC {}",
+            lp.total_energy,
+            cloud_m.total_energy
+        );
+    }
+
+    #[test]
+    fn unsatisfied_rate_is_low_with_achievable_deadlines() {
+        let (s, costs, a, _) = run(4);
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        assert!(
+            m.unsatisfied_rate < 0.15,
+            "unsatisfied rate {} too high",
+            m.unsatisfied_rate
+        );
+    }
+
+    #[test]
+    fn simplex_and_interior_point_agree_on_energy() {
+        let s = ScenarioConfig::paper_defaults(5).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let ipm = LpHta::paper().without_fast_path();
+        let spx = LpHta {
+            solver: Solver::Simplex,
+            rounding: RoundingRule::ArgMax,
+            ..LpHta::paper().without_fast_path()
+        };
+        let (_, r1) = ipm.assign_with_report(&s.system, &s.tasks, &costs).unwrap();
+        let (_, r2) = spx.assign_with_report(&s.system, &s.tasks, &costs).unwrap();
+        let scale = 1.0 + r2.lp_objective.abs();
+        assert!(
+            (r1.lp_objective - r2.lp_objective).abs() < 1e-4 * scale,
+            "LP optima differ: {} vs {}",
+            r1.lp_objective,
+            r2.lp_objective
+        );
+    }
+
+    #[test]
+    fn randomized_rounding_is_deterministic_in_seed() {
+        let s = ScenarioConfig::paper_defaults(6).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let algo = LpHta {
+            solver: Solver::Simplex,
+            rounding: RoundingRule::Randomized { seed: 99 },
+            ..LpHta::paper().without_fast_path()
+        };
+        let a1 = algo.assign(&s.system, &s.tasks, &costs).unwrap();
+        let a2 = algo.assign(&s.system, &s.tasks, &costs).unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn tight_capacity_forces_migration_not_violation() {
+        let mut cfg = ScenarioConfig::paper_defaults(7);
+        cfg.device_resource_mb = 2.0; // tasks are ~1-4.5 MB: heavy pressure
+        cfg.station_resource_mb = 20.0;
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let (a, _) = LpHta::paper()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+        // Pressure must push a material share of work off the devices.
+        let [dev, _, _] = a.site_counts();
+        assert!(dev < s.tasks.len());
+    }
+
+    #[test]
+    fn impossible_deadlines_cancel_rather_than_violate() {
+        let mut s = ScenarioConfig::paper_defaults(8).generate().unwrap();
+        for t in s.tasks.iter_mut().take(5) {
+            t.deadline = Seconds::new(1e-9);
+        }
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let (a, r) = LpHta::paper()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        assert!(r.cancelled.len() >= 5);
+        for idx in 0..5 {
+            assert_eq!(a.decision(idx), Decision::Cancelled);
+        }
+    }
+
+    #[test]
+    fn argmax_prefers_lower_level_on_ties() {
+        assert_eq!(argmax_site(&[0.4, 0.4, 0.2]), ExecutionSite::Device);
+        assert_eq!(argmax_site(&[0.2, 0.4, 0.4]), ExecutionSite::Station);
+        assert_eq!(argmax_site(&[0.1, 0.2, 0.7]), ExecutionSite::Cloud);
+    }
+}

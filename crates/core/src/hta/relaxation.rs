@@ -1,0 +1,311 @@
+//! Construction of the relaxed linear program `P2` of Section III.A for
+//! one cluster.
+//!
+//! The paper states P2 with four constraint blocks. Block `A₁` — the
+//! diagonal deadline rows `t_ijl·x_ijl ≤ T_ij` — is equivalent to the
+//! variable bounds `x_ijl ≤ min(1, T_ij/t_ijl)`, so it is presolved into
+//! bounds here (fewer rows, identical feasible set). Blocks `A₂` (per-
+//! device capacity C2), `A₃` (station capacity C3) and `A₄` (one-site
+//! equality C4) become explicit rows.
+
+use crate::costs::CostTable;
+use crate::error::AssignError;
+use linprog::{ConstraintSense, LpProblem};
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use mec_sim::topology::{DeviceId, MecSystem, StationId};
+use std::collections::BTreeMap;
+
+/// The relaxed LP of one cluster plus the index bookkeeping needed to map
+/// its solution back onto tasks.
+#[derive(Debug)]
+pub struct ClusterRelaxation {
+    /// The LP (minimization of `Σ E_ijl x_ijl`).
+    pub lp: LpProblem,
+    /// Global task indices of this cluster, in LP variable order: task
+    /// `k` of the cluster owns variables `3k`, `3k+1`, `3k+2`.
+    pub task_indices: Vec<usize>,
+    /// LP row index of each device's C2 capacity constraint.
+    pub device_rows: Vec<(DeviceId, usize)>,
+    /// LP row index of the station's C3 capacity constraint.
+    pub station_row: usize,
+}
+
+impl ClusterRelaxation {
+    /// Variable index of `(cluster task k, site)`.
+    pub fn var(&self, k: usize, site: ExecutionSite) -> usize {
+        3 * k + site.index()
+    }
+
+    /// Reshapes a flat LP solution into the fractional matrix
+    /// `X[k][l]` of Step 2.
+    pub fn fractional_matrix(&self, x: &[f64]) -> Vec<[f64; 3]> {
+        (0..self.task_indices.len())
+            .map(|k| [x[3 * k], x[3 * k + 1], x[3 * k + 2]])
+            .collect()
+    }
+
+    /// The *shadow price* of station capacity: the marginal change of the
+    /// cluster's optimal energy per extra byte of `max_S`, read from the
+    /// C3 row's dual value. Nonpositive at optimality (more capacity
+    /// never costs energy); zero when the station is not full. `None`
+    /// when the solver produced no duals.
+    pub fn station_capacity_price(&self, duals: Option<&[f64]>) -> Option<f64> {
+        duals.map(|d| d[self.station_row])
+    }
+}
+
+/// Shadow prices of every station's C3 capacity across the system: how
+/// many joules an extra byte of `max_S` would save. The actionable
+/// output for the capacity-planning use case.
+///
+/// # Errors
+///
+/// Propagates relaxation and solver errors.
+pub fn station_capacity_prices(
+    system: &MecSystem,
+    tasks: &[HolisticTask],
+    costs: &CostTable,
+) -> Result<Vec<(StationId, f64)>, AssignError> {
+    let mut out = Vec::new();
+    for (station, idxs) in crate::hta::cluster_task_indices(system, tasks)? {
+        let Some(rel) = build_cluster_relaxation(system, tasks, costs, station, &idxs)? else {
+            out.push((station, 0.0));
+            continue;
+        };
+        let sol = linprog::solve(&rel.lp, linprog::Solver::Simplex)?;
+        let price = rel
+            .station_capacity_price(sol.duals.as_deref())
+            .unwrap_or(0.0);
+        out.push((station, price));
+    }
+    Ok(out)
+}
+
+/// Builds the relaxation for the cluster of `station` whose tasks are
+/// `task_indices` (global indices into `tasks`).
+///
+/// Returns `None` when the cluster has no tasks.
+///
+/// # Errors
+///
+/// Propagates LP-construction and substrate errors.
+pub fn build_cluster_relaxation(
+    system: &MecSystem,
+    tasks: &[HolisticTask],
+    costs: &CostTable,
+    station: StationId,
+    task_indices: &[usize],
+) -> Result<Option<ClusterRelaxation>, AssignError> {
+    if task_indices.is_empty() {
+        return Ok(None);
+    }
+    let ct = task_indices.len();
+    let mut lp = LpProblem::new(3 * ct);
+
+    // Objective: Σ E_ijl x_ijl.
+    let mut objective = vec![0.0; 3 * ct];
+    for (k, &idx) in task_indices.iter().enumerate() {
+        for site in ExecutionSite::ALL {
+            objective[3 * k + site.index()] = costs.at(idx, site).energy.value();
+        }
+    }
+    lp.set_objective(objective)?;
+
+    // Bounds: the presolved deadline block A₁. If no site is deadline-
+    // feasible even fractionally, keep the fastest site open so C4 stays
+    // satisfiable; Step 4 will cancel the task after rounding.
+    for (k, &idx) in task_indices.iter().enumerate() {
+        let deadline = tasks[idx].deadline;
+        let mut ubs = [0.0f64; 3];
+        for site in ExecutionSite::ALL {
+            let t = costs.at(idx, site).time;
+            ubs[site.index()] = if t.value() <= 0.0 {
+                1.0
+            } else {
+                (deadline.value() / t.value()).min(1.0)
+            };
+        }
+        if ubs.iter().sum::<f64>() < 1.0 {
+            let fastest = ExecutionSite::ALL
+                .iter()
+                .min_by(|a, b| {
+                    costs
+                        .at(idx, **a)
+                        .time
+                        .partial_cmp(&costs.at(idx, **b).time)
+                        .expect("finite times")
+                })
+                .copied()
+                .expect("three sites");
+            ubs[fastest.index()] = 1.0;
+        }
+        for site in ExecutionSite::ALL {
+            lp.set_bounds(3 * k + site.index(), 0.0, ubs[site.index()])?;
+        }
+    }
+
+    // C2: per-device capacity rows (block A₂).
+    let mut by_device: BTreeMap<DeviceId, Vec<usize>> = BTreeMap::new();
+    for (k, &idx) in task_indices.iter().enumerate() {
+        by_device.entry(tasks[idx].owner).or_default().push(k);
+    }
+    let mut device_rows = Vec::new();
+    for (device, ks) in &by_device {
+        let cap = system.device(*device)?.max_resource.value();
+        let terms: Vec<(usize, f64)> = ks
+            .iter()
+            .map(|&k| (3 * k, tasks[task_indices[k]].resource.value()))
+            .collect();
+        let row = lp.add_constraint(terms, ConstraintSense::Le, cap)?;
+        device_rows.push((*device, row));
+    }
+
+    // C3: the station capacity row (block A₃).
+    let station_cap = system.station(station)?.max_resource.value();
+    let station_terms: Vec<(usize, f64)> = (0..ct)
+        .map(|k| (3 * k + 1, tasks[task_indices[k]].resource.value()))
+        .collect();
+    let station_row = lp.add_constraint(station_terms, ConstraintSense::Le, station_cap)?;
+
+    // C4: Σ_l x_ijl = 1 per task (block A₄).
+    for k in 0..ct {
+        lp.add_constraint(
+            vec![(3 * k, 1.0), (3 * k + 1, 1.0), (3 * k + 2, 1.0)],
+            ConstraintSense::Eq,
+            1.0,
+        )?;
+    }
+
+    Ok(Some(ClusterRelaxation {
+        lp,
+        task_indices: task_indices.to_vec(),
+        device_rows,
+        station_row,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hta::cluster_task_indices;
+    use linprog::{solve, LpStatus, Solver};
+    use mec_sim::workload::ScenarioConfig;
+
+    fn setup() -> (mec_sim::workload::Scenario, CostTable) {
+        let s = ScenarioConfig::paper_defaults(10).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        (s, costs)
+    }
+
+    #[test]
+    fn relaxation_has_expected_shape() {
+        let (s, costs) = setup();
+        let clusters = cluster_task_indices(&s.system, &s.tasks).unwrap();
+        let (st, idxs) = &clusters[0];
+        let rel = build_cluster_relaxation(&s.system, &s.tasks, &costs, *st, idxs)
+            .unwrap()
+            .unwrap();
+        let ct = idxs.len();
+        assert_eq!(rel.lp.num_vars(), 3 * ct);
+        let devices_with_tasks = s
+            .system
+            .cluster(*st)
+            .unwrap()
+            .iter()
+            .filter(|d| s.tasks.iter().any(|t| t.owner == **d))
+            .count();
+        // rows: device C2 rows + 1 station row + ct equality rows.
+        assert_eq!(rel.lp.num_constraints(), devices_with_tasks + 1 + ct);
+        assert_eq!(rel.var(2, ExecutionSite::Cloud), 8);
+    }
+
+    #[test]
+    fn relaxation_is_feasible_and_bounded() {
+        let (s, costs) = setup();
+        for (st, idxs) in cluster_task_indices(&s.system, &s.tasks).unwrap() {
+            let Some(rel) =
+                build_cluster_relaxation(&s.system, &s.tasks, &costs, st, &idxs).unwrap()
+            else {
+                continue;
+            };
+            let sol = solve(&rel.lp, Solver::Simplex).unwrap();
+            assert_eq!(sol.status, LpStatus::Optimal, "cluster {st}");
+            // Fractions form a distribution per task.
+            let x = rel.fractional_matrix(&sol.x);
+            for row in &x {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "C4 violated: {row:?}");
+                assert!(row.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn lp_optimum_lower_bounds_any_integral_assignment() {
+        let (s, costs) = setup();
+        let clusters = cluster_task_indices(&s.system, &s.tasks).unwrap();
+        let (st, idxs) = &clusters[0];
+        let rel = build_cluster_relaxation(&s.system, &s.tasks, &costs, *st, idxs)
+            .unwrap()
+            .unwrap();
+        let sol = solve(&rel.lp, Solver::Simplex).unwrap();
+        // The all-cloud integral point is feasible for the relaxation
+        // (cloud is uncapacitated and every generated deadline admits at
+        // least its fastest site... cloud may be infeasible for tight
+        // deadlines, so compare with the all-cloud *objective* only:
+        // lower bound property needs feasibility, so instead use the
+        // trivially feasible fractional point? All-cloud respects C2/C3;
+        // its deadline bounds may cap x_ij3 < 1, so only assert against
+        // the relaxation's own optimum: any feasible integral point
+        // costs >= optimum. Construct a greedy feasible integral point
+        // from the LP fractional matrix by rounding to each task's
+        // largest component and check its energy dominates the LP value.
+        let x = rel.fractional_matrix(&sol.x);
+        let mut rounded = 0.0;
+        for (k, row) in x.iter().enumerate() {
+            let best = (0..3).max_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap();
+            rounded += costs
+                .at(rel.task_indices[k], ExecutionSite::ALL[best])
+                .energy
+                .value();
+        }
+        assert!(rounded >= sol.objective - 1e-6);
+        // Lemma 1: rounding loses at most a factor 3 vs the LP optimum.
+        assert!(rounded <= 3.0 * sol.objective + 1e-6, "Lemma 1 violated");
+    }
+
+    #[test]
+    fn shadow_prices_reflect_capacity_pressure() {
+        // Slack stations: zero price. Starved stations: negative price.
+        let mut cfg = ScenarioConfig::paper_defaults(13);
+        cfg.tasks_total = 150;
+        cfg.device_resource_mb = 2.0; // push work to the stations
+        cfg.station_resource_mb = 30.0; // and make the stations scarce
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let prices = station_capacity_prices(&s.system, &s.tasks, &costs).unwrap();
+        assert_eq!(prices.len(), s.system.num_stations());
+        assert!(prices.iter().all(|(_, p)| *p <= 1e-9), "prices nonpositive");
+        assert!(
+            prices.iter().any(|(_, p)| *p < -1e-12),
+            "starved stations must carry a negative shadow price: {prices:?}"
+        );
+
+        // With abundant station capacity the C3 rows go slack.
+        let mut cfg2 = ScenarioConfig::paper_defaults(13);
+        cfg2.tasks_total = 60;
+        cfg2.station_resource_mb = 100_000.0;
+        let s2 = cfg2.generate().unwrap();
+        let costs2 = CostTable::build(&s2.system, &s2.tasks).unwrap();
+        let slack = station_capacity_prices(&s2.system, &s2.tasks, &costs2).unwrap();
+        assert!(slack.iter().all(|(_, p)| p.abs() < 1e-9), "{slack:?}");
+    }
+
+    #[test]
+    fn empty_cluster_yields_none() {
+        let (s, costs) = setup();
+        let rel =
+            build_cluster_relaxation(&s.system, &s.tasks, &costs, StationId(0), &[]).unwrap();
+        assert!(rel.is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Evaluation metrics: the quantities plotted in every figure of the
+//! paper's Section V — total energy, average latency, unsatisfied-task
+//! rate — plus resource-usage accounting used by tests to check that an
+//! assignment respects the C2/C3 capacity constraints.
+
+use crate::assignment::{Assignment, Decision};
+use crate::costs::CostTable;
+use crate::error::AssignError;
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use mec_sim::topology::MecSystem;
+use mec_sim::units::{Bytes, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate quality of one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total system energy over the assigned tasks (the paper's
+    /// objective `Σ E_ijl x_ijl`).
+    pub total_energy: Joules,
+    /// Mean `t_ijl` over the assigned tasks.
+    pub mean_latency: Seconds,
+    /// Fraction of *all* tasks whose delay constraint is not met:
+    /// cancelled tasks plus assigned tasks finishing after their
+    /// deadline (Fig. 3's metric).
+    pub unsatisfied_rate: f64,
+    /// Number of cancelled tasks.
+    pub cancelled: usize,
+    /// Per-site task counts `(device, station, cloud)`.
+    pub site_counts: [usize; 3],
+}
+
+/// Capacity usage of an assignment against the C2/C3 limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityUsage {
+    /// `Σ_j C_ij x_ij1` per device, parallel to `system.devices()`.
+    pub device_usage: Vec<Bytes>,
+    /// `Σ C_ij x_ij2` per station, parallel to `system.stations()`.
+    pub station_usage: Vec<Bytes>,
+}
+
+impl CapacityUsage {
+    /// True iff every device respects `max_i` and every station `max_S`
+    /// (within `slack` bytes of tolerance).
+    pub fn within_limits(&self, system: &MecSystem, slack: Bytes) -> bool {
+        let devices_ok = self
+            .device_usage
+            .iter()
+            .zip(system.devices())
+            .all(|(u, d)| *u <= d.max_resource + slack);
+        let stations_ok = self
+            .station_usage
+            .iter()
+            .zip(system.stations())
+            .all(|(u, s)| *u <= s.max_resource + slack);
+        devices_ok && stations_ok
+    }
+}
+
+/// Computes the Section V metrics of an assignment.
+///
+/// # Errors
+///
+/// Returns [`AssignError::LengthMismatch`] when the slices disagree in
+/// length.
+pub fn evaluate_assignment(
+    tasks: &[HolisticTask],
+    costs: &CostTable,
+    assignment: &Assignment,
+) -> Result<Metrics, AssignError> {
+    if tasks.len() != assignment.len() {
+        return Err(AssignError::LengthMismatch {
+            tasks: tasks.len(),
+            other: assignment.len(),
+        });
+    }
+    if tasks.len() != costs.len() {
+        return Err(AssignError::LengthMismatch {
+            tasks: tasks.len(),
+            other: costs.len(),
+        });
+    }
+
+    let mut total_energy = Joules::ZERO;
+    let mut latency_sum = Seconds::ZERO;
+    let mut assigned = 0usize;
+    let mut unsatisfied = 0usize;
+    for (idx, task) in tasks.iter().enumerate() {
+        match assignment.decision(idx) {
+            Decision::Assigned(site) => {
+                let c = costs.at(idx, site);
+                total_energy += c.energy;
+                latency_sum += c.time;
+                assigned += 1;
+                if c.time > task.deadline {
+                    unsatisfied += 1;
+                }
+            }
+            Decision::Cancelled => unsatisfied += 1,
+        }
+    }
+    let mean_latency = if assigned > 0 {
+        latency_sum / assigned as f64
+    } else {
+        Seconds::ZERO
+    };
+    let unsatisfied_rate = if tasks.is_empty() {
+        0.0
+    } else {
+        unsatisfied as f64 / tasks.len() as f64
+    };
+    Ok(Metrics {
+        total_energy,
+        mean_latency,
+        unsatisfied_rate,
+        cancelled: assignment.cancelled().len(),
+        site_counts: assignment.site_counts(),
+    })
+}
+
+/// Computes per-device and per-station resource usage (the left-hand
+/// sides of constraints C2 and C3).
+///
+/// # Errors
+///
+/// Returns [`AssignError::LengthMismatch`] when the slices disagree in
+/// length.
+pub fn capacity_usage(
+    system: &MecSystem,
+    tasks: &[HolisticTask],
+    assignment: &Assignment,
+) -> Result<CapacityUsage, AssignError> {
+    if tasks.len() != assignment.len() {
+        return Err(AssignError::LengthMismatch {
+            tasks: tasks.len(),
+            other: assignment.len(),
+        });
+    }
+    let mut device_usage = vec![Bytes::ZERO; system.num_devices()];
+    let mut station_usage = vec![Bytes::ZERO; system.num_stations()];
+    for (idx, task) in tasks.iter().enumerate() {
+        match assignment.decision(idx) {
+            Decision::Assigned(ExecutionSite::Device) => {
+                device_usage[task.owner.0] += task.resource;
+            }
+            Decision::Assigned(ExecutionSite::Station) => {
+                let st = system.station_of(task.owner)?;
+                station_usage[st.0] += task.resource;
+            }
+            _ => {}
+        }
+    }
+    Ok(CapacityUsage {
+        device_usage,
+        station_usage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::workload::ScenarioConfig;
+
+    #[test]
+    fn all_cloud_metrics() {
+        let s = ScenarioConfig::paper_defaults(4).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = Assignment::uniform(s.tasks.len(), ExecutionSite::Cloud);
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        assert_eq!(m.site_counts, [0, 0, s.tasks.len()]);
+        assert_eq!(m.cancelled, 0);
+        assert!(m.total_energy > Joules::ZERO);
+        assert!(m.mean_latency > Seconds::new(0.25), "cloud latency floor");
+        // The cloud path misses some deadlines but uses no edge capacity.
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::ZERO));
+        assert!(usage.device_usage.iter().all(|b| *b == Bytes::ZERO));
+    }
+
+    #[test]
+    fn device_assignment_uses_device_capacity() {
+        let s = ScenarioConfig::paper_defaults(4).generate().unwrap();
+        let a = Assignment::uniform(s.tasks.len(), ExecutionSite::Device);
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        let total: f64 = usage.device_usage.iter().map(|b| b.value()).sum();
+        let expected: f64 = s.tasks.iter().map(|t| t.resource.value()).sum();
+        assert!((total - expected).abs() < 1e-6);
+        assert!(usage.station_usage.iter().all(|b| *b == Bytes::ZERO));
+    }
+
+    #[test]
+    fn cancelled_tasks_count_as_unsatisfied() {
+        let s = ScenarioConfig::paper_defaults(4).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let decisions = s
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if i < 10 {
+                    Decision::Cancelled
+                } else {
+                    Decision::Assigned(ExecutionSite::Device)
+                }
+            })
+            .collect();
+        let a = Assignment::new(decisions);
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        assert_eq!(m.cancelled, 10);
+        assert!(m.unsatisfied_rate >= 10.0 / s.tasks.len() as f64);
+    }
+
+    #[test]
+    fn length_mismatch_is_caught() {
+        let s = ScenarioConfig::paper_defaults(4).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = Assignment::uniform(2, ExecutionSite::Device);
+        assert!(evaluate_assignment(&s.tasks, &costs, &a).is_err());
+        assert!(capacity_usage(&s.system, &s.tasks, &a).is_err());
+    }
+}

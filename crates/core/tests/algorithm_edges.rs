@@ -1,0 +1,129 @@
+//! Edge-case tests of the algorithm layer: empty-ish inputs, degenerate
+//! clusters, extreme pressure, and report internals.
+
+use dsmec_core::costs::CostTable;
+use dsmec_core::dta::{divide_balanced, run_dta, DtaConfig};
+use dsmec_core::hta::{AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, RandomAssign};
+use dsmec_core::metrics::{capacity_usage, evaluate_assignment};
+use mec_sim::data::ItemSet;
+use mec_sim::units::{Bytes, Seconds};
+use mec_sim::workload::{DivisibleScenarioConfig, ScenarioConfig};
+
+#[test]
+fn one_task_system_works_for_every_algorithm() {
+    let mut cfg = ScenarioConfig::paper_defaults(601);
+    cfg.num_stations = 1;
+    cfg.devices_per_station = 1;
+    cfg.tasks_total = 1;
+    let s = cfg.generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let algos: Vec<Box<dyn HtaAlgorithm>> = vec![
+        Box::new(LpHta::paper()),
+        Box::new(LpHta::paper().without_fast_path()),
+        Box::new(Hgos::default()),
+        Box::new(AllToC),
+        Box::new(LocalFirst),
+        Box::new(RandomAssign { seed: 1 }),
+    ];
+    for a in &algos {
+        let out = a.assign(&s.system, &s.tasks, &costs).unwrap();
+        assert_eq!(out.len(), 1, "{}", a.name());
+        let m = evaluate_assignment(&s.tasks, &costs, &out).unwrap();
+        assert!(m.total_energy.value() >= 0.0);
+    }
+}
+
+#[test]
+fn zero_capacity_devices_push_everything_off_device() {
+    let mut cfg = ScenarioConfig::paper_defaults(602);
+    cfg.tasks_total = 60;
+    cfg.device_resource_mb = 1e-9; // effectively the paper's max_i = 0 case
+    let s = cfg.generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
+    let [dev, _, _] = a.site_counts();
+    assert_eq!(dev, 0, "Theorem-1's special case: devices do nothing");
+    let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+    assert!(usage.within_limits(&s.system, Bytes::new(1.0)));
+}
+
+#[test]
+fn zero_station_capacity_reduces_to_device_or_cloud() {
+    let mut cfg = ScenarioConfig::paper_defaults(603);
+    cfg.tasks_total = 60;
+    cfg.station_resource_mb = 1e-9;
+    let s = cfg.generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
+    let [_, st, _] = a.site_counts();
+    assert_eq!(st, 0);
+}
+
+#[test]
+fn all_deadlines_infinite_yields_no_cancellations() {
+    let mut s = ScenarioConfig::paper_defaults(604).generate().unwrap();
+    for t in &mut s.tasks {
+        t.deadline = Seconds::new(1e9);
+    }
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let (a, r) = LpHta::paper()
+        .assign_with_report(&s.system, &s.tasks, &costs)
+        .unwrap();
+    assert!(a.cancelled().is_empty());
+    assert!(r.cancelled.is_empty());
+    let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+    assert_eq!(m.unsatisfied_rate, 0.0);
+}
+
+#[test]
+fn dta_single_task_single_item() {
+    let mut cfg = DivisibleScenarioConfig::paper_defaults(605);
+    cfg.tasks_total = 1;
+    cfg.items_per_task = (1, 1);
+    let s = cfg.generate().unwrap();
+    let r = run_dta(&s, DtaConfig::workload()).unwrap();
+    assert_eq!(r.pieces.len(), 1);
+    assert!(r.involved_devices >= 1);
+    let required = s.required_universe();
+    assert_eq!(required.len(), 1);
+    let cov = divide_balanced(&s.universe, &required).unwrap();
+    cov.validate(&s.universe, &required).unwrap();
+    assert_eq!(cov.max_share_len(), 1);
+}
+
+#[test]
+fn dta_empty_required_set_is_trivial() {
+    let s = DivisibleScenarioConfig::paper_defaults(606).generate().unwrap();
+    let empty = ItemSet::new(s.universe.num_items());
+    let cov = divide_balanced(&s.universe, &empty).unwrap();
+    assert_eq!(cov.involved_devices(), 0);
+    assert_eq!(cov.max_share_len(), 0);
+    cov.validate(&s.universe, &empty).unwrap();
+}
+
+#[test]
+fn report_certificate_fields_have_documented_relationships() {
+    let s = ScenarioConfig::paper_defaults(607).generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let (_, r) = LpHta::paper()
+        .without_fast_path()
+        .assign_with_report(&s.system, &s.tasks, &costs)
+        .unwrap();
+    assert!((r.theorem2_bound - (3.0 + r.delta / r.lp_objective)).abs() < 1e-9);
+    assert_eq!(r.ratio_bound, r.theorem2_bound.min(r.corollary1_bound));
+    assert!(r.corollary1_bound >= 1.0);
+    assert!(r.lp_iterations > 0, "the LP actually ran");
+}
+
+#[test]
+fn hgos_extreme_weights_are_clamped() {
+    let s = ScenarioConfig::paper_defaults(608).generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    for w in [-5.0, 0.0, 1.0, 42.0] {
+        let a = Hgos { latency_weight: w }
+            .assign(&s.system, &s.tasks, &costs)
+            .unwrap();
+        assert_eq!(a.len(), s.tasks.len());
+        assert!(a.cancelled().is_empty());
+    }
+}

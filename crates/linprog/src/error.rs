@@ -1,0 +1,83 @@
+//! Error types for the `linprog` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A vector had the wrong length for this problem.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+    /// A variable index exceeded the number of variables.
+    VariableOutOfRange {
+        /// Offending index.
+        var: usize,
+        /// Number of variables in the problem.
+        num_vars: usize,
+    },
+    /// A constraint mentioned the same column twice.
+    DuplicateTerm {
+        /// Offending column.
+        col: usize,
+    },
+    /// A coefficient, bound or right-hand side was NaN or infinite where a
+    /// finite number is required.
+    InvalidNumber(f64),
+    /// Variable bounds with `lower > upper`.
+    InfeasibleBounds {
+        /// Offending variable.
+        var: usize,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// The solver encountered a numerically singular system it could not
+    /// recover from.
+    NumericalFailure(&'static str),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LpError::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable index {var} out of range for {num_vars} variables")
+            }
+            LpError::DuplicateTerm { col } => {
+                write!(f, "constraint mentions column {col} more than once")
+            }
+            LpError::InvalidNumber(v) => write!(f, "non-finite number {v} in problem data"),
+            LpError::InfeasibleBounds { var, lower, upper } => {
+                write!(f, "variable {var} has lower bound {lower} above upper bound {upper}")
+            }
+            LpError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LpError::DimensionMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = LpError::InfeasibleBounds {
+            var: 1,
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(e.to_string().contains("variable 1"));
+    }
+}

@@ -1,0 +1,127 @@
+//! # linprog — a dense linear-programming substrate
+//!
+//! Self-contained LP solvers backing the LP-HTA task-assignment algorithm
+//! of the Data-Shared MEC reproduction. Two interchangeable backends solve
+//! the same [`LpProblem`]:
+//!
+//! * [`simplex::solve_simplex`] — two-phase revised simplex with bounded
+//!   variables (exact vertex solutions; used as the reference oracle);
+//! * [`interior::solve_interior_point`] — Mehrotra predictor–corrector
+//!   primal–dual interior-point method (the paper's Step 1 cites
+//!   Karmarkar's interior-point algorithm).
+//!
+//! Problems are stated as minimization with row constraints of any sense
+//! and per-variable bounds:
+//!
+//! ```
+//! use linprog::{LpProblem, ConstraintSense, Solver, solve};
+//!
+//! // minimize -x - 2y  subject to  x + y <= 4,  0 <= x,y <= 3
+//! let mut lp = LpProblem::new(2);
+//! lp.set_objective(vec![-1.0, -2.0])?;
+//! lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 4.0)?;
+//! lp.set_bounds(0, 0.0, 3.0)?;
+//! lp.set_bounds(1, 0.0, 3.0)?;
+//!
+//! let sol = solve(&lp, Solver::InteriorPoint)?;
+//! assert!(sol.is_optimal());
+//! assert!((sol.objective - (-7.0)).abs() < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// Numerical kernels index several parallel arrays by row/column; the
+// "use an iterator" suggestion obscures them. `!(x > 0)`-style guards are
+// deliberate NaN catches.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod interior;
+pub mod matrix;
+pub mod mps;
+pub mod presolve;
+pub mod problem;
+pub mod simplex;
+pub mod standard;
+
+pub use error::LpError;
+pub use problem::{Bounds, Constraint, ConstraintSense, LpProblem, LpSolution, LpStatus};
+
+/// Which backend to use for a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Solver {
+    /// Mehrotra predictor–corrector interior-point method (default; what
+    /// the paper's Step 1 prescribes).
+    #[default]
+    InteriorPoint,
+    /// Two-phase revised simplex with bounded variables.
+    Simplex,
+}
+
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Solver::InteriorPoint => f.write_str("interior-point"),
+            Solver::Simplex => f.write_str("simplex"),
+        }
+    }
+}
+
+/// Solves `lp` with the chosen backend. The interior-point backend falls
+/// back to the simplex automatically when it stalls before reaching its
+/// tolerance, so callers always receive a definite status.
+///
+/// # Errors
+///
+/// Returns [`LpError::NumericalFailure`] only when *both* applicable
+/// backends fail numerically.
+pub fn solve(lp: &LpProblem, solver: Solver) -> Result<LpSolution, LpError> {
+    match solver {
+        Solver::Simplex => simplex::solve_simplex(lp),
+        Solver::InteriorPoint => {
+            let attempt = interior::solve_interior_point(lp);
+            match attempt {
+                Ok(sol) if sol.status == LpStatus::Optimal => Ok(sol),
+                // IPMs are poor at certifying infeasibility; let the
+                // simplex deliver the verdict on any non-optimal outcome.
+                Ok(_) | Err(_) => simplex::solve_simplex(lp),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_display() {
+        assert_eq!(Solver::InteriorPoint.to_string(), "interior-point");
+        assert_eq!(Solver::Simplex.to_string(), "simplex");
+        assert_eq!(Solver::default(), Solver::InteriorPoint);
+    }
+
+    #[test]
+    fn dispatch_reaches_both_backends() {
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(vec![1.0]).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0).unwrap();
+        for solver in [Solver::Simplex, Solver::InteriorPoint] {
+            let sol = solve(&lp, solver).unwrap();
+            assert!(sol.is_optimal(), "{solver} failed");
+            assert!((sol.objective - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_is_certified_via_fallback() {
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(vec![1.0]).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0).unwrap();
+        let sol = solve(&lp, Solver::InteriorPoint).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests: on randomly generated feasible bounded LPs the two
+//! backends must agree, produce feasible points, and respect basic
+//! invariances of linear programming.
+
+use linprog::{solve, ConstraintSense, LpProblem, LpStatus, Solver};
+use proptest::prelude::*;
+
+/// A random LP that is feasible (the origin satisfies every row) and
+/// bounded (every variable lives in `[0, 1]`).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+impl RandomLp {
+    fn build(&self) -> LpProblem {
+        let n = self.objective.len();
+        let mut lp = LpProblem::new(n);
+        lp.set_objective(self.objective.clone()).unwrap();
+        for (coeffs, rhs) in &self.rows {
+            let terms: Vec<(usize, f64)> =
+                coeffs.iter().enumerate().map(|(j, &a)| (j, a)).collect();
+            lp.add_constraint(terms, ConstraintSense::Le, *rhs).unwrap();
+        }
+        for v in 0..n {
+            lp.set_bounds(v, 0.0, 1.0).unwrap();
+        }
+        lp
+    }
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..8, 1usize..5).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(-2.0..2.0f64, n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-2.0..2.0f64, n), 0.5..6.0f64),
+            m,
+        );
+        (obj, rows).prop_map(|(objective, rows)| RandomLp { objective, rows })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backends_agree_and_are_feasible(rlp in random_lp()) {
+        let lp = rlp.build();
+        let spx = solve(&lp, Solver::Simplex).unwrap();
+        let ipm = solve(&lp, Solver::InteriorPoint).unwrap();
+        prop_assert_eq!(spx.status, LpStatus::Optimal);
+        prop_assert_eq!(ipm.status, LpStatus::Optimal);
+        let scale = 1.0 + spx.objective.abs();
+        prop_assert!(
+            (spx.objective - ipm.objective).abs() < 1e-5 * scale,
+            "simplex {} vs ipm {}", spx.objective, ipm.objective
+        );
+        prop_assert!(lp.max_violation(&spx.x) < 1e-6);
+        prop_assert!(lp.max_violation(&ipm.x) < 1e-6);
+    }
+
+    #[test]
+    fn objective_scaling_scales_optimum(rlp in random_lp(), k in 0.1..10.0f64) {
+        let lp = rlp.build();
+        let base = solve(&lp, Solver::Simplex).unwrap();
+
+        let mut scaled = rlp.clone();
+        for c in &mut scaled.objective {
+            *c *= k;
+        }
+        let scaled_sol = solve(&scaled.build(), Solver::Simplex).unwrap();
+        let tol = 1e-6 * (1.0 + base.objective.abs()) * k.max(1.0);
+        prop_assert!(
+            (scaled_sol.objective - k * base.objective).abs() < tol,
+            "scaling by {k}: {} vs {}", scaled_sol.objective, k * base.objective
+        );
+    }
+
+    #[test]
+    fn redundant_constraint_changes_nothing(rlp in random_lp()) {
+        let lp = rlp.build();
+        let base = solve(&lp, Solver::Simplex).unwrap();
+
+        // x_j <= 1 already holds through the bounds; summing gives a row
+        // that can never bind more tightly than the box.
+        let mut lp2 = rlp.build();
+        let n = rlp.objective.len();
+        lp2.add_constraint(
+            (0..n).map(|j| (j, 1.0)).collect(),
+            ConstraintSense::Le,
+            n as f64 + 1.0,
+        ).unwrap();
+        let with_redundant = solve(&lp2, Solver::Simplex).unwrap();
+        prop_assert!(
+            (base.objective - with_redundant.objective).abs()
+                < 1e-7 * (1.0 + base.objective.abs())
+        );
+    }
+
+    #[test]
+    fn optimum_never_exceeds_any_feasible_point(rlp in random_lp()) {
+        let lp = rlp.build();
+        let sol = solve(&lp, Solver::Simplex).unwrap();
+        // The origin is always feasible here, so optimum <= c·0 = 0.
+        prop_assert!(sol.objective <= 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dual values really are rhs sensitivities: perturbing a binding
+    /// row's rhs by ε moves the optimum by ≈ yᵢ·ε.
+    #[test]
+    fn duals_are_rhs_sensitivities(rlp in random_lp_for_duals()) {
+        let lp = rlp.build();
+        let base = solve(&lp, Solver::Simplex).unwrap();
+        prop_assert_eq!(base.status, LpStatus::Optimal);
+        let duals = base.duals.clone().expect("simplex must report duals");
+        let eps = 1e-4;
+        for (i, (coeffs, rhs)) in rlp.rows.iter().enumerate() {
+            let mut perturbed = rlp.clone();
+            perturbed.rows[i] = (coeffs.clone(), rhs + eps);
+            let sol = solve(&perturbed.build(), Solver::Simplex).unwrap();
+            if sol.status != LpStatus::Optimal {
+                continue;
+            }
+            let predicted = base.objective + duals[i] * eps;
+            // Degenerate bases can break the first-order prediction, so
+            // allow a loose band; the sign and magnitude must agree for
+            // well-behaved rows.
+            prop_assert!(
+                (sol.objective - predicted).abs() < 1e-2 * (1.0 + base.objective.abs()),
+                "row {i}: predicted {predicted}, got {}", sol.objective
+            );
+            // A <= row in a minimization can only have a nonpositive
+            // shadow price: relaxing it cannot hurt.
+            prop_assert!(duals[i] <= 1e-7, "dual {} positive", duals[i]);
+        }
+    }
+}
+
+/// Like `random_lp`, but with strictly positive objective so the LP is
+/// bounded without box constraints and duals are informative.
+fn random_lp_for_duals() -> impl Strategy<Value = RandomLp> {
+    (2usize..6, 1usize..4).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(0.1..2.0f64, n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(0.1..2.0f64, n), 0.5..4.0f64),
+            m,
+        );
+        (obj, rows).prop_map(|(objective, rows)| {
+            // Negate the (positive) costs so the `≤` rows actually bind at
+            // the optimum and carry nonzero shadow prices.
+            RandomLp {
+                objective: objective.into_iter().map(|c| -c).collect(),
+                rows,
+            }
+        })
+    })
+}

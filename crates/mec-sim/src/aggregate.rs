@@ -1,0 +1,230 @@
+//! Distributed aggregation operators for *divisible* tasks.
+//!
+//! Section IV calls a task divisible "if and only if it can be implemented
+//! distributedly, i.e. the final result can be obtained by aggregating the
+//! partial results" — statistics such as `Sum` or `Count` are the paper's
+//! examples. [`AggregateOp`] enumerates such operators and [`Partial`]
+//! carries the mergeable intermediate state, so partial results (not raw
+//! data) are what travels through the MEC system.
+
+use serde::{Deserialize, Serialize};
+
+/// A decomposable aggregation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateOp {
+    /// Sum of all values.
+    Sum,
+    /// Number of values.
+    Count,
+    /// Arithmetic mean (carried as sum + count).
+    Mean,
+    /// Maximum value.
+    Max,
+    /// Minimum value.
+    Min,
+}
+
+impl AggregateOp {
+    /// All operators, for generators and exhaustive tests.
+    pub const ALL: [AggregateOp; 5] = [
+        AggregateOp::Sum,
+        AggregateOp::Count,
+        AggregateOp::Mean,
+        AggregateOp::Max,
+        AggregateOp::Min,
+    ];
+
+    /// The identity partial for this operator.
+    pub fn identity(self) -> Partial {
+        match self {
+            AggregateOp::Sum => Partial::Sum(0.0),
+            AggregateOp::Count => Partial::Count(0),
+            AggregateOp::Mean => Partial::Mean { sum: 0.0, count: 0 },
+            AggregateOp::Max => Partial::Max(None),
+            AggregateOp::Min => Partial::Min(None),
+        }
+    }
+
+    /// Aggregates a value slice in one shot (the centralized reference
+    /// the distributed path must agree with).
+    pub fn apply(self, values: &[f64]) -> Option<f64> {
+        let mut p = self.identity();
+        for &v in values {
+            p.absorb(v);
+        }
+        p.finish()
+    }
+}
+
+impl std::fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggregateOp::Sum => "sum",
+            AggregateOp::Count => "count",
+            AggregateOp::Mean => "mean",
+            AggregateOp::Max => "max",
+            AggregateOp::Min => "min",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Mergeable intermediate state of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partial {
+    /// Running sum.
+    Sum(f64),
+    /// Running count.
+    Count(u64),
+    /// Running sum and count for the mean.
+    Mean {
+        /// Sum of absorbed values.
+        sum: f64,
+        /// Number of absorbed values.
+        count: u64,
+    },
+    /// Running maximum (`None` until a value arrives).
+    Max(Option<f64>),
+    /// Running minimum (`None` until a value arrives).
+    Min(Option<f64>),
+}
+
+impl Partial {
+    /// Folds one raw value into the partial.
+    pub fn absorb(&mut self, v: f64) {
+        match self {
+            Partial::Sum(s) => *s += v,
+            Partial::Count(c) => *c += 1,
+            Partial::Mean { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
+            Partial::Max(m) => *m = Some(m.map_or(v, |x| x.max(v))),
+            Partial::Min(m) => *m = Some(m.map_or(v, |x| x.min(v))),
+        }
+    }
+
+    /// Merges another partial of the *same* operator into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operators differ: merging a `Sum` partial into a
+    /// `Max` partial is a logic error.
+    pub fn merge(&mut self, other: &Partial) {
+        match (self, other) {
+            (Partial::Sum(a), Partial::Sum(b)) => *a += b,
+            (Partial::Count(a), Partial::Count(b)) => *a += b,
+            (
+                Partial::Mean { sum, count },
+                Partial::Mean {
+                    sum: s2,
+                    count: c2,
+                },
+            ) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (Partial::Max(a), Partial::Max(b)) => {
+                *a = match (*a, *b) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            (Partial::Min(a), Partial::Min(b)) => {
+                *a = match (*a, *b) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            (a, b) => panic!("cannot merge partials of different operators: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Final answer; `None` when no value was ever absorbed and the
+    /// operator has no empty-input answer (mean/max/min).
+    pub fn finish(&self) -> Option<f64> {
+        match *self {
+            Partial::Sum(s) => Some(s),
+            Partial::Count(c) => Some(c as f64),
+            Partial::Mean { sum, count } => {
+                if count == 0 {
+                    None
+                } else {
+                    Some(sum / count as f64)
+                }
+            }
+            Partial::Max(m) => m,
+            Partial::Min(m) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_matches_manual() {
+        let v = [3.0, -1.0, 4.0, 1.5];
+        assert_eq!(AggregateOp::Sum.apply(&v), Some(7.5));
+        assert_eq!(AggregateOp::Count.apply(&v), Some(4.0));
+        assert_eq!(AggregateOp::Mean.apply(&v), Some(7.5 / 4.0));
+        assert_eq!(AggregateOp::Max.apply(&v), Some(4.0));
+        assert_eq!(AggregateOp::Min.apply(&v), Some(-1.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(AggregateOp::Sum.apply(&[]), Some(0.0));
+        assert_eq!(AggregateOp::Count.apply(&[]), Some(0.0));
+        assert_eq!(AggregateOp::Mean.apply(&[]), None);
+        assert_eq!(AggregateOp::Max.apply(&[]), None);
+    }
+
+    #[test]
+    fn distributed_equals_centralized_for_every_op() {
+        let values = [5.0, 2.0, 9.0, -3.0, 7.0, 7.0];
+        for op in AggregateOp::ALL {
+            // Split into three unequal shards, aggregate shard-wise, merge.
+            let shards = [&values[..2], &values[2..3], &values[3..]];
+            let mut merged = op.identity();
+            for shard in shards {
+                let mut p = op.identity();
+                for &v in shard {
+                    p.absorb(v);
+                }
+                merged.merge(&p);
+            }
+            assert_eq!(merged.finish(), op.apply(&values), "op {op}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for op in AggregateOp::ALL {
+            let mut a = op.identity();
+            a.absorb(1.0);
+            a.absorb(5.0);
+            let mut b = op.identity();
+            b.absorb(-2.0);
+
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab.finish(), ba.finish(), "op {op}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different operators")]
+    fn merging_mismatched_ops_panics() {
+        let mut a = AggregateOp::Sum.identity();
+        a.merge(&AggregateOp::Max.identity());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggregateOp::Mean.to_string(), "mean");
+    }
+}

@@ -1,0 +1,127 @@
+//! Backhaul model: the wired links between base stations (`t_{B,B}`,
+//! `e_{B,B}`) and between a base station and the remote cloud (`t_{B,C}`,
+//! `e_{B,C}`).
+//!
+//! The paper fixes the propagation delays (15 ms between base stations
+//! after \[15\], 250 ms to the cloud after the Amazon measurement \[16\]) and
+//! asserts the orderings `t_{B,C} ≫ t_{B,B}` and `e_{B,C} > e_{B,B}`; the
+//! per-byte terms below make both transfers size-sensitive while
+//! preserving those orderings.
+
+use crate::units::{Bytes, BytesPerSecond, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One wired link: fixed latency plus size-proportional serialization time
+/// and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackhaulLink {
+    /// Fixed one-way latency.
+    pub latency: Seconds,
+    /// Serialization bandwidth.
+    pub bandwidth: BytesPerSecond,
+    /// Energy drawn per transferred byte (J/B), covering switches and
+    /// amplifiers along the path.
+    pub energy_per_byte: f64,
+}
+
+impl BackhaulLink {
+    /// Builds a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latency is negative, bandwidth is not positive or the
+    /// energy coefficient is negative.
+    pub fn new(latency: Seconds, bandwidth: BytesPerSecond, energy_per_byte: f64) -> Self {
+        assert!(latency.value() >= 0.0, "latency must be nonnegative");
+        assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+        assert!(energy_per_byte >= 0.0, "energy per byte must be nonnegative");
+        BackhaulLink {
+            latency,
+            bandwidth,
+            energy_per_byte,
+        }
+    }
+
+    /// Time to move `size` bytes across the link: `latency + size/bw`.
+    pub fn transfer_time(&self, size: Bytes) -> Seconds {
+        self.latency + size / self.bandwidth
+    }
+
+    /// Energy to move `size` bytes across the link.
+    pub fn transfer_energy(&self, size: Bytes) -> Joules {
+        Joules::new(self.energy_per_byte * size.value())
+    }
+}
+
+/// The backhaul of a whole MEC deployment: one station-to-station link
+/// model and one station-to-cloud link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backhaul {
+    /// Link between any two base stations (`t_{B,B}`, `e_{B,B}`).
+    pub station_to_station: BackhaulLink,
+    /// Link from any base station to the cloud (`t_{B,C}`, `e_{B,C}`).
+    pub station_to_cloud: BackhaulLink,
+}
+
+impl Backhaul {
+    /// The paper's Section V.A parameters: 15 ms between base stations
+    /// \[15\] and 250 ms to the cloud (Amazon T2.nano ping, \[16\]), with
+    /// per-byte terms chosen to preserve `e_{B,C} > e_{B,B}`.
+    pub fn paper_defaults() -> Backhaul {
+        Backhaul {
+            station_to_station: BackhaulLink::new(
+                Seconds::from_ms(15.0),
+                BytesPerSecond::from_mbps(1000.0),
+                5e-8,
+            ),
+            station_to_cloud: BackhaulLink::new(
+                Seconds::from_ms(250.0),
+                BytesPerSecond::from_mbps(150.0),
+                5e-7,
+            ),
+        }
+    }
+}
+
+impl Default for Backhaul {
+    fn default() -> Self {
+        Backhaul::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_is_slower_and_hungrier_than_peer_stations() {
+        let b = Backhaul::paper_defaults();
+        let x = Bytes::from_mb(3.0);
+        assert!(b.station_to_cloud.transfer_time(x) > b.station_to_station.transfer_time(x));
+        assert!(b.station_to_cloud.transfer_energy(x) > b.station_to_station.transfer_energy(x));
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let b = Backhaul::paper_defaults();
+        assert_eq!(
+            b.station_to_station.transfer_time(Bytes::ZERO),
+            Seconds::from_ms(15.0)
+        );
+        assert_eq!(b.station_to_station.transfer_energy(Bytes::ZERO), Joules::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_is_affine_in_size() {
+        let l = BackhaulLink::new(Seconds::from_ms(10.0), BytesPerSecond::new(1000.0), 1e-9);
+        let t1 = l.transfer_time(Bytes::new(1000.0));
+        let t2 = l.transfer_time(Bytes::new(2000.0));
+        assert!((t2.value() - t1.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_zero_bandwidth() {
+        BackhaulLink::new(Seconds::ZERO, BytesPerSecond::new(0.0), 0.0);
+    }
+}

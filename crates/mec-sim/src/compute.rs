@@ -1,0 +1,125 @@
+//! Computation model: CPU-cycle demand `λ(y)` and device compute energy
+//! `κ·λ(y)·f²` (paper Eq. (2)–(3), after Burd & Brodersen \[14\] and the
+//! linear-cost calibration of Munoz et al. \[22\]).
+//!
+//! The paper lets each task carry its own cycle function `λ_ijl(y)`; the
+//! evaluation then instantiates all of them as the *linear* model
+//! `λ(y) = λ·y` with `λ = 330 cycles/byte`. [`CycleModel`] captures the
+//! linear family with an optional per-task complexity multiplier so
+//! heterogeneous operators remain expressible.
+
+use crate::units::{Bytes, Cycles, Hertz, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The paper's Section V.A constant: cycles needed per input byte.
+pub const LAMBDA_CYCLES_PER_BYTE: f64 = 330.0;
+
+/// The paper's Section V.A constant: the hardware energy coefficient `κ`
+/// in `E = κ·cycles·f²` (J·s²/cycle³ formally; the paper quotes 10⁻²⁷).
+pub const KAPPA: f64 = 1e-27;
+
+/// Cycle-demand model `λ(y) = base_rate · complexity · y`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Cycles per byte for a unit-complexity operator.
+    pub cycles_per_byte: f64,
+}
+
+impl CycleModel {
+    /// The paper's calibration (`λ = 330 cycles/byte`).
+    pub fn paper_default() -> CycleModel {
+        CycleModel {
+            cycles_per_byte: LAMBDA_CYCLES_PER_BYTE,
+        }
+    }
+
+    /// A custom linear model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_byte` is not positive and finite.
+    pub fn new(cycles_per_byte: f64) -> CycleModel {
+        assert!(
+            cycles_per_byte.is_finite() && cycles_per_byte > 0.0,
+            "cycles per byte must be positive"
+        );
+        CycleModel { cycles_per_byte }
+    }
+
+    /// CPU cycles to process `input` bytes with an operator of the given
+    /// `complexity` multiplier (`λ_ij(y)` in the paper).
+    pub fn cycles(&self, input: Bytes, complexity: f64) -> Cycles {
+        Cycles::new(self.cycles_per_byte * complexity * input.value())
+    }
+
+    /// Compute time on a CPU running at `f`: `λ(y)/f`.
+    pub fn time(&self, input: Bytes, complexity: f64, f: Hertz) -> Seconds {
+        self.cycles(input, complexity) / f
+    }
+
+    /// Device compute energy `κ·λ(y)·f²` (paper Eq. (2)). Only mobile
+    /// devices pay this; base-station and cloud compute energy is ignored
+    /// per Section II.A.
+    pub fn device_energy(&self, input: Bytes, complexity: f64, f: Hertz) -> Joules {
+        Joules::new(KAPPA * self.cycles(input, complexity).value() * f.value() * f.value())
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = CycleModel::paper_default();
+        assert_eq!(m.cycles_per_byte, 330.0);
+        assert_eq!(m.cycles(Bytes::new(10.0), 1.0), Cycles::new(3300.0));
+    }
+
+    #[test]
+    fn faster_cpu_is_quicker_but_hungrier() {
+        let m = CycleModel::paper_default();
+        let x = Bytes::from_kb(3000.0);
+        let slow = Hertz::from_ghz(1.0);
+        let fast = Hertz::from_ghz(2.0);
+        assert!(m.time(x, 1.0, fast) < m.time(x, 1.0, slow));
+        // Energy grows with f²: doubling f quadruples energy.
+        let e1 = m.device_energy(x, 1.0, slow);
+        let e2 = m.device_energy(x, 1.0, fast);
+        assert!((e2.value() / e1.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complexity_scales_linearly() {
+        let m = CycleModel::paper_default();
+        let x = Bytes::new(1000.0);
+        let c1 = m.cycles(x, 1.0);
+        let c2 = m.cycles(x, 2.5);
+        assert!((c2.value() / c1.value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitudes_match_paper_settings() {
+        // 3000 kB at 330 cycles/B on a 1.5 GHz device: t = 0.66 s,
+        // E = 1e-27 * 9.9e8 * (1.5e9)^2 ≈ 2.23 J.
+        let m = CycleModel::paper_default();
+        let x = Bytes::from_kb(3000.0);
+        let f = Hertz::from_ghz(1.5);
+        let t = m.time(x, 1.0, f);
+        assert!((t.value() - 0.66).abs() < 1e-9);
+        let e = m.device_energy(x, 1.0, f);
+        assert!((e.value() - 2.2275).abs() < 1e-3, "energy {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_rate() {
+        CycleModel::new(0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Mobility: multi-epoch topology drift.
+//!
+//! The paper assumes a *quasi-static* scenario (Section II, after \[9\]):
+//! every device stays with one base station for the whole assignment
+//! period. This module generates what happens when that assumption bends
+//! — a sequence of epochs in which each device re-associates to a random
+//! other station with some probability per epoch, everything else held
+//! fixed. The `ext_mobility` experiment uses it to measure how stale a
+//! one-shot assignment becomes as devices move (the assumption's price),
+//! and how re-running the assignment per epoch recovers it.
+
+use crate::error::MecError;
+use crate::task::HolisticTask;
+use crate::topology::{Cloud, MecSystem, StationId};
+use crate::workload::{Scenario, ScenarioConfig};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a dynamic (multi-epoch) scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Epoch-0 topology and task workload.
+    pub base: ScenarioConfig,
+    /// Number of epochs (including epoch 0).
+    pub epochs: usize,
+    /// Per-device, per-epoch probability of re-associating to a uniformly
+    /// random *other* station.
+    pub move_prob: f64,
+}
+
+impl MobilityConfig {
+    /// A default drifting scenario on the paper topology.
+    pub fn paper_defaults(seed: u64) -> MobilityConfig {
+        MobilityConfig {
+            base: ScenarioConfig::paper_defaults(seed),
+            epochs: 5,
+            move_prob: 0.2,
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidParameter`] for an empty epoch list or
+    /// an out-of-range probability.
+    pub fn validate(&self) -> Result<(), MecError> {
+        self.base.validate()?;
+        if self.epochs == 0 {
+            return Err(MecError::InvalidParameter {
+                name: "epochs",
+                reason: "at least one epoch required".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.move_prob) {
+            return Err(MecError::InvalidParameter {
+                name: "move_prob",
+                reason: format!("{} is not a probability", self.move_prob),
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates the epoch sequence. Tasks are generated once against the
+    /// epoch-0 system (so mobility effects are isolated from workload
+    /// noise); each later epoch perturbs only device↔station association.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation errors.
+    pub fn generate(&self) -> Result<DynamicScenario, MecError> {
+        self.validate()?;
+        let Scenario { system, tasks } = self.base.generate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.base.seed ^ 0x6d6f6269_6c697479);
+        let k = system.num_stations();
+        let mut epochs = vec![system.clone()];
+        let mut current = system;
+        for _ in 1..self.epochs {
+            current = perturb_associations(&current, self.move_prob, k, &mut rng)?;
+            epochs.push(current.clone());
+        }
+        Ok(DynamicScenario { epochs, tasks })
+    }
+}
+
+/// A topology drifting over epochs with a fixed task workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScenario {
+    /// The system at each epoch; index 0 is the generation-time topology.
+    pub epochs: Vec<MecSystem>,
+    /// The (fixed) tasks, priced against epoch 0.
+    pub tasks: Vec<HolisticTask>,
+}
+
+impl DynamicScenario {
+    /// Fraction of devices whose station differs between two epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidParameter`] for out-of-range epochs.
+    pub fn churn(&self, from: usize, to: usize) -> Result<f64, MecError> {
+        let a = self.epochs.get(from).ok_or(MecError::InvalidParameter {
+            name: "from",
+            reason: format!("epoch {from} out of range"),
+        })?;
+        let b = self.epochs.get(to).ok_or(MecError::InvalidParameter {
+            name: "to",
+            reason: format!("epoch {to} out of range"),
+        })?;
+        let moved = a
+            .devices()
+            .iter()
+            .zip(b.devices())
+            .filter(|(x, y)| x.station != y.station)
+            .count();
+        Ok(moved as f64 / a.num_devices().max(1) as f64)
+    }
+}
+
+/// Rebuilds `system` with each device re-associated with probability
+/// `move_prob` (uniform among the other stations).
+fn perturb_associations(
+    system: &MecSystem,
+    move_prob: f64,
+    k: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<MecSystem, MecError> {
+    let mut b = MecSystem::builder(Cloud {
+        cpu: system.cloud().cpu,
+    });
+    b.backhaul(system.backhaul)
+        .cycle_model(system.cycle_model)
+        .result_model(system.result_model);
+    for st in system.stations() {
+        b.add_station(st.cpu, st.max_resource);
+    }
+    for d in system.devices() {
+        let station = if k > 1 && rng.gen_bool(move_prob) {
+            let mut s = rng.gen_range(0..k - 1);
+            if s >= d.station.0 {
+                s += 1;
+            }
+            StationId(s)
+        } else {
+            d.station
+        };
+        b.add_device(station, d.cpu, d.link, d.max_resource)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_zero_matches_base_scenario() {
+        let cfg = MobilityConfig::paper_defaults(17);
+        let dynamic = cfg.generate().unwrap();
+        let Scenario { system, tasks } = cfg.base.generate().unwrap();
+        assert_eq!(dynamic.epochs[0], system);
+        assert_eq!(dynamic.tasks, tasks);
+        assert_eq!(dynamic.epochs.len(), cfg.epochs);
+    }
+
+    #[test]
+    fn zero_mobility_freezes_topology() {
+        let mut cfg = MobilityConfig::paper_defaults(18);
+        cfg.move_prob = 0.0;
+        let dynamic = cfg.generate().unwrap();
+        for e in 1..dynamic.epochs.len() {
+            assert_eq!(dynamic.epochs[e], dynamic.epochs[0]);
+            assert_eq!(dynamic.churn(0, e).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn churn_tracks_move_probability() {
+        let mut cfg = MobilityConfig::paper_defaults(19);
+        cfg.move_prob = 0.5;
+        cfg.epochs = 2;
+        let dynamic = cfg.generate().unwrap();
+        let churn = dynamic.churn(0, 1).unwrap();
+        // 50 devices at p = 0.5: churn should be near 0.5 and never 0.
+        assert!(churn > 0.2 && churn < 0.8, "churn {churn}");
+    }
+
+    #[test]
+    fn devices_keep_their_hardware_when_moving() {
+        let mut cfg = MobilityConfig::paper_defaults(20);
+        cfg.move_prob = 1.0;
+        cfg.epochs = 3;
+        let dynamic = cfg.generate().unwrap();
+        for e in 1..3 {
+            for (a, b) in dynamic.epochs[0]
+                .devices()
+                .iter()
+                .zip(dynamic.epochs[e].devices())
+            {
+                assert_eq!(a.cpu, b.cpu);
+                assert_eq!(a.link, b.link);
+                assert_eq!(a.max_resource, b.max_resource);
+                assert_eq!(a.id, b.id);
+            }
+            // Every device moved (k > 1, p = 1).
+            assert_eq!(dynamic.churn(e - 1, e).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MobilityConfig::paper_defaults(21).generate().unwrap();
+        let b = MobilityConfig::paper_defaults(21).generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut cfg = MobilityConfig::paper_defaults(22);
+        cfg.epochs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = MobilityConfig::paper_defaults(22);
+        cfg.move_prob = 1.5;
+        assert!(cfg.validate().is_err());
+        let cfg = MobilityConfig::paper_defaults(22);
+        assert!(cfg.generate().unwrap().churn(0, 99).is_err());
+    }
+}

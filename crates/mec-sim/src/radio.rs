@@ -1,0 +1,184 @@
+//! Radio-access-network model.
+//!
+//! Each mobile device reaches its base station over either 4G or Wi-Fi.
+//! The paper parameterizes the experiments with the measured rates and
+//! powers of Table I (reproduced in [`NetworkProfile`]); for custom
+//! scenarios the Shannon-capacity helper [`shannon_rate`] computes a rate
+//! from bandwidth, channel gain, transmit power and noise exactly as the
+//! formulas in Section II.B prescribe.
+
+use crate::units::{BytesPerSecond, Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The two wireless technologies of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkProfile {
+    /// Cellular: 13.76 Mbps down / 5.85 Mbps up, 7.32 W transmit,
+    /// 1.6 W receive.
+    FourG,
+    /// Wi-Fi: 54.97 Mbps down / 12.88 Mbps up, 15.7 W transmit,
+    /// 2.7 W receive.
+    WiFi,
+}
+
+impl NetworkProfile {
+    /// All profiles, for iteration in workload generators and the Table I
+    /// reproduction.
+    pub const ALL: [NetworkProfile; 2] = [NetworkProfile::FourG, NetworkProfile::WiFi];
+
+    /// Human-readable name used in reports ("4G" / "Wi-Fi").
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkProfile::FourG => "4G",
+            NetworkProfile::WiFi => "Wi-Fi",
+        }
+    }
+
+    /// Link parameters from Table I.
+    pub fn link(self) -> RadioLink {
+        match self {
+            NetworkProfile::FourG => RadioLink {
+                download: BytesPerSecond::from_mbps(13.76),
+                upload: BytesPerSecond::from_mbps(5.85),
+                tx_power: Watts::new(7.32),
+                rx_power: Watts::new(1.6),
+            },
+            NetworkProfile::WiFi => RadioLink {
+                download: BytesPerSecond::from_mbps(54.97),
+                upload: BytesPerSecond::from_mbps(12.88),
+                tx_power: Watts::new(15.7),
+                rx_power: Watts::new(2.7),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Concrete uplink/downlink parameters of one device's radio link
+/// (`r_i^(U)`, `r_i^(D)`, `P_i^(T)`, `P_i^(R)` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioLink {
+    /// Downlink rate `r_i^(D)`.
+    pub download: BytesPerSecond,
+    /// Uplink rate `r_i^(U)`.
+    pub upload: BytesPerSecond,
+    /// Transmit power `P_i^(T)` drawn while uploading.
+    pub tx_power: Watts,
+    /// Receive power `P_i^(R)` drawn while downloading.
+    pub rx_power: Watts,
+}
+
+impl RadioLink {
+    /// Builds a custom link from raw parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate or power is non-positive or non-finite.
+    pub fn new(
+        download: BytesPerSecond,
+        upload: BytesPerSecond,
+        tx_power: Watts,
+        rx_power: Watts,
+    ) -> RadioLink {
+        for v in [download.value(), upload.value(), tx_power.value(), rx_power.value()] {
+            assert!(v.is_finite() && v > 0.0, "link parameters must be positive");
+        }
+        RadioLink {
+            download,
+            upload,
+            tx_power,
+            rx_power,
+        }
+    }
+}
+
+/// Shannon capacity `W · log₂(1 + g·P/ϖ₀)` in bytes per second, the rate
+/// formula of Section II.B.
+///
+/// * `bandwidth` — allocated channel bandwidth `W` (Hz);
+/// * `gain` — dimensionless channel gain `g`;
+/// * `power` — transmit power `P` (W);
+/// * `noise` — white-noise power `ϖ₀` (W).
+///
+/// # Panics
+///
+/// Panics if `noise` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use mec_sim::radio::shannon_rate;
+/// use mec_sim::units::{Hertz, Watts};
+///
+/// // 10 MHz channel, SNR of 3 (i.e. log2(4) = 2 bits/s/Hz) → 20 Mbit/s.
+/// let r = shannon_rate(Hertz::new(10e6), 3.0, Watts::new(1.0), Watts::new(1.0));
+/// assert!((r.as_mbps() - 20.0).abs() < 1e-9);
+/// ```
+pub fn shannon_rate(bandwidth: Hertz, gain: f64, power: Watts, noise: Watts) -> BytesPerSecond {
+    assert!(noise.value() > 0.0, "noise power must be positive");
+    let snr = gain * power.value() / noise.value();
+    let bits_per_second = bandwidth.value() * (1.0 + snr).log2();
+    BytesPerSecond(bits_per_second / 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_reproduced() {
+        let g4 = NetworkProfile::FourG.link();
+        assert!((g4.download.as_mbps() - 13.76).abs() < 1e-9);
+        assert!((g4.upload.as_mbps() - 5.85).abs() < 1e-9);
+        assert_eq!(g4.tx_power, Watts::new(7.32));
+        assert_eq!(g4.rx_power, Watts::new(1.6));
+
+        let wifi = NetworkProfile::WiFi.link();
+        assert!((wifi.download.as_mbps() - 54.97).abs() < 1e-9);
+        assert!((wifi.upload.as_mbps() - 12.88).abs() < 1e-9);
+        assert_eq!(wifi.tx_power, Watts::new(15.7));
+        assert_eq!(wifi.rx_power, Watts::new(2.7));
+    }
+
+    #[test]
+    fn wifi_is_faster_but_hungrier() {
+        let g4 = NetworkProfile::FourG.link();
+        let wifi = NetworkProfile::WiFi.link();
+        assert!(wifi.download > g4.download);
+        assert!(wifi.upload > g4.upload);
+        assert!(wifi.tx_power > g4.tx_power);
+    }
+
+    #[test]
+    fn shannon_rate_grows_with_everything_good() {
+        let base = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(1.0), Watts::new(0.5));
+        let more_bw = shannon_rate(Hertz::new(10e6), 1.0, Watts::new(1.0), Watts::new(0.5));
+        let more_pwr = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(4.0), Watts::new(0.5));
+        let more_noise = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(1.0), Watts::new(2.0));
+        assert!(more_bw > base);
+        assert!(more_pwr > base);
+        assert!(more_noise < base);
+    }
+
+    #[test]
+    fn names_display() {
+        assert_eq!(NetworkProfile::FourG.to_string(), "4G");
+        assert_eq!(NetworkProfile::WiFi.to_string(), "Wi-Fi");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn link_rejects_zero_rate() {
+        RadioLink::new(
+            BytesPerSecond::new(0.0),
+            BytesPerSecond::new(1.0),
+            Watts::new(1.0),
+            Watts::new(1.0),
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! Discrete-event execution of an assignment.
+//!
+//! The analytic model of Section II prices every task in isolation. The
+//! executor here actually *runs* an assignment through the system as a
+//! discrete-event simulation: every radio, device CPU, station CPU and
+//! backhaul pipe is a resource, and stages queue FIFO when
+//! [`Contention::Exclusive`] is selected. With [`Contention::None`] each
+//! resource has unlimited capacity and the simulation reproduces the
+//! analytic times exactly — a strong end-to-end check that the cost model
+//! and the executor agree.
+
+pub mod plan;
+
+use crate::error::MecError;
+use crate::task::{ExecutionSite, HolisticTask, TaskId};
+use crate::topology::MecSystem;
+use crate::units::{Joules, Seconds};
+use plan::{build_plan, Plan, PlanStep, Resource, Stage};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Resource-contention regime of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Contention {
+    /// Unlimited capacity everywhere; matches the paper's analytic model.
+    #[default]
+    None,
+    /// Every exclusive resource serves one stage at a time, FIFO.
+    Exclusive,
+}
+
+/// Outcome of one task in a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSimResult {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Where it ran.
+    pub site: ExecutionSite,
+    /// When the task arrived (zero for [`simulate`]).
+    pub arrival: Seconds,
+    /// Wall-clock completion time.
+    pub completion: Seconds,
+    /// Sojourn time `completion − arrival` — what the user experiences,
+    /// and what the deadline is checked against.
+    pub sojourn: Seconds,
+    /// System energy spent on the task.
+    pub energy: Joules,
+    /// Whether the sojourn met the task's deadline.
+    pub met_deadline: bool,
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-task outcomes in input order.
+    pub results: Vec<TaskSimResult>,
+}
+
+impl SimReport {
+    /// Time the last task finishes.
+    pub fn makespan(&self) -> Seconds {
+        self.results
+            .iter()
+            .map(|r| r.completion)
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Total system energy.
+    pub fn total_energy(&self) -> Joules {
+        self.results.iter().map(|r| r.energy).sum()
+    }
+
+    /// Mean sojourn time; zero for an empty run.
+    pub fn mean_latency(&self) -> Seconds {
+        if self.results.is_empty() {
+            return Seconds::ZERO;
+        }
+        self.results.iter().map(|r| r.sojourn).sum::<Seconds>() / self.results.len() as f64
+    }
+
+    /// Fraction of tasks missing their deadline; zero for an empty run.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        let missed = self.results.iter().filter(|r| !r.met_deadline).count();
+        missed as f64 / self.results.len() as f64
+    }
+}
+
+/// Runs `assignments` through the system.
+///
+/// # Errors
+///
+/// Propagates plan-building errors (unknown devices, invalid tasks).
+///
+/// # Examples
+///
+/// ```
+/// use mec_sim::sim::{simulate, Contention};
+/// use mec_sim::task::ExecutionSite;
+/// use mec_sim::workload::ScenarioConfig;
+///
+/// let s = ScenarioConfig::paper_defaults(1).generate()?;
+/// let assignment: Vec<_> = s.tasks.iter()
+///     .map(|t| (*t, ExecutionSite::Device))
+///     .collect();
+/// let report = simulate(&s.system, &assignment, Contention::None)?;
+/// assert_eq!(report.results.len(), s.tasks.len());
+/// # Ok::<(), mec_sim::MecError>(())
+/// ```
+pub fn simulate(
+    system: &MecSystem,
+    assignments: &[(HolisticTask, ExecutionSite)],
+    contention: Contention,
+) -> Result<SimReport, MecError> {
+    let timed: Vec<(HolisticTask, ExecutionSite, Seconds)> = assignments
+        .iter()
+        .map(|(t, s)| (*t, *s, Seconds::ZERO))
+        .collect();
+    simulate_with_arrivals(system, &timed, contention)
+}
+
+/// Runs `arrivals` — tasks released at individual times — through the
+/// system. A task's plan starts when it arrives; with
+/// [`Contention::Exclusive`] it then competes for resources with
+/// everything already in flight. Deadlines are checked against the
+/// *sojourn* (completion − arrival).
+///
+/// # Errors
+///
+/// Propagates plan-building errors and rejects negative or non-finite
+/// arrival times.
+pub fn simulate_with_arrivals(
+    system: &MecSystem,
+    arrivals: &[(HolisticTask, ExecutionSite, Seconds)],
+    contention: Contention,
+) -> Result<SimReport, MecError> {
+    for (task, _, at) in arrivals {
+        if !(at.value() >= 0.0 && at.is_finite()) {
+            return Err(MecError::InvalidParameter {
+                name: "arrival",
+                reason: format!("{} arrives at invalid time {at}", task.id),
+            });
+        }
+    }
+    let plans: Vec<Plan> = arrivals
+        .iter()
+        .map(|(t, s, _)| build_plan(system, t, *s))
+        .collect::<Result<_, _>>()?;
+    let times: Vec<f64> = arrivals.iter().map(|(_, _, at)| at.value()).collect();
+    let mut engine = Engine::new(contention, &plans);
+    let finish = engine.run_with_arrivals(&times);
+    let results = arrivals
+        .iter()
+        .zip(plans.iter())
+        .zip(finish.iter())
+        .map(|(((task, site, arrival), plan), &completion)| {
+            let sojourn = completion - *arrival;
+            TaskSimResult {
+                id: task.id,
+                site: *site,
+                arrival: *arrival,
+                completion,
+                sojourn,
+                energy: plan.total_energy(),
+                met_deadline: sojourn <= task.deadline,
+            }
+        })
+        .collect();
+    Ok(SimReport { results })
+}
+
+// --- Engine ---------------------------------------------------------------
+
+/// Sentinel `step` value marking a deferred task release.
+const START_MARKER: usize = usize::MAX;
+
+/// Where a finished stage belongs inside its task's plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StageRef {
+    task: usize,
+    step: usize,
+    /// Branch index for parallel steps; `usize::MAX` for single stages.
+    branch: usize,
+    /// Position inside the branch.
+    pos: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    stage: StageRef,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Times come from finite durations; ties broken by sequence number
+        // so completion order is deterministic.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite event times")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResourceState {
+    busy: bool,
+    queue: VecDeque<(StageRef, Stage)>,
+}
+
+struct Engine<'a> {
+    contention: Contention,
+    plans: &'a [Plan],
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    resources: HashMap<Resource, ResourceState>,
+    /// Remaining unfinished branches per (task, step) for parallel steps.
+    open_branches: HashMap<(usize, usize), usize>,
+    finish: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(contention: Contention, plans: &'a [Plan]) -> Engine<'a> {
+        Engine {
+            contention,
+            plans,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            resources: HashMap::new(),
+            open_branches: HashMap::new(),
+            finish: vec![0.0; plans.len()],
+        }
+    }
+
+    fn run_with_arrivals(&mut self, arrivals: &[f64]) -> Vec<Seconds> {
+        for task in 0..self.plans.len() {
+            let at = arrivals.get(task).copied().unwrap_or(0.0);
+            if at <= 0.0 {
+                self.begin_step(task, 0, 0.0);
+            } else {
+                // A start marker: fires at the arrival time and releases
+                // the task's first step.
+                self.seq += 1;
+                self.heap.push(Reverse(Event {
+                    time: at,
+                    seq: self.seq,
+                    stage: StageRef {
+                        task,
+                        step: START_MARKER,
+                        branch: usize::MAX,
+                        pos: 0,
+                    },
+                }));
+            }
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if ev.stage.step == START_MARKER {
+                self.begin_step(ev.stage.task, 0, ev.time);
+            } else {
+                self.complete_stage(ev);
+            }
+        }
+        self.finish.iter().map(|&t| Seconds::new(t)).collect()
+    }
+
+    fn serialized(&self, r: Resource) -> bool {
+        self.contention == Contention::Exclusive && r.is_exclusive()
+    }
+
+    fn begin_step(&mut self, task: usize, step: usize, now: f64) {
+        let Some(plan_step) = self.plans[task].steps.get(step) else {
+            self.finish[task] = now;
+            return;
+        };
+        match plan_step {
+            PlanStep::Single(stage) => {
+                let sref = StageRef {
+                    task,
+                    step,
+                    branch: usize::MAX,
+                    pos: 0,
+                };
+                self.request(sref, *stage, now);
+            }
+            PlanStep::Parallel(branches) => {
+                let live: Vec<usize> = branches
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(k, _)| k)
+                    .collect();
+                if live.is_empty() {
+                    self.begin_step(task, step + 1, now);
+                    return;
+                }
+                self.open_branches.insert((task, step), live.len());
+                for k in live {
+                    let stage = branches[k][0];
+                    let sref = StageRef {
+                        task,
+                        step,
+                        branch: k,
+                        pos: 0,
+                    };
+                    self.request(sref, stage, now);
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, sref: StageRef, stage: Stage, now: f64) {
+        if self.serialized(stage.resource) {
+            let state = self.resources.entry(stage.resource).or_default();
+            if state.busy {
+                state.queue.push_back((sref, stage));
+                return;
+            }
+            state.busy = true;
+        }
+        self.schedule(sref, stage, now);
+    }
+
+    fn schedule(&mut self, sref: StageRef, stage: Stage, now: f64) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time: now + stage.duration.value(),
+            seq: self.seq,
+            stage: sref,
+        }));
+    }
+
+    fn complete_stage(&mut self, ev: Event) {
+        let sref = ev.stage;
+        let now = ev.time;
+        let stage = self.stage_at(sref);
+
+        // Free the resource and start the next waiter.
+        if self.serialized(stage.resource) {
+            let state = self
+                .resources
+                .get_mut(&stage.resource)
+                .expect("completed stage had a resource entry");
+            if let Some((next_ref, next_stage)) = state.queue.pop_front() {
+                self.schedule(next_ref, next_stage, now);
+            } else {
+                state.busy = false;
+            }
+        }
+
+        // Advance the task.
+        if sref.branch == usize::MAX {
+            self.begin_step(sref.task, sref.step + 1, now);
+            return;
+        }
+        let branches = match &self.plans[sref.task].steps[sref.step] {
+            PlanStep::Parallel(b) => b,
+            PlanStep::Single(_) => unreachable!("branch ref into a single step"),
+        };
+        let branch = &branches[sref.branch];
+        if sref.pos + 1 < branch.len() {
+            let next = branch[sref.pos + 1];
+            let next_ref = StageRef {
+                pos: sref.pos + 1,
+                ..sref
+            };
+            self.request(next_ref, next, now);
+        } else {
+            let remaining = self
+                .open_branches
+                .get_mut(&(sref.task, sref.step))
+                .expect("parallel step tracked");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.open_branches.remove(&(sref.task, sref.step));
+                self.begin_step(sref.task, sref.step + 1, now);
+            }
+        }
+    }
+
+    fn stage_at(&self, sref: StageRef) -> Stage {
+        match &self.plans[sref.task].steps[sref.step] {
+            PlanStep::Single(s) => *s,
+            PlanStep::Parallel(b) => b[sref.branch][sref.pos],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+    use crate::radio::NetworkProfile;
+    use crate::topology::{Cloud, DeviceId, MecSystem};
+    use crate::units::{Bytes, Hertz};
+    use crate::workload::ScenarioConfig;
+
+    #[test]
+    fn contention_free_simulation_matches_analytic_model() {
+        let s = ScenarioConfig::paper_defaults(77).generate().unwrap();
+        for site in ExecutionSite::ALL {
+            let assignment: Vec<_> = s.tasks.iter().map(|t| (*t, site)).collect();
+            let report = simulate(&s.system, &assignment, Contention::None).unwrap();
+            for (task, result) in s.tasks.iter().zip(report.results.iter()) {
+                let expect = cost::evaluate(&s.system, task).unwrap().at(site);
+                let dt = (result.completion.value() - expect.time.value()).abs();
+                assert!(dt < 1e-9 * (1.0 + expect.time.value()), "{} at {site}", task.id);
+                let de = (result.energy.value() - expect.energy.value()).abs();
+                assert!(de < 1e-9 * (1.0 + expect.energy.value()), "{} at {site}", task.id);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_contention_never_beats_contention_free() {
+        let s = ScenarioConfig::paper_defaults(3).generate().unwrap();
+        let assignment: Vec<_> = s
+            .tasks
+            .iter()
+            .map(|t| (*t, ExecutionSite::Station))
+            .collect();
+        let free = simulate(&s.system, &assignment, Contention::None).unwrap();
+        let queued = simulate(&s.system, &assignment, Contention::Exclusive).unwrap();
+        for (f, q) in free.results.iter().zip(queued.results.iter()) {
+            assert!(
+                q.completion.value() >= f.completion.value() - 1e-12,
+                "{}: queued {} < free {}",
+                f.id,
+                q.completion,
+                f.completion
+            );
+            // Energy never changes: waiting is free.
+            assert!((q.energy.value() - f.energy.value()).abs() < 1e-12);
+        }
+        assert!(queued.makespan() >= free.makespan());
+    }
+
+    #[test]
+    fn identical_local_tasks_serialize_on_one_cpu() {
+        // Two identical purely-local tasks on the same device: with
+        // exclusive contention the second finishes at exactly 2× the
+        // compute time.
+        let mut b = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        let st = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+        b.add_device(
+            st,
+            Hertz::from_ghz(1.0),
+            NetworkProfile::WiFi.link(),
+            Bytes::from_mb(8.0),
+        )
+        .unwrap();
+        let system = b.build().unwrap();
+        let mk = |index| HolisticTask {
+            id: crate::task::TaskId { user: 0, index },
+            owner: DeviceId(0),
+            local_size: Bytes::from_kb(1000.0),
+            external_size: Bytes::ZERO,
+            external_source: None,
+            complexity: 1.0,
+            resource: Bytes::from_kb(1000.0),
+            deadline: Seconds::new(10.0),
+        };
+        let assignment = vec![
+            (mk(0), ExecutionSite::Device),
+            (mk(1), ExecutionSite::Device),
+        ];
+        let report = simulate(&system, &assignment, Contention::Exclusive).unwrap();
+        let unit = 330.0 * 1e6 / 1e9; // cycles / Hz = 0.33 s
+        assert!((report.results[0].completion.value() - unit).abs() < 1e-9);
+        assert!((report.results[1].completion.value() - 2.0 * unit).abs() < 1e-9);
+        assert_eq!(report.makespan(), report.results[1].completion);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let s = ScenarioConfig::paper_defaults(5).generate().unwrap();
+        let assignment: Vec<_> = s.tasks.iter().map(|t| (*t, ExecutionSite::Cloud)).collect();
+        let report = simulate(&s.system, &assignment, Contention::None).unwrap();
+        assert!(report.total_energy() > Joules::ZERO);
+        assert!(report.mean_latency() > Seconds::ZERO);
+        assert!(report.makespan() >= report.mean_latency());
+        let rate = report.deadline_miss_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        let empty = SimReport { results: vec![] };
+        assert_eq!(empty.deadline_miss_rate(), 0.0);
+        assert_eq!(empty.mean_latency(), Seconds::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod arrival_tests {
+    use super::*;
+    use crate::workload::{poisson_arrivals, ScenarioConfig};
+
+    #[test]
+    fn contention_free_arrivals_shift_completions_exactly() {
+        let mut cfg = ScenarioConfig::paper_defaults(701);
+        cfg.tasks_total = 20;
+        let s = cfg.generate().unwrap();
+        let batch: Vec<_> = s.tasks.iter().map(|t| (*t, ExecutionSite::Device)).collect();
+        let base = simulate(&s.system, &batch, Contention::None).unwrap();
+        let arrivals = poisson_arrivals(7, s.tasks.len(), 1.0).unwrap();
+        let timed: Vec<_> = s
+            .tasks
+            .iter()
+            .zip(arrivals.iter())
+            .map(|(t, at)| (*t, ExecutionSite::Device, *at))
+            .collect();
+        let shifted = simulate_with_arrivals(&s.system, &timed, Contention::None).unwrap();
+        for ((b, r), at) in base.results.iter().zip(&shifted.results).zip(&arrivals) {
+            let expect = b.completion.value() + at.value();
+            assert!(
+                (r.completion.value() - expect).abs() < 1e-9 * (1.0 + expect),
+                "{}", b.id
+            );
+            // Sojourn is arrival-independent without contention.
+            assert!((r.sojourn.value() - b.sojourn.value()).abs() < 1e-9);
+            assert_eq!(r.met_deadline, b.met_deadline);
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_relieve_queueing() {
+        // One device, many identical local tasks: batch release queues
+        // them all; slow Poisson release (gap > service time) eliminates
+        // waiting entirely.
+        let mut cfg = ScenarioConfig::paper_defaults(702);
+        cfg.num_stations = 1;
+        cfg.devices_per_station = 1;
+        cfg.tasks_total = 10;
+        cfg.external_frac_range = (0.0, 0.0);
+        let s = cfg.generate().unwrap();
+        let batch: Vec<_> = s.tasks.iter().map(|t| (*t, ExecutionSite::Device)).collect();
+        let queued = simulate(&s.system, &batch, Contention::Exclusive).unwrap();
+        // Slow arrivals: one task every 100 s, far above any service time.
+        let timed: Vec<_> = s
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (*t, ExecutionSite::Device, Seconds::new(100.0 * k as f64)))
+            .collect();
+        let relaxed = simulate_with_arrivals(&s.system, &timed, Contention::Exclusive).unwrap();
+        assert!(relaxed.mean_latency() < queued.mean_latency());
+        // With no overlap, queued sojourn equals the contention-free one.
+        let free = simulate(&s.system, &batch, Contention::None).unwrap();
+        for (r, f) in relaxed.results.iter().zip(free.results.iter()) {
+            assert!((r.sojourn.value() - f.sojourn.value()).abs() < 1e-9, "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn negative_arrivals_are_rejected() {
+        let mut cfg = ScenarioConfig::paper_defaults(703);
+        cfg.tasks_total = 2;
+        let s = cfg.generate().unwrap();
+        let timed = vec![(s.tasks[0], ExecutionSite::Device, Seconds::new(-1.0))];
+        assert!(simulate_with_arrivals(&s.system, &timed, Contention::None).is_err());
+    }
+}

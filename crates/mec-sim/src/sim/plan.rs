@@ -1,0 +1,287 @@
+//! Execution plans: the series-parallel stage graph a task traverses when
+//! it runs at a given site.
+//!
+//! The analytic cost model (`cost.rs`) collapses each task into closed-form
+//! time/energy; the discrete-event executor instead walks the same
+//! structure stage by stage, which lets it model *contention* on shared
+//! resources (radios, CPUs, backhaul pipes). With contention disabled the
+//! two must agree exactly — that equivalence is tested in `sim::tests`.
+
+use crate::error::MecError;
+use crate::task::{ExecutionSite, HolisticTask};
+use crate::topology::{DeviceId, MecSystem, StationId};
+use crate::transfer;
+use crate::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A schedulable resource in the MEC system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// A device's radio uplink.
+    DeviceUp(DeviceId),
+    /// A device's radio downlink.
+    DeviceDown(DeviceId),
+    /// A device's CPU.
+    DeviceCpu(DeviceId),
+    /// A base station's CPU.
+    StationCpu(StationId),
+    /// The station-to-station backhaul pipe.
+    StationBackhaul,
+    /// The station-to-cloud backhaul pipe.
+    CloudBackhaul,
+    /// The cloud's CPU (effectively unbounded parallelism; still a
+    /// resource so its busy time is observable).
+    CloudCpu,
+}
+
+impl Resource {
+    /// Whether this resource serializes work when contention is enabled.
+    /// The cloud's CPU is modeled as infinitely parallel even then.
+    pub fn is_exclusive(self) -> bool {
+        !matches!(self, Resource::CloudCpu)
+    }
+}
+
+/// One timed stage on one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Resource the stage occupies.
+    pub resource: Resource,
+    /// Service time (independent of queueing).
+    pub duration: Seconds,
+    /// System energy attributed to the stage (waiting costs none).
+    pub energy: Joules,
+}
+
+/// One step of a plan: a single stage or parallel branches that join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanStep {
+    /// Run one stage.
+    Single(Stage),
+    /// Run each branch (a serial stage list) concurrently; the step ends
+    /// when the slowest branch ends.
+    Parallel(Vec<Vec<Stage>>),
+}
+
+/// The full series-parallel plan of one task at one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Steps executed in order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl Plan {
+    /// Sum of all stage energies.
+    pub fn total_energy(&self) -> Joules {
+        let stage_sum = |stages: &[Stage]| stages.iter().map(|s| s.energy).sum::<Joules>();
+        self.steps
+            .iter()
+            .map(|step| match step {
+                PlanStep::Single(s) => s.energy,
+                PlanStep::Parallel(branches) => {
+                    branches.iter().map(|b| stage_sum(b)).sum::<Joules>()
+                }
+            })
+            .sum()
+    }
+
+    /// Contention-free end-to-end duration: serial steps add, parallel
+    /// steps contribute their slowest branch.
+    pub fn critical_path(&self) -> Seconds {
+        let branch_sum = |stages: &[Stage]| stages.iter().map(|s| s.duration).sum::<Seconds>();
+        self.steps
+            .iter()
+            .map(|step| match step {
+                PlanStep::Single(s) => s.duration,
+                PlanStep::Parallel(branches) => branches
+                    .iter()
+                    .map(|b| branch_sum(b))
+                    .fold(Seconds::ZERO, Seconds::max),
+            })
+            .sum()
+    }
+}
+
+/// Builds the stage plan of `task` executing at `site`, mirroring the
+/// Section II formulas stage by stage.
+///
+/// # Errors
+///
+/// Returns topology errors for unknown devices and propagates task
+/// validation failures.
+pub fn build_plan(
+    system: &MecSystem,
+    task: &HolisticTask,
+    site: ExecutionSite,
+) -> Result<Plan, MecError> {
+    task.validate()?;
+    let owner = system.device(task.owner)?;
+    let station = system.station(owner.station)?;
+    let bb = system.backhaul.station_to_station;
+    let bc = system.backhaul.station_to_cloud;
+    let alpha = task.local_size;
+    let beta = task.external_size;
+    let input = task.input_size();
+    let result = system.result_model.result_size(input);
+    let cycles = system.cycle_model.cycles(input, task.complexity);
+
+    let external = match task.external_source {
+        Some(src) => {
+            let d = system.device(src)?;
+            Some((d, !system.same_cluster(task.owner, src)?))
+        }
+        None => None,
+    };
+
+    // The external-data leg: source uploads β, optionally hops BS→BS.
+    let beta_leg = |to_owner_station: bool| -> Vec<Stage> {
+        let mut stages = Vec::new();
+        if let Some((src, cross)) = external {
+            stages.push(Stage {
+                resource: Resource::DeviceUp(src.id),
+                duration: transfer::upload_time(&src.link, beta),
+                energy: transfer::upload_energy(&src.link, beta),
+            });
+            if cross && to_owner_station {
+                stages.push(Stage {
+                    resource: Resource::StationBackhaul,
+                    duration: bb.transfer_time(beta),
+                    energy: bb.transfer_energy(beta),
+                });
+            }
+        }
+        stages
+    };
+
+    let mut steps = Vec::new();
+    match site {
+        ExecutionSite::Device => {
+            for s in beta_leg(true) {
+                steps.push(PlanStep::Single(s));
+            }
+            if external.is_some() {
+                steps.push(PlanStep::Single(Stage {
+                    resource: Resource::DeviceDown(owner.id),
+                    duration: transfer::download_time(&owner.link, beta),
+                    energy: transfer::download_energy(&owner.link, beta),
+                }));
+            }
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::DeviceCpu(owner.id),
+                duration: cycles / owner.cpu,
+                energy: system
+                    .cycle_model
+                    .device_energy(input, task.complexity, owner.cpu),
+            }));
+        }
+        ExecutionSite::Station => {
+            let gather = vec![
+                beta_leg(true),
+                vec![Stage {
+                    resource: Resource::DeviceUp(owner.id),
+                    duration: transfer::upload_time(&owner.link, alpha),
+                    energy: transfer::upload_energy(&owner.link, alpha),
+                }],
+            ];
+            steps.push(PlanStep::Parallel(gather));
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::StationCpu(station.id),
+                duration: cycles / station.cpu,
+                energy: Joules::ZERO, // negligible per Section II.A
+            }));
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::DeviceDown(owner.id),
+                duration: transfer::download_time(&owner.link, result),
+                energy: transfer::download_energy(&owner.link, result),
+            }));
+        }
+        ExecutionSite::Cloud => {
+            let gather = vec![
+                beta_leg(false), // the β copy rides its own station's cloud link
+                vec![Stage {
+                    resource: Resource::DeviceUp(owner.id),
+                    duration: transfer::upload_time(&owner.link, alpha),
+                    energy: transfer::upload_energy(&owner.link, alpha),
+                }],
+            ];
+            steps.push(PlanStep::Parallel(gather));
+            let haul = input + result;
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::CloudBackhaul,
+                duration: bc.transfer_time(haul),
+                energy: bc.transfer_energy(haul),
+            }));
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::CloudCpu,
+                duration: cycles / system.cloud().cpu,
+                energy: Joules::ZERO,
+            }));
+            steps.push(PlanStep::Single(Stage {
+                resource: Resource::DeviceDown(owner.id),
+                duration: transfer::download_time(&owner.link, result),
+                energy: transfer::download_energy(&owner.link, result),
+            }));
+        }
+    }
+    Ok(Plan { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+    use crate::task::TaskId;
+    use crate::units::Bytes;
+    use crate::workload::ScenarioConfig;
+
+    #[test]
+    fn plan_matches_analytic_cost_model_everywhere() {
+        let scenario = ScenarioConfig::paper_defaults(1234).generate().unwrap();
+        for task in &scenario.tasks {
+            let costs = cost::evaluate(&scenario.system, task).unwrap();
+            for site in ExecutionSite::ALL {
+                let plan = build_plan(&scenario.system, task, site).unwrap();
+                let t = plan.critical_path();
+                let e = plan.total_energy();
+                let c = costs.at(site);
+                assert!(
+                    (t.value() - c.time.value()).abs() < 1e-9 * (1.0 + c.time.value()),
+                    "{} at {site}: plan {t} vs cost {}",
+                    task.id,
+                    c.time
+                );
+                assert!(
+                    (e.value() - c.energy.value()).abs() < 1e-9 * (1.0 + c.energy.value()),
+                    "{} at {site}: plan {e} vs cost {}",
+                    task.id,
+                    c.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn purely_local_plan_is_one_stage() {
+        let scenario = ScenarioConfig::paper_defaults(5).generate().unwrap();
+        let mut task = scenario.tasks[0];
+        task.external_size = Bytes::ZERO;
+        task.external_source = None;
+        task.id = TaskId { user: 0, index: 99 };
+        let plan = build_plan(&scenario.system, &task, ExecutionSite::Device).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(
+            plan.steps[0],
+            PlanStep::Single(Stage {
+                resource: Resource::DeviceCpu(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cloud_cpu_is_not_exclusive() {
+        assert!(!Resource::CloudCpu.is_exclusive());
+        assert!(Resource::DeviceUp(DeviceId(0)).is_exclusive());
+        assert!(Resource::StationBackhaul.is_exclusive());
+    }
+}

@@ -1,0 +1,293 @@
+//! Task model.
+//!
+//! A computation task in the paper is the tuple
+//! `T_ij = (op_ij, LD_ij, ED_ij, L_ij, C_ij, T_ij)`: an operator, local
+//! input data, *external* input data held elsewhere, the location of that
+//! external data, a resource occupation and a deadline. Holistic tasks
+//! ([`HolisticTask`]) must run on a single subsystem; divisible tasks
+//! ([`DivisibleTask`]) can be decomposed along the data and aggregated.
+
+use crate::aggregate::AggregateOp;
+use crate::data::ItemSet;
+use crate::error::MecError;
+use crate::topology::DeviceId;
+use crate::units::{Bytes, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task: the `j`-th task raised by user `i` (paper
+/// `T_ij`). Users are identified with their mobile device.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId {
+    /// The raising user/device index `i`.
+    pub user: usize,
+    /// The per-user task index `j`.
+    pub index: usize,
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{},{}]", self.user, self.index)
+    }
+}
+
+/// The subsystem a holistic task runs on (the paper's `l ∈ {1,2,3}`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ExecutionSite {
+    /// `l = 1`: the raising user's own mobile device.
+    Device,
+    /// `l = 2`: the base station the device is attached to.
+    Station,
+    /// `l = 3`: the remote cloud.
+    Cloud,
+}
+
+impl ExecutionSite {
+    /// All sites in the paper's `l = 1, 2, 3` order.
+    pub const ALL: [ExecutionSite; 3] = [
+        ExecutionSite::Device,
+        ExecutionSite::Station,
+        ExecutionSite::Cloud,
+    ];
+
+    /// The paper's numeric level (1, 2 or 3).
+    pub fn level(self) -> usize {
+        match self {
+            ExecutionSite::Device => 1,
+            ExecutionSite::Station => 2,
+            ExecutionSite::Cloud => 3,
+        }
+    }
+
+    /// Index into 3-element per-site arrays (0, 1 or 2).
+    pub fn index(self) -> usize {
+        self.level() - 1
+    }
+}
+
+impl fmt::Display for ExecutionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecutionSite::Device => "device",
+            ExecutionSite::Station => "station",
+            ExecutionSite::Cloud => "cloud",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A holistic computation task: all input data must be gathered at one
+/// subsystem before processing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HolisticTask {
+    /// Task identifier.
+    pub id: TaskId,
+    /// The raising device (where `LD_ij` resides and results return to).
+    pub owner: DeviceId,
+    /// Size `α_ij = |LD_ij|` of the local input data.
+    pub local_size: Bytes,
+    /// Size `β_ij = |ED_ij|` of the external input data.
+    pub external_size: Bytes,
+    /// Location `L_ij` of the external data; `None` iff `external_size`
+    /// is zero.
+    pub external_source: Option<DeviceId>,
+    /// Operator complexity multiplier applied to the cycle model's
+    /// cycles-per-byte (1.0 for the paper's linear calibration).
+    pub complexity: f64,
+    /// Resource occupation `C_ij` (charged against `max_i`/`max_S`).
+    pub resource: Bytes,
+    /// Deadline `T_ij`.
+    pub deadline: Seconds,
+}
+
+impl HolisticTask {
+    /// Total input size `α_ij + β_ij`.
+    pub fn input_size(&self) -> Bytes {
+        self.local_size + self.external_size
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidParameter`] when sizes are negative or
+    /// non-finite, when `external_size > 0` without a source (or vice
+    /// versa), when the source is the owner itself, or when the deadline
+    /// is not positive.
+    pub fn validate(&self) -> Result<(), MecError> {
+        let bad = |name: &'static str, reason: String| MecError::InvalidParameter { name, reason };
+        for (name, v) in [
+            ("local_size", self.local_size.value()),
+            ("external_size", self.external_size.value()),
+            ("resource", self.resource.value()),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(bad(name, format!("{v} must be a nonnegative finite number")));
+            }
+        }
+        if !(self.complexity.is_finite() && self.complexity > 0.0) {
+            return Err(bad("complexity", format!("{} must be positive", self.complexity)));
+        }
+        if !(self.deadline.value() > 0.0) {
+            return Err(bad("deadline", format!("{} must be positive", self.deadline)));
+        }
+        match (self.external_size.value() > 0.0, self.external_source) {
+            (true, None) => Err(bad(
+                "external_source",
+                "external data present but no source device given".into(),
+            )),
+            (false, Some(_)) => Err(bad(
+                "external_source",
+                "source device given but external size is zero".into(),
+            )),
+            (true, Some(src)) if src == self.owner => Err(bad(
+                "external_source",
+                format!("external source {src} equals the owner"),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A divisible computation task: an aggregation over a set of data items
+/// that may be scattered over many devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivisibleTask {
+    /// Task identifier.
+    pub id: TaskId,
+    /// The raising device (partial results are aggregated toward it).
+    pub owner: DeviceId,
+    /// The aggregation operator `op_ij`.
+    pub op: AggregateOp,
+    /// The items the task must process (`LD_ij ∪ ED_ij` as item ids).
+    pub items: ItemSet,
+    /// Operator complexity multiplier.
+    pub complexity: f64,
+    /// Resource occupation `C_ij`.
+    pub resource: Bytes,
+    /// Deadline `T_ij`.
+    pub deadline: Seconds,
+}
+
+impl DivisibleTask {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidParameter`] when the item set is empty,
+    /// the complexity is not positive, or the deadline is not positive.
+    pub fn validate(&self) -> Result<(), MecError> {
+        if self.items.is_empty() {
+            return Err(MecError::InvalidParameter {
+                name: "items",
+                reason: "a divisible task must reference at least one data item".into(),
+            });
+        }
+        if !(self.complexity.is_finite() && self.complexity > 0.0) {
+            return Err(MecError::InvalidParameter {
+                name: "complexity",
+                reason: format!("{} must be positive", self.complexity),
+            });
+        }
+        if !(self.deadline.value() > 0.0) {
+            return Err(MecError::InvalidParameter {
+                name: "deadline",
+                reason: format!("{} must be positive", self.deadline),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataItemId;
+
+    fn task() -> HolisticTask {
+        HolisticTask {
+            id: TaskId { user: 0, index: 0 },
+            owner: DeviceId(0),
+            local_size: Bytes::from_kb(2000.0),
+            external_size: Bytes::from_kb(500.0),
+            external_source: Some(DeviceId(1)),
+            complexity: 1.0,
+            resource: Bytes::from_kb(2500.0),
+            deadline: Seconds::new(5.0),
+        }
+    }
+
+    #[test]
+    fn valid_task_passes() {
+        assert!(task().validate().is_ok());
+        assert_eq!(task().input_size(), Bytes::from_kb(2500.0));
+    }
+
+    #[test]
+    fn external_consistency_is_enforced() {
+        let mut t = task();
+        t.external_source = None;
+        assert!(t.validate().is_err(), "size without source");
+
+        let mut t = task();
+        t.external_size = Bytes::ZERO;
+        assert!(t.validate().is_err(), "source without size");
+
+        let mut t = task();
+        t.external_source = Some(t.owner);
+        assert!(t.validate().is_err(), "self-sourcing");
+
+        let mut t = task();
+        t.external_size = Bytes::ZERO;
+        t.external_source = None;
+        assert!(t.validate().is_ok(), "purely local task");
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        let mut t = task();
+        t.local_size = Bytes::new(-1.0);
+        assert!(t.validate().is_err());
+        let mut t = task();
+        t.deadline = Seconds::ZERO;
+        assert!(t.validate().is_err());
+        let mut t = task();
+        t.complexity = 0.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn site_levels_match_paper() {
+        assert_eq!(ExecutionSite::Device.level(), 1);
+        assert_eq!(ExecutionSite::Station.level(), 2);
+        assert_eq!(ExecutionSite::Cloud.level(), 3);
+        assert_eq!(ExecutionSite::ALL[0].index(), 0);
+        assert_eq!(ExecutionSite::Cloud.to_string(), "cloud");
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId { user: 2, index: 5 }.to_string(), "T[2,5]");
+    }
+
+    #[test]
+    fn divisible_validation() {
+        let t = DivisibleTask {
+            id: TaskId { user: 0, index: 0 },
+            owner: DeviceId(0),
+            op: AggregateOp::Sum,
+            items: ItemSet::from_ids(4, [DataItemId(1)]),
+            complexity: 1.0,
+            resource: Bytes::from_kb(100.0),
+            deadline: Seconds::new(2.0),
+        };
+        assert!(t.validate().is_ok());
+        let mut bad = t.clone();
+        bad.items = ItemSet::new(4);
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Three-level MEC topology (paper Fig. 1): mobile devices, base stations
+//! with small-scale clouds, and the remote cloud.
+//!
+//! Devices attach to exactly one base station for the whole assignment
+//! period (the paper's quasi-static assumption after \[9\]); a station and
+//! its devices form a *cluster*. The topology also carries the system-wide
+//! physics — backhaul links, the cycle model and the result-size model —
+//! so a [`MecSystem`] is everything a cost evaluator needs.
+
+use crate::backhaul::Backhaul;
+use crate::compute::CycleModel;
+use crate::error::MecError;
+use crate::radio::RadioLink;
+use crate::units::{Bytes, Hertz};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mobile device (index into [`MecSystem::devices`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Identifier of a base station (index into [`MecSystem::stations`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct StationId(pub usize);
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs{}", self.0)
+    }
+}
+
+/// One mobile device (first level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// The device's id.
+    pub id: DeviceId,
+    /// Station the device is attached to for the whole period.
+    pub station: StationId,
+    /// CPU frequency `f_i`.
+    pub cpu: Hertz,
+    /// Radio link to the station.
+    pub link: RadioLink,
+    /// Computation-resource capacity `max_i` (memory the paper's `C_ij`
+    /// occupations are charged against).
+    pub max_resource: Bytes,
+}
+
+/// One base station with its small-scale cloud (second level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    /// The station's id.
+    pub id: StationId,
+    /// CPU frequency `f_s`.
+    pub cpu: Hertz,
+    /// Computation-resource capacity `max_S`.
+    pub max_resource: Bytes,
+}
+
+/// The remote cloud (third level). Its resources are unconstrained in the
+/// paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cloud {
+    /// CPU frequency `f_c`.
+    pub cpu: Hertz,
+}
+
+/// How large a task's result is relative to its input (the paper's
+/// `η(y)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResultModel {
+    /// `η(y) = ratio · y`; the paper's default uses `ratio = 0.2`.
+    Proportional(f64),
+    /// A fixed result size regardless of input (the "constant" point of
+    /// Fig. 5(b)).
+    Constant(Bytes),
+}
+
+impl ResultModel {
+    /// Result size for an input of `y` bytes.
+    pub fn result_size(&self, input: Bytes) -> Bytes {
+        match *self {
+            ResultModel::Proportional(r) => input * r,
+            ResultModel::Constant(b) => b,
+        }
+    }
+
+    /// The paper's Section V.A default (`η = 0.2`).
+    pub fn paper_default() -> ResultModel {
+        ResultModel::Proportional(0.2)
+    }
+}
+
+impl Default for ResultModel {
+    fn default() -> Self {
+        ResultModel::paper_default()
+    }
+}
+
+/// A complete three-level MEC system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MecSystem {
+    devices: Vec<Device>,
+    stations: Vec<BaseStation>,
+    cloud: Cloud,
+    clusters: Vec<Vec<DeviceId>>,
+    /// Backhaul link models.
+    pub backhaul: Backhaul,
+    /// Cycle-demand model shared by all subsystems.
+    pub cycle_model: CycleModel,
+    /// Result-size model `η`.
+    pub result_model: ResultModel,
+}
+
+impl MecSystem {
+    /// Starts building a system around the given cloud.
+    pub fn builder(cloud: Cloud) -> MecSystemBuilder {
+        MecSystemBuilder::new(cloud)
+    }
+
+    /// All devices, ordered by id.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All base stations, ordered by id.
+    pub fn stations(&self) -> &[BaseStation] {
+        &self.stations
+    }
+
+    /// The remote cloud.
+    pub fn cloud(&self) -> Cloud {
+        self.cloud
+    }
+
+    /// Number of devices (`n`).
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of stations (`k`).
+    pub fn num_stations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Looks up a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownDevice`] for an out-of-range id.
+    pub fn device(&self, id: DeviceId) -> Result<&Device, MecError> {
+        self.devices.get(id.0).ok_or(MecError::UnknownDevice(id))
+    }
+
+    /// Looks up a station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownStation`] for an out-of-range id.
+    pub fn station(&self, id: StationId) -> Result<&BaseStation, MecError> {
+        self.stations.get(id.0).ok_or(MecError::UnknownStation(id))
+    }
+
+    /// The station a device is attached to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownDevice`] for an out-of-range id.
+    pub fn station_of(&self, id: DeviceId) -> Result<StationId, MecError> {
+        Ok(self.device(id)?.station)
+    }
+
+    /// The devices attached to a station (`n_r` of them), ordered by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownStation`] for an out-of-range id.
+    pub fn cluster(&self, id: StationId) -> Result<&[DeviceId], MecError> {
+        self.clusters
+            .get(id.0)
+            .map(Vec::as_slice)
+            .ok_or(MecError::UnknownStation(id))
+    }
+
+    /// True iff both devices attach to the same base station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownDevice`] when either id is bad.
+    pub fn same_cluster(&self, a: DeviceId, b: DeviceId) -> Result<bool, MecError> {
+        Ok(self.station_of(a)? == self.station_of(b)?)
+    }
+}
+
+/// Incremental [`MecSystem`] construction with validation at `build`.
+///
+/// # Examples
+///
+/// ```
+/// use mec_sim::topology::{Cloud, MecSystem};
+/// use mec_sim::radio::NetworkProfile;
+/// use mec_sim::units::{Bytes, Hertz};
+///
+/// let mut b = MecSystem::builder(Cloud { cpu: Hertz::from_ghz(2.4) });
+/// let bs = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+/// b.add_device(bs, Hertz::from_ghz(1.5), NetworkProfile::WiFi.link(), Bytes::from_mb(8.0))?;
+/// let system = b.build()?;
+/// assert_eq!(system.num_devices(), 1);
+/// # Ok::<(), mec_sim::MecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MecSystemBuilder {
+    devices: Vec<Device>,
+    stations: Vec<BaseStation>,
+    cloud: Cloud,
+    backhaul: Backhaul,
+    cycle_model: CycleModel,
+    result_model: ResultModel,
+}
+
+impl MecSystemBuilder {
+    /// Creates a builder with paper-default backhaul, cycle and result
+    /// models.
+    pub fn new(cloud: Cloud) -> MecSystemBuilder {
+        MecSystemBuilder {
+            devices: Vec::new(),
+            stations: Vec::new(),
+            cloud,
+            backhaul: Backhaul::paper_defaults(),
+            cycle_model: CycleModel::paper_default(),
+            result_model: ResultModel::paper_default(),
+        }
+    }
+
+    /// Overrides the backhaul model.
+    pub fn backhaul(&mut self, backhaul: Backhaul) -> &mut Self {
+        self.backhaul = backhaul;
+        self
+    }
+
+    /// Overrides the cycle model.
+    pub fn cycle_model(&mut self, model: CycleModel) -> &mut Self {
+        self.cycle_model = model;
+        self
+    }
+
+    /// Overrides the result-size model.
+    pub fn result_model(&mut self, model: ResultModel) -> &mut Self {
+        self.result_model = model;
+        self
+    }
+
+    /// Adds a base station and returns its id.
+    pub fn add_station(&mut self, cpu: Hertz, max_resource: Bytes) -> StationId {
+        let id = StationId(self.stations.len());
+        self.stations.push(BaseStation {
+            id,
+            cpu,
+            max_resource,
+        });
+        id
+    }
+
+    /// Adds a mobile device attached to `station` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::UnknownStation`] when the station has not been
+    /// added yet.
+    pub fn add_device(
+        &mut self,
+        station: StationId,
+        cpu: Hertz,
+        link: RadioLink,
+        max_resource: Bytes,
+    ) -> Result<DeviceId, MecError> {
+        if station.0 >= self.stations.len() {
+            return Err(MecError::UnknownStation(station));
+        }
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device {
+            id,
+            station,
+            cpu,
+            link,
+            max_resource,
+        });
+        Ok(id)
+    }
+
+    /// Finalizes the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::NoStations`] / [`MecError::NoDevices`] for an
+    /// empty topology.
+    pub fn build(&self) -> Result<MecSystem, MecError> {
+        if self.stations.is_empty() {
+            return Err(MecError::NoStations);
+        }
+        if self.devices.is_empty() {
+            return Err(MecError::NoDevices);
+        }
+        let mut clusters = vec![Vec::new(); self.stations.len()];
+        for d in &self.devices {
+            clusters[d.station.0].push(d.id);
+        }
+        Ok(MecSystem {
+            devices: self.devices.clone(),
+            stations: self.stations.clone(),
+            cloud: self.cloud,
+            clusters,
+            backhaul: self.backhaul,
+            cycle_model: self.cycle_model,
+            result_model: self.result_model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::NetworkProfile;
+
+    fn small_system() -> MecSystem {
+        let mut b = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        let s0 = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+        let s1 = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+        for (st, profile) in [
+            (s0, NetworkProfile::FourG),
+            (s0, NetworkProfile::WiFi),
+            (s1, NetworkProfile::WiFi),
+        ] {
+            b.add_device(st, Hertz::from_ghz(1.5), profile.link(), Bytes::from_mb(8.0))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clusters_partition_devices() {
+        let sys = small_system();
+        assert_eq!(sys.num_devices(), 3);
+        assert_eq!(sys.num_stations(), 2);
+        assert_eq!(sys.cluster(StationId(0)).unwrap(), &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(sys.cluster(StationId(1)).unwrap(), &[DeviceId(2)]);
+        let total: usize = (0..2).map(|r| sys.cluster(StationId(r)).unwrap().len()).sum();
+        assert_eq!(total, sys.num_devices());
+    }
+
+    #[test]
+    fn same_cluster_queries() {
+        let sys = small_system();
+        assert!(sys.same_cluster(DeviceId(0), DeviceId(1)).unwrap());
+        assert!(!sys.same_cluster(DeviceId(0), DeviceId(2)).unwrap());
+        assert!(sys.same_cluster(DeviceId(0), DeviceId(9)).is_err());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let sys = small_system();
+        assert_eq!(
+            sys.device(DeviceId(17)).unwrap_err(),
+            MecError::UnknownDevice(DeviceId(17))
+        );
+        assert_eq!(
+            sys.station(StationId(5)).unwrap_err(),
+            MecError::UnknownStation(StationId(5))
+        );
+        assert!(sys.cluster(StationId(5)).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_station_reference() {
+        let mut b = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        let err = b
+            .add_device(
+                StationId(0),
+                Hertz::from_ghz(1.0),
+                NetworkProfile::FourG.link(),
+                Bytes::from_mb(8.0),
+            )
+            .unwrap_err();
+        assert_eq!(err, MecError::UnknownStation(StationId(0)));
+    }
+
+    #[test]
+    fn builder_rejects_empty_topology() {
+        let b = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        assert_eq!(b.build().unwrap_err(), MecError::NoStations);
+        let mut b2 = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        b2.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(100.0));
+        assert_eq!(b2.build().unwrap_err(), MecError::NoDevices);
+    }
+
+    #[test]
+    fn result_model_variants() {
+        let p = ResultModel::Proportional(0.2);
+        assert_eq!(p.result_size(Bytes::new(100.0)), Bytes::new(20.0));
+        let c = ResultModel::Constant(Bytes::from_kb(5.0));
+        assert_eq!(c.result_size(Bytes::from_mb(3.0)), Bytes::from_kb(5.0));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(4).to_string(), "dev4");
+        assert_eq!(StationId(2).to_string(), "bs2");
+    }
+}

@@ -1,0 +1,73 @@
+//! Radio transfer primitives: the time and energy of moving data between
+//! a mobile device and its base station (`e_i^(T)`, `e_i^(R)` and the
+//! rate terms of Section II.B).
+//!
+//! The energy of a transfer is the radio's power draw for the duration of
+//! the transfer: `e^(T)(X) = P^(T) · X / r^(U)` and
+//! `e^(R)(X) = P^(R) · X / r^(D)`.
+
+use crate::radio::RadioLink;
+use crate::units::{Bytes, Joules, Seconds};
+
+/// Time for a device to upload `size` bytes to its station.
+pub fn upload_time(link: &RadioLink, size: Bytes) -> Seconds {
+    size / link.upload
+}
+
+/// Energy a device spends uploading `size` bytes (`e^(T)(X)`).
+pub fn upload_energy(link: &RadioLink, size: Bytes) -> Joules {
+    link.tx_power * upload_time(link, size)
+}
+
+/// Time for a device to download `size` bytes from its station.
+pub fn download_time(link: &RadioLink, size: Bytes) -> Seconds {
+    size / link.download
+}
+
+/// Energy a device spends downloading `size` bytes (`e^(R)(X)`).
+pub fn download_energy(link: &RadioLink, size: Bytes) -> Joules {
+    link.rx_power * download_time(link, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::NetworkProfile;
+
+    #[test]
+    fn four_g_upload_of_one_megabyte() {
+        let link = NetworkProfile::FourG.link();
+        // 1 MB at 5.85 Mbps = 8e6 bits / 5.85e6 bps ≈ 1.3675 s.
+        let t = upload_time(&link, Bytes::from_mb(1.0));
+        assert!((t.value() - 8.0 / 5.85).abs() < 1e-9);
+        // Energy = 7.32 W × t.
+        let e = upload_energy(&link, Bytes::from_mb(1.0));
+        assert!((e.value() - 7.32 * 8.0 / 5.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_is_cheaper_than_upload_per_byte() {
+        // Receive power is far below transmit power and downlink is
+        // faster, so downloading X costs less energy than uploading X.
+        for p in NetworkProfile::ALL {
+            let link = p.link();
+            let x = Bytes::from_kb(500.0);
+            assert!(download_energy(&link, x) < upload_energy(&link, x), "{p}");
+        }
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let link = NetworkProfile::WiFi.link();
+        assert_eq!(upload_time(&link, Bytes::ZERO), Seconds::ZERO);
+        assert_eq!(download_energy(&link, Bytes::ZERO), Joules::ZERO);
+    }
+
+    #[test]
+    fn linearity_in_size() {
+        let link = NetworkProfile::WiFi.link();
+        let e1 = upload_energy(&link, Bytes::from_kb(100.0));
+        let e2 = upload_energy(&link, Bytes::from_kb(200.0));
+        assert!((e2.value() - 2.0 * e1.value()).abs() < 1e-12);
+    }
+}

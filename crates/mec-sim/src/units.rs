@@ -1,0 +1,329 @@
+//! Typed physical quantities used throughout the MEC cost model.
+//!
+//! The paper's formulas mix data sizes, CPU cycles, frequencies, times,
+//! energies and powers; newtypes keep those dimensions straight at compile
+//! time (`Bytes / BytesPerSecond = Seconds`, `Watts * Seconds = Joules`,
+//! `Cycles / Hertz = Seconds`, …) so a unit bug becomes a type error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a quantity from a raw value in base units.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw value in base units.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True iff the value is finite (not NaN or ±∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Component-wise maximum.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A data size in bytes.
+    Bytes,
+    "B"
+);
+quantity!(
+    /// A CPU work amount in cycles.
+    Cycles,
+    "cycles"
+);
+quantity!(
+    /// A CPU frequency in hertz (cycles per second).
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// A time span in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// An energy amount in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// A power in watts (joules per second).
+    Watts,
+    "W"
+);
+quantity!(
+    /// A data rate in bytes per second.
+    BytesPerSecond,
+    "B/s"
+);
+
+impl Bytes {
+    /// Constructs from kilobytes (`1 kB = 1000 B`), the unit the paper's
+    /// experiment section uses ("3000kb" etc.).
+    pub fn from_kb(kb: f64) -> Bytes {
+        Bytes(kb * 1e3)
+    }
+
+    /// Constructs from megabytes (`1 MB = 1e6 B`).
+    pub fn from_mb(mb: f64) -> Bytes {
+        Bytes(mb * 1e6)
+    }
+
+    /// The value in kilobytes.
+    pub fn as_kb(self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+impl Hertz {
+    /// Constructs from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Hertz {
+        Hertz(ghz * 1e9)
+    }
+
+    /// The value in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Seconds {
+    /// Constructs from milliseconds.
+    pub fn from_ms(ms: f64) -> Seconds {
+        Seconds(ms * 1e-3)
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl BytesPerSecond {
+    /// Constructs from megabits per second (`1 Mbps = 1e6/8 B/s`), the
+    /// unit of the paper's Table I.
+    pub fn from_mbps(mbps: f64) -> BytesPerSecond {
+        BytesPerSecond(mbps * 1e6 / 8.0)
+    }
+
+    /// The value in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 * 8.0 / 1e6
+    }
+}
+
+// --- Cross-type physics -------------------------------------------------
+
+impl Div<BytesPerSecond> for Bytes {
+    /// Transfer time: `size / rate`.
+    type Output = Seconds;
+    fn div(self, rate: BytesPerSecond) -> Seconds {
+        Seconds(self.0 / rate.0)
+    }
+}
+
+impl Div<Hertz> for Cycles {
+    /// Compute time: `cycles / frequency`.
+    type Output = Seconds;
+    fn div(self, f: Hertz) -> Seconds {
+        Seconds(self.0 / f.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    /// Energy: `power × time`.
+    type Output = Joules;
+    fn mul(self, t: Seconds) -> Joules {
+        Joules(self.0 * t.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    /// Energy: `time × power`.
+    type Output = Joules;
+    fn mul(self, p: Watts) -> Joules {
+        Joules(self.0 * p.0)
+    }
+}
+
+impl Mul<Seconds> for Hertz {
+    /// Work done: `frequency × time = cycles`.
+    type Output = Cycles;
+    fn mul(self, t: Seconds) -> Cycles {
+        Cycles(self.0 * t.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_right_dimension() {
+        let t = Bytes::from_mb(1.0) / BytesPerSecond::from_mbps(8.0);
+        assert!((t.value() - 1.0).abs() < 1e-12, "1 MB at 8 Mbps is 1 s");
+    }
+
+    #[test]
+    fn compute_time_has_right_dimension() {
+        let t = Cycles::new(2e9) / Hertz::from_ghz(2.0);
+        assert!((t.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = Watts::new(7.32) * Seconds::new(2.0);
+        assert!((e.value() - 14.64).abs() < 1e-12);
+        let e2 = Seconds::new(2.0) * Watts::new(7.32);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn unit_constructors_round_trip() {
+        assert_eq!(Bytes::from_kb(3000.0).as_kb(), 3000.0);
+        assert_eq!(Hertz::from_ghz(1.5).as_ghz(), 1.5);
+        assert_eq!(Seconds::from_ms(250.0).as_ms(), 250.0);
+        let r = BytesPerSecond::from_mbps(13.76);
+        assert!((r.as_mbps() - 13.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Joules::new(1.0) + Joules::new(2.0);
+        assert_eq!(a, Joules::new(3.0));
+        assert!(Joules::new(2.0) > Joules::new(1.0));
+        let mut acc = Seconds::ZERO;
+        acc += Seconds::new(0.5);
+        acc -= Seconds::new(0.25);
+        assert_eq!(acc, Seconds::new(0.25));
+        assert_eq!(-Seconds::new(1.0), Seconds::new(-1.0));
+        assert_eq!(Bytes::new(6.0) / Bytes::new(3.0), 2.0);
+        assert_eq!(Bytes::new(2.0) * 3.0, Bytes::new(6.0));
+        assert_eq!(3.0 * Bytes::new(2.0), Bytes::new(6.0));
+        assert_eq!(Bytes::new(6.0) / 3.0, Bytes::new(2.0));
+        assert_eq!(Bytes::new(1.0).max(Bytes::new(2.0)), Bytes::new(2.0));
+        assert_eq!(Bytes::new(1.0).min(Bytes::new(2.0)), Bytes::new(1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Joules = (1..=4).map(|i| Joules::new(i as f64)).sum();
+        assert_eq!(total, Joules::new(10.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Bytes::new(12.0).to_string(), "12 B");
+        assert_eq!(Watts::new(7.32).to_string(), "7.32 W");
+    }
+
+    #[test]
+    fn frequency_times_time_is_cycles() {
+        let work = Hertz::from_ghz(2.0) * Seconds::new(0.5);
+        assert_eq!(work, Cycles::new(1e9));
+    }
+}

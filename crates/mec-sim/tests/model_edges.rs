@@ -1,0 +1,147 @@
+//! Edge-case tests of the substrate's model surface: degenerate
+//! configurations, boundary sizes, and cross-cluster plan structure.
+
+use mec_sim::cost::evaluate;
+use mec_sim::radio::NetworkProfile;
+use mec_sim::sim::plan::{build_plan, PlanStep, Resource};
+use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
+use mec_sim::topology::{Cloud, DeviceId, MecSystem, ResultModel};
+use mec_sim::units::{Bytes, Hertz, Seconds};
+use mec_sim::workload::ScenarioConfig;
+
+fn two_cluster_system() -> MecSystem {
+    let mut b = MecSystem::builder(Cloud {
+        cpu: Hertz::from_ghz(2.4),
+    });
+    let s0 = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+    let s1 = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+    for st in [s0, s1] {
+        for _ in 0..2 {
+            b.add_device(
+                st,
+                Hertz::from_ghz(1.5),
+                NetworkProfile::FourG.link(),
+                Bytes::from_mb(8.0),
+            )
+            .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn task(owner: usize, src: Option<usize>) -> HolisticTask {
+    HolisticTask {
+        id: TaskId { user: owner, index: 0 },
+        owner: DeviceId(owner),
+        local_size: Bytes::from_kb(1000.0),
+        external_size: if src.is_some() { Bytes::from_kb(400.0) } else { Bytes::ZERO },
+        external_source: src.map(DeviceId),
+        complexity: 1.0,
+        resource: Bytes::from_kb(1400.0),
+        deadline: Seconds::new(30.0),
+    }
+}
+
+#[test]
+fn cross_cluster_device_plan_contains_backhaul_stage() {
+    let sys = two_cluster_system();
+    let t = task(0, Some(2)); // source in the other cluster
+    let plan = build_plan(&sys, &t, ExecutionSite::Device).unwrap();
+    let has_bb = plan.steps.iter().any(|s| match s {
+        PlanStep::Single(stage) => stage.resource == Resource::StationBackhaul,
+        PlanStep::Parallel(branches) => branches
+            .iter()
+            .flatten()
+            .any(|st| st.resource == Resource::StationBackhaul),
+    });
+    assert!(has_bb, "cross-cluster retrieval must hop the BS backhaul");
+
+    let same = task(0, Some(1));
+    let plan = build_plan(&sys, &same, ExecutionSite::Device).unwrap();
+    let has_bb = plan.steps.iter().any(|s| matches!(s, PlanStep::Single(st) if st.resource == Resource::StationBackhaul));
+    assert!(!has_bb, "same-cluster retrieval stays inside the cell");
+}
+
+#[test]
+fn cloud_plan_never_uses_the_bs_backhaul() {
+    let sys = two_cluster_system();
+    let t = task(0, Some(2));
+    let plan = build_plan(&sys, &t, ExecutionSite::Cloud).unwrap();
+    for step in &plan.steps {
+        let stages: Vec<_> = match step {
+            PlanStep::Single(st) => vec![*st],
+            PlanStep::Parallel(b) => b.iter().flatten().copied().collect(),
+        };
+        for st in stages {
+            assert_ne!(st.resource, Resource::StationBackhaul);
+        }
+    }
+}
+
+#[test]
+fn zero_external_fraction_produces_purely_local_tasks() {
+    let mut cfg = ScenarioConfig::paper_defaults(501);
+    cfg.external_frac_range = (0.0, 0.0);
+    let s = cfg.generate().unwrap();
+    for t in &s.tasks {
+        assert_eq!(t.external_size, Bytes::ZERO, "{}", t.id);
+        assert!(t.external_source.is_none());
+    }
+}
+
+#[test]
+fn single_device_system_generates_without_sources() {
+    let mut cfg = ScenarioConfig::paper_defaults(502);
+    cfg.num_stations = 1;
+    cfg.devices_per_station = 1;
+    cfg.tasks_total = 5;
+    let s = cfg.generate().unwrap();
+    assert_eq!(s.system.num_devices(), 1);
+    for t in &s.tasks {
+        assert!(t.external_source.is_none(), "nobody else to source from");
+    }
+}
+
+#[test]
+fn tiny_tasks_still_price_consistently() {
+    let sys = two_cluster_system();
+    let mut t = task(0, None);
+    t.local_size = Bytes::new(1.0);
+    t.resource = Bytes::new(1.0);
+    let c = evaluate(&sys, &t).unwrap();
+    for site in ExecutionSite::ALL {
+        assert!(c.at(site).time.value() > 0.0);
+        assert!(c.at(site).energy.value() >= 0.0);
+    }
+    // The cloud still pays its latency floor.
+    assert!(c.at(ExecutionSite::Cloud).time.value() > 0.25);
+}
+
+#[test]
+fn constant_result_model_is_size_independent() {
+    let mut sys = two_cluster_system();
+    sys.result_model = ResultModel::Constant(Bytes::from_kb(7.0));
+    let small = evaluate(&sys, &task(0, None)).unwrap();
+    let mut big_task = task(0, None);
+    big_task.local_size = Bytes::from_kb(4000.0);
+    let big = evaluate(&sys, &big_task).unwrap();
+    // Station result-download term is identical; only upload/compute grow.
+    let link = NetworkProfile::FourG.link();
+    let dl = mec_sim::transfer::download_time(&link, Bytes::from_kb(7.0));
+    for c in [small, big] {
+        let st = c.at(ExecutionSite::Station);
+        assert!(st.time.value() > dl.value());
+    }
+}
+
+#[test]
+fn plan_energy_is_nonnegative_everywhere() {
+    let s = ScenarioConfig::paper_defaults(503).generate().unwrap();
+    for t in s.tasks.iter().take(20) {
+        for site in ExecutionSite::ALL {
+            let plan = build_plan(&s.system, t, site).unwrap();
+            assert!(plan.total_energy().value() >= 0.0);
+            assert!(plan.critical_path().value() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests over the MEC substrate: bitset algebra laws, cost
+//! model monotonicity, and analytic-vs-simulated equivalence.
+
+use mec_sim::cost::evaluate;
+use mec_sim::data::{DataItemId, ItemSet};
+use mec_sim::sim::{simulate, Contention};
+use mec_sim::task::ExecutionSite;
+use mec_sim::units::Bytes;
+use mec_sim::workload::ScenarioConfig;
+use proptest::prelude::*;
+
+fn item_set(capacity: usize) -> impl Strategy<Value = ItemSet> {
+    proptest::collection::vec(0..capacity, 0..capacity)
+        .prop_map(move |ids| ItemSet::from_ids(capacity, ids.into_iter().map(DataItemId)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn itemset_algebra_laws(a in item_set(160), b in item_set(160), c in item_set(160)) {
+        // Inclusion–exclusion.
+        prop_assert_eq!(a.union(&b).len() + a.intersection(&b).len(), a.len() + b.len());
+        // De Morgan via difference: a \ (b ∪ c) = (a \ b) ∩ (a \ c).
+        let lhs = a.difference(&b.union(&c));
+        let rhs = a.difference(&b).intersection(&a.difference(&c));
+        prop_assert_eq!(lhs, rhs);
+        // Union commutes and is idempotent.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(&a.union(&a), &a);
+        // Difference and intersection partition a.
+        prop_assert_eq!(a.difference(&b).len() + a.intersection_len(&b), a.len());
+        // Subset relations.
+        prop_assert!(a.intersection(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn itemset_iter_roundtrip(a in item_set(200)) {
+        let rebuilt = ItemSet::from_ids(200, a.iter());
+        prop_assert_eq!(&rebuilt, &a);
+        let ids: Vec<usize> = a.iter().map(|d| d.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(ids, sorted, "iteration is sorted and duplicate-free");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_input_size(seed in 0u64..1000, grow in 1.05..3.0f64) {
+        let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
+        let mut task = s.tasks[0];
+        let base = evaluate(&s.system, &task).unwrap();
+        task.local_size = Bytes::new(task.local_size.value() * grow);
+        let bigger = evaluate(&s.system, &task).unwrap();
+        for site in ExecutionSite::ALL {
+            prop_assert!(bigger.at(site).time >= base.at(site).time, "{site}");
+            prop_assert!(bigger.at(site).energy >= base.at(site).energy, "{site}");
+        }
+    }
+
+    #[test]
+    fn energy_ordering_holds_for_generated_tasks(seed in 0u64..200) {
+        // The paper argues E_ij1 < E_ij2 < E_ij3 whenever transmission
+        // dominates computation; the Section V.A parameters are in that
+        // regime, so generated tasks must obey the ordering.
+        let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
+        for task in s.tasks.iter().take(10) {
+            let c = evaluate(&s.system, task).unwrap();
+            let e1 = c.at(ExecutionSite::Device).energy;
+            let e2 = c.at(ExecutionSite::Station).energy;
+            let e3 = c.at(ExecutionSite::Cloud).energy;
+            prop_assert!(e1 < e2, "{}: {e1} !< {e2}", task.id);
+            prop_assert!(e2 < e3, "{}: {e2} !< {e3}", task.id);
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_cost_model(seed in 0u64..100) {
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 12;
+        let s = cfg.generate().unwrap();
+        // Mixed assignment: rotate through the sites.
+        let assignment: Vec<_> = s.tasks.iter().enumerate()
+            .map(|(k, t)| (*t, ExecutionSite::ALL[k % 3]))
+            .collect();
+        let report = simulate(&s.system, &assignment, Contention::None).unwrap();
+        for ((task, site), result) in assignment.iter().zip(report.results.iter()) {
+            let expect = evaluate(&s.system, task).unwrap().at(*site);
+            let dt = (result.completion.value() - expect.time.value()).abs();
+            prop_assert!(dt < 1e-9 * (1.0 + expect.time.value()));
+        }
+    }
+
+    #[test]
+    fn deadline_scales_with_factor_range(seed in 0u64..100) {
+        let mut tight = ScenarioConfig::paper_defaults(seed);
+        tight.deadline_factor_range = (1.0, 1.0);
+        let mut loose = ScenarioConfig::paper_defaults(seed);
+        loose.deadline_factor_range = (5.0, 5.0);
+        let a = tight.generate().unwrap();
+        let b = loose.generate().unwrap();
+        for (ta, tb) in a.tasks.iter().zip(b.tasks.iter()) {
+            prop_assert!(tb.deadline.value() >= ta.deadline.value() * 4.999);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Cross-crate integration tests: scenarios from `mec-sim`, algorithms
+//! from `dsmec-core`, execution on the discrete-event simulator, and the
+//! paper's analytical guarantees holding end to end.
+
+use dsmec_core::costs::CostTable;
+use dsmec_core::dta::{
+    aggregate_distributed, divide_balanced, divide_min_devices, divisible_as_holistic, run_dta,
+    DtaConfig,
+};
+use dsmec_core::hta::{AllOffload, AllToC, ExactBnB, Hgos, HtaAlgorithm, LocalFirst, LpHta};
+use dsmec_core::metrics::{capacity_usage, evaluate_assignment};
+use mec_sim::sim::{simulate, Contention};
+use mec_sim::units::Bytes;
+use mec_sim::workload::{DivisibleScenarioConfig, ScenarioConfig};
+
+/// End-to-end: the energy the metric layer reports for an assignment must
+/// equal the energy the discrete-event executor actually spends.
+#[test]
+fn analytic_energy_matches_simulated_energy_for_every_algorithm() {
+    let s = ScenarioConfig::paper_defaults(301).generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let algos: Vec<Box<dyn HtaAlgorithm>> = vec![
+        Box::new(LpHta::paper()),
+        Box::new(Hgos::default()),
+        Box::new(AllToC),
+        Box::new(AllOffload),
+        Box::new(LocalFirst),
+    ];
+    for algo in &algos {
+        let a = algo.assign(&s.system, &s.tasks, &costs).unwrap();
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        let exec = a.to_executable(&s.tasks).unwrap();
+        let report = simulate(&s.system, &exec, Contention::None).unwrap();
+        let sim_energy = report.total_energy().value();
+        assert!(
+            (m.total_energy.value() - sim_energy).abs() < 1e-6 * (1.0 + sim_energy),
+            "{}: analytic {} vs simulated {}",
+            algo.name(),
+            m.total_energy,
+            report.total_energy()
+        );
+    }
+}
+
+/// End-to-end: per-task latencies from the cost table equal the
+/// executor's completion times when resources are unlimited.
+#[test]
+fn analytic_latency_matches_simulated_completion() {
+    let s = ScenarioConfig::paper_defaults(302).generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
+    let exec = a.to_executable(&s.tasks).unwrap();
+    let report = simulate(&s.system, &exec, Contention::None).unwrap();
+    for ((task, site), result) in exec.iter().zip(report.results.iter()) {
+        let idx = s.tasks.iter().position(|t| t.id == task.id).unwrap();
+        let expect = costs.at(idx, *site).time.value();
+        assert!(
+            (result.completion.value() - expect).abs() < 1e-9 * (1.0 + expect),
+            "{}",
+            task.id
+        );
+    }
+}
+
+/// LP-HTA's assignment satisfies all four constraint families of the HTA
+/// problem definition across a spread of seeds and pressures.
+#[test]
+fn lp_hta_constraints_hold_under_pressure() {
+    for (seed, dev_mb, st_mb, dl) in [
+        (401u64, 8.0, 200.0, (1.0, 3.0)),
+        (402, 3.0, 50.0, (1.0, 2.0)),
+        (403, 2.0, 20.0, (1.0, 1.5)),
+        (404, 16.0, 400.0, (2.0, 5.0)),
+    ] {
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 150;
+        cfg.device_resource_mb = dev_mb;
+        cfg.station_resource_mb = st_mb;
+        cfg.deadline_factor_range = dl;
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
+        // C1 (deadlines) for assigned tasks.
+        for (idx, task) in s.tasks.iter().enumerate() {
+            if let Some(site) = a.decision(idx).site() {
+                assert!(
+                    costs.feasible(idx, site, task.deadline),
+                    "seed {seed}: {} misses deadline",
+                    task.id
+                );
+            }
+        }
+        // C2/C3 (capacities).
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)), "seed {seed}");
+        // C4/C5: every task has exactly one decision by construction.
+        assert_eq!(a.len(), s.tasks.len());
+    }
+}
+
+/// The paper's headline comparison (Fig. 2/3/4 shape) on a full-size
+/// scenario: LP-HTA dominates the baselines on every axis at once.
+#[test]
+fn lp_hta_dominates_baselines_at_scale() {
+    let mut cfg = ScenarioConfig::paper_defaults(305);
+    cfg.tasks_total = 400;
+    let s = cfg.generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+
+    let lp = evaluate_assignment(
+        &s.tasks,
+        &costs,
+        &LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap(),
+    )
+    .unwrap();
+    let hgos = evaluate_assignment(
+        &s.tasks,
+        &costs,
+        &Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap(),
+    )
+    .unwrap();
+    let cloud = evaluate_assignment(
+        &s.tasks,
+        &costs,
+        &AllToC.assign(&s.system, &s.tasks, &costs).unwrap(),
+    )
+    .unwrap();
+    let offload = evaluate_assignment(
+        &s.tasks,
+        &costs,
+        &AllOffload.assign(&s.system, &s.tasks, &costs).unwrap(),
+    )
+    .unwrap();
+
+    // Energy: LP-HTA < HGOS < AllOffload < AllToC.
+    assert!(lp.total_energy < hgos.total_energy);
+    assert!(hgos.total_energy < offload.total_energy);
+    assert!(offload.total_energy < cloud.total_energy);
+    // Latency: LP-HTA smallest.
+    assert!(lp.mean_latency <= hgos.mean_latency);
+    assert!(lp.mean_latency < cloud.mean_latency);
+    // Unsatisfied rate: LP-HTA smallest.
+    assert!(lp.unsatisfied_rate <= hgos.unsatisfied_rate);
+    assert!(lp.unsatisfied_rate < offload.unsatisfied_rate);
+}
+
+/// LP-HTA tracks the exact optimum within its own certificate on small
+/// instances (the Theorem 2 / Corollary 1 guarantee, measured).
+#[test]
+fn approximation_ratio_certificate_holds_empirically() {
+    let mut checked = 0;
+    for seed in 501..511u64 {
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.num_stations = 2;
+        cfg.devices_per_station = 3;
+        cfg.tasks_total = 10;
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let Some((_, opt)) = ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap()
+        else {
+            continue;
+        };
+        let (a, report) = LpHta::paper()
+            .without_fast_path()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        if !a.cancelled().is_empty() {
+            continue;
+        }
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        let ratio = m.total_energy.value() / opt;
+        assert!(ratio >= 1.0 - 1e-9, "seed {seed}: beat the optimum");
+        assert!(
+            ratio <= report.ratio_bound + 1e-9,
+            "seed {seed}: ratio {ratio} above certificate {}",
+            report.ratio_bound
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} instances were checkable");
+}
+
+/// Full divisible pipeline: division validity, aggregation correctness
+/// and the Fig. 5/6 relationships, in one pass.
+#[test]
+fn divisible_pipeline_end_to_end() {
+    let mut cfg = DivisibleScenarioConfig::paper_defaults(601);
+    cfg.tasks_total = 50;
+    let s = cfg.generate().unwrap();
+    let required = s.required_universe();
+
+    // Division validity for both strategies.
+    let balanced = divide_balanced(&s.universe, &required).unwrap();
+    let minimal = divide_min_devices(&s.universe, &required).unwrap();
+    balanced.validate(&s.universe, &required).unwrap();
+    minimal.validate(&s.universe, &required).unwrap();
+    assert!(minimal.involved_devices() <= balanced.involved_devices());
+    assert!(balanced.max_share_len() <= minimal.max_share_len());
+
+    // Aggregation correctness over the balanced coverage.
+    let values: Vec<f64> = (0..s.universe.num_items()).map(|i| (i % 17) as f64).collect();
+    for task in &s.tasks {
+        let got = aggregate_distributed(&s, &balanced, task, &values);
+        let central: Vec<f64> = task.items.iter().map(|d| values[d.0]).collect();
+        assert_eq!(got, task.op.apply(&central), "{}", task.id);
+    }
+
+    // Pipeline energy: both DTA variants beat shipping raw data.
+    let w = run_dta(&s, DtaConfig::workload()).unwrap();
+    let n = run_dta(&s, DtaConfig::number()).unwrap();
+    let holistic = divisible_as_holistic(&s).unwrap();
+    let costs = CostTable::build(&s.system, &holistic).unwrap();
+    let a = LpHta::paper().assign(&s.system, &holistic, &costs).unwrap();
+    let raw = evaluate_assignment(&holistic, &costs, &a).unwrap();
+    assert!(w.total_energy < raw.total_energy);
+    assert!(n.total_energy < raw.total_energy);
+}
+
+/// Contention never reduces latency, and never changes energy.
+#[test]
+fn queued_execution_dominates_contention_free() {
+    let mut cfg = ScenarioConfig::paper_defaults(701);
+    cfg.tasks_total = 80;
+    let s = cfg.generate().unwrap();
+    let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+    let a = Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap();
+    let exec = a.to_executable(&s.tasks).unwrap();
+    let free = simulate(&s.system, &exec, Contention::None).unwrap();
+    let queued = simulate(&s.system, &exec, Contention::Exclusive).unwrap();
+    assert!(queued.makespan() >= free.makespan());
+    assert!(queued.mean_latency() >= free.mean_latency());
+    assert!(
+        (queued.total_energy().value() - free.total_energy().value()).abs()
+            < 1e-9 * (1.0 + free.total_energy().value())
+    );
+}

@@ -1,0 +1,185 @@
+//! Cross-crate property tests: randomized scenario parameters, with the
+//! paper's invariants asserted end to end.
+
+use dsmec_core::costs::CostTable;
+use dsmec_core::dta::{divide_balanced, divide_min_devices};
+use dsmec_core::hta::{Hgos, HtaAlgorithm, LpHta};
+use dsmec_core::metrics::{capacity_usage, evaluate_assignment};
+use mec_sim::sim::{simulate, Contention};
+use mec_sim::units::Bytes;
+use mec_sim::workload::{DivisibleScenarioConfig, ScenarioConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        0u64..10_000,          // seed
+        1usize..5,             // stations
+        2usize..8,             // devices per station
+        10usize..60,           // tasks
+        500.0..4000.0f64,      // max input kB
+        1.0f64..3.0,           // deadline lo
+        2.0f64..16.0,          // device MB
+        20.0f64..300.0,        // station MB
+    )
+        .prop_map(|(seed, k, dps, tasks, kb, dl_lo, dev_mb, st_mb)| {
+            let mut cfg = ScenarioConfig::paper_defaults(seed);
+            cfg.num_stations = k;
+            cfg.devices_per_station = dps;
+            cfg.tasks_total = tasks;
+            cfg.max_input_kb = kb;
+            cfg.deadline_factor_range = (dl_lo, dl_lo + 1.0);
+            cfg.device_resource_mb = dev_mb;
+            cfg.station_resource_mb = st_mb;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LP-HTA output is always feasible: deadlines for assigned tasks,
+    /// capacities everywhere, one decision per task.
+    #[test]
+    fn lp_hta_is_always_feasible(cfg in arb_config()) {
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
+        prop_assert_eq!(a.len(), s.tasks.len());
+        for (idx, task) in s.tasks.iter().enumerate() {
+            if let Some(site) = a.decision(idx).site() {
+                prop_assert!(costs.feasible(idx, site, task.deadline));
+            }
+        }
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        prop_assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+    }
+
+    /// The certified ratio bound is finite and at least 1 whenever tasks
+    /// were assigned, and the final energy respects the Lemma-1 chain.
+    #[test]
+    fn lp_hta_certificate_sanity(cfg in arb_config()) {
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let (a, r) = LpHta::paper()
+            .without_fast_path()
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        prop_assert!(r.lp_objective > 0.0);
+        prop_assert!(r.rounded_energy <= 3.0 * r.lp_objective + 1e-6);
+        prop_assert!(r.theorem2_bound >= 3.0);
+        prop_assert!(r.delta >= 0.0);
+        prop_assert_eq!(a.cancelled().len(), r.cancelled.len());
+    }
+
+    /// Analytic metrics equal discrete-event execution for any algorithm
+    /// output (unlimited resources).
+    #[test]
+    fn sim_cross_check(cfg in arb_config()) {
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap();
+        let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
+        let exec = a.to_executable(&s.tasks).unwrap();
+        let report = simulate(&s.system, &exec, Contention::None).unwrap();
+        let sim_e = report.total_energy().value();
+        prop_assert!((m.total_energy.value() - sim_e).abs() < 1e-6 * (1.0 + sim_e));
+    }
+
+    /// Division invariants on random divisible scenarios: validity plus
+    /// the two optimization directions.
+    #[test]
+    fn division_invariants(seed in 0u64..5000, items in 50usize..400, tasks in 5usize..40) {
+        let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
+        cfg.num_items = items;
+        cfg.tasks_total = tasks;
+        cfg.items_per_task = (2, 10.min(items));
+        let s = cfg.generate().unwrap();
+        let required = s.required_universe();
+        let w = divide_balanced(&s.universe, &required).unwrap();
+        let n = divide_min_devices(&s.universe, &required).unwrap();
+        prop_assert!(w.validate(&s.universe, &required).is_ok());
+        prop_assert!(n.validate(&s.universe, &required).is_ok());
+        prop_assert!(n.involved_devices() <= w.involved_devices());
+        prop_assert!(w.max_share_len() <= n.max_share_len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Battery attribution: summed device shares never exceed the system
+    /// energy for any task/site, and a fleet's lifetime shrinks when the
+    /// per-round drain grows.
+    #[test]
+    fn battery_attribution_is_bounded_by_system_energy(seed in 0u64..2000) {
+        use mec_sim::battery::attribute_energy;
+        use mec_sim::cost::evaluate;
+        use mec_sim::task::ExecutionSite;
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 12;
+        let s = cfg.generate().unwrap();
+        for task in &s.tasks {
+            let costs = evaluate(&s.system, task).unwrap();
+            for site in ExecutionSite::ALL {
+                let shares = attribute_energy(&s.system, task, site).unwrap();
+                let paid: f64 = shares.iter().map(|sh| sh.energy.value()).sum();
+                prop_assert!(paid <= costs.at(site).energy.value() + 1e-9);
+            }
+        }
+    }
+
+    /// Mobility churn is monotone in the move probability (in
+    /// expectation; checked with a margin) and epoch 0 never churns.
+    #[test]
+    fn mobility_churn_scales_with_probability(seed in 0u64..500) {
+        use mec_sim::mobility::MobilityConfig;
+        let mut low = MobilityConfig::paper_defaults(seed);
+        low.move_prob = 0.05;
+        low.epochs = 2;
+        let mut high = MobilityConfig::paper_defaults(seed);
+        high.move_prob = 0.9;
+        high.epochs = 2;
+        let a = low.generate().unwrap();
+        let b = high.generate().unwrap();
+        prop_assert_eq!(a.churn(0, 0).unwrap(), 0.0);
+        prop_assert!(b.churn(0, 1).unwrap() >= a.churn(0, 1).unwrap());
+    }
+
+    /// The online controllers never violate capacities or deadlines, for
+    /// any policy and pressure level.
+    #[test]
+    fn online_is_always_feasible(seed in 0u64..1000, dev_mb in 2.0..12.0f64, reserve in 0.0..0.5f64) {
+        use dsmec_core::hta::{OnlineHta, OnlinePolicy};
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 40;
+        cfg.device_resource_mb = dev_mb;
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        for policy in [OnlinePolicy::Greedy, OnlinePolicy::Reserve { reserve }] {
+            let a = OnlineHta { policy }.assign(&s.system, &s.tasks, &costs).unwrap();
+            for (idx, task) in s.tasks.iter().enumerate() {
+                if let Some(site) = a.decision(idx).site() {
+                    prop_assert!(costs.feasible(idx, site, task.deadline));
+                }
+            }
+            let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+            prop_assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+        }
+    }
+
+    /// Station shadow prices are nonpositive and vanish when capacity is
+    /// abundant.
+    #[test]
+    fn shadow_prices_sane(seed in 0u64..300) {
+        use dsmec_core::hta::station_capacity_prices;
+        let mut cfg = ScenarioConfig::paper_defaults(seed);
+        cfg.tasks_total = 30;
+        cfg.station_resource_mb = 1_000_000.0;
+        let s = cfg.generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let prices = station_capacity_prices(&s.system, &s.tasks, &costs).unwrap();
+        for (_, p) in prices {
+            prop_assert!(p.abs() < 1e-9, "slack stations price at zero, got {p}");
+        }
+    }
+}
