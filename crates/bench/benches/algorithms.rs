@@ -62,7 +62,13 @@ fn bench_exact(c: &mut Criterion) {
     let s = cfg.generate().unwrap();
     let costs = CostTable::build(&s.system, &s.tasks).unwrap();
     c.bench_function("exact_bnb_14_tasks", |b| {
-        b.iter(|| black_box(ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap()))
+        b.iter(|| {
+            black_box(
+                ExactBnB::default()
+                    .solve(&s.system, &s.tasks, &costs)
+                    .unwrap(),
+            )
+        })
     });
 }
 
@@ -74,9 +80,11 @@ fn bench_dta(c: &mut Criterion) {
         cfg.tasks_total = 100;
         let s = cfg.generate().unwrap();
         let required = s.required_universe();
-        group.bench_with_input(BenchmarkId::new("divide_balanced", items), &items, |b, _| {
-            b.iter(|| black_box(divide_balanced(&s.universe, &required).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("divide_balanced", items),
+            &items,
+            |b, _| b.iter(|| black_box(divide_balanced(&s.universe, &required).unwrap())),
+        );
         group.bench_with_input(
             BenchmarkId::new("divide_min_devices", items),
             &items,
@@ -84,12 +92,20 @@ fn bench_dta(c: &mut Criterion) {
         );
     }
     // The whole pipeline at the paper's default scale.
-    let s = DivisibleScenarioConfig::paper_defaults(8500).generate().unwrap();
+    let s = DivisibleScenarioConfig::paper_defaults(8500)
+        .generate()
+        .unwrap();
     group.bench_function("pipeline_workload_100_tasks", |b| {
         b.iter(|| black_box(run_dta(&s, DtaConfig::workload()).unwrap()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_lp_hta, bench_comparators, bench_exact, bench_dta);
+criterion_group!(
+    benches,
+    bench_lp_hta,
+    bench_comparators,
+    bench_exact,
+    bench_dta
+);
 criterion_main!(benches);

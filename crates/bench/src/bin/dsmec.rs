@@ -50,19 +50,30 @@ fn run() -> Result<(), String> {
     if let Some(name) = pending {
         return Err(format!("flag --{name} needs a value"));
     }
+    if let Some(spec) = flags.get("threads") {
+        mec_bench::cli::apply_threads(spec)?;
+    }
 
-    let get_u64 = |flags: &HashMap<String, String>, name: &str, default: u64| -> Result<u64, String> {
-        flags
-            .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} must be an integer")))
-            .unwrap_or(Ok(default))
-    };
-    let get_usize = |flags: &HashMap<String, String>, name: &str, default: usize| -> Result<usize, String> {
-        flags
-            .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} must be an integer")))
-            .unwrap_or(Ok(default))
-    };
+    let get_u64 =
+        |flags: &HashMap<String, String>, name: &str, default: u64| -> Result<u64, String> {
+            flags
+                .get(name)
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--{name} must be an integer"))
+                })
+                .unwrap_or(Ok(default))
+        };
+    let get_usize =
+        |flags: &HashMap<String, String>, name: &str, default: usize| -> Result<usize, String> {
+            flags
+                .get(name)
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--{name} must be an integer"))
+                })
+                .unwrap_or(Ok(default))
+        };
 
     match command.as_str() {
         "generate" => {
@@ -72,10 +83,13 @@ fn run() -> Result<(), String> {
             let tasks = get_usize(&flags, "tasks", 100)?;
             let kb: f64 = flags
                 .get("max-input-kb")
-                .map(|v| v.parse().map_err(|_| "--max-input-kb must be a number".to_string()))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| "--max-input-kb must be a number".to_string())
+                })
                 .unwrap_or(Ok(3000.0))?;
-            let scenario = generate_scenario(seed, stations, devices, tasks, kb)
-                .map_err(|e| e.to_string())?;
+            let scenario =
+                generate_scenario(seed, stations, devices, tasks, kb).map_err(|e| e.to_string())?;
             let out = flags.get("out").cloned().unwrap_or("scenario.json".into());
             write_json(&out, &scenario)?;
             println!(
@@ -87,20 +101,28 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "assign" => {
-            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
-            let name = flags.get("algorithm").map(String::as_str).unwrap_or("lp-hta");
+            let scenario: Scenario =
+                read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let name = flags
+                .get("algorithm")
+                .map(String::as_str)
+                .unwrap_or("lp-hta");
             let algorithm = AlgorithmName::parse(name)
                 .ok_or_else(|| format!("unknown algorithm `{name}` (try lp-hta, hgos, nash, …)"))?;
             let seed = get_u64(&flags, "seed", 42)?;
             let file = assign_scenario(&scenario, algorithm, seed).map_err(|e| e.to_string())?;
-            let out = flags.get("out").cloned().unwrap_or("assignment.json".into());
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or("assignment.json".into());
             write_json(&out, &file)?;
             print!("{}", render_report(&file, None));
             println!("wrote {out}");
             Ok(())
         }
         "simulate" | "report" => {
-            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let scenario: Scenario =
+                read_json(flags.get("scenario").ok_or("--scenario required")?)?;
             let file: AssignmentFile =
                 read_json(flags.get("assignment").ok_or("--assignment required")?)?;
             let sim = if command == "simulate" {
@@ -145,7 +167,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "compare" => {
-            let scenario: Scenario = read_json(flags.get("scenario").ok_or("--scenario required")?)?;
+            let scenario: Scenario =
+                read_json(flags.get("scenario").ok_or("--scenario required")?)?;
             let seed = get_u64(&flags, "seed", 42)?;
             println!(
                 "{:<12} {:>12} {:>12} {:>12}",
@@ -174,6 +197,8 @@ fn run() -> Result<(), String> {
             eprintln!("  report    --scenario F --assignment F");
             eprintln!("  compare   --scenario F");
             eprintln!("  divisible --seed N --tasks T --items M");
+            eprintln!("global flags:");
+            eprintln!("  --threads N  worker threads for the LP kernels (0 = auto)");
             eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
             Ok(())
         }

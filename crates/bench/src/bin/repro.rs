@@ -3,22 +3,85 @@
 //! Usage:
 //!   repro                 run every experiment (full sweeps)
 //!   repro fig2a fig3      run selected experiments
-//!   repro --quick         CI-sized sweeps
+//!   repro --quick         CI-sized sweeps (implies --perf)
 //!   repro --out DIR       CSV output directory (default target/experiments)
+//!   repro --threads N     worker threads (0 = auto; also DSMEC_THREADS)
+//!   repro --perf          time a serial pass vs a parallel pass and write
+//!                         the speedup report
+//!   repro --bench-out P   speedup report path (default BENCH_parallel.json)
+//!
+//! With `--perf` (or `--quick`) every selected experiment runs twice from a
+//! cold cache — once on one thread, once on the configured thread count —
+//! and the wall times, speedups and a bit-identity check of the two outputs
+//! land in `BENCH_parallel.json`. Series whose name contains `"time ms"`
+//! are wall-clock measurements and are exempt from the identity check.
 
-use mec_bench::figures::{registry, ExperimentOptions};
+use mec_bench::figures::{registry, ExperimentOptions, Runner};
+use mec_bench::table::Figure;
+use mec_bench::{cache, cli, par};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Outcome of one timed pass over the selected experiments.
+struct Pass {
+    /// `(id, figure)` for every experiment that succeeded.
+    figures: Vec<(&'static str, Figure)>,
+    /// `(id, wall-time ms)` for every experiment that succeeded.
+    times_ms: Vec<(&'static str, f64)>,
+    /// Experiments that failed, with rendered errors.
+    failures: Vec<(&'static str, String)>,
+}
+
+fn run_pass(runners: &[(&'static str, Runner)], opts: &ExperimentOptions) -> Pass {
+    let mut pass = Pass {
+        figures: Vec::new(),
+        times_ms: Vec::new(),
+        failures: Vec::new(),
+    };
+    for &(id, run) in runners {
+        let start = std::time::Instant::now();
+        match run(opts) {
+            Ok(fig) => {
+                pass.times_ms
+                    .push((id, start.elapsed().as_secs_f64() * 1e3));
+                pass.figures.push((id, fig));
+            }
+            Err(e) => pass.failures.push((id, e.to_string())),
+        }
+    }
+    pass
+}
+
+/// Bitwise equality of two figures, ignoring wall-clock series.
+fn figures_identical(a: &Figure, b: &Figure) -> bool {
+    a.x_ticks == b.x_ticks
+        && a.series.len() == b.series.len()
+        && a.series.iter().zip(&b.series).all(|(x, y)| {
+            x.name == y.name
+                && (x.name.contains("time ms")
+                    || (x.values.len() == y.values.len()
+                        && x.values
+                            .iter()
+                            .zip(&y.values)
+                            .all(|(u, v)| u.to_bits() == v.to_bits())))
+        })
+}
 
 fn main() -> ExitCode {
     let mut opts = ExperimentOptions::default();
     let mut out_dir = PathBuf::from("target/experiments");
+    let mut bench_out = PathBuf::from("BENCH_parallel.json");
+    let mut perf = false;
     let mut selected: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => opts = ExperimentOptions::quick(),
+            "--quick" => {
+                opts = ExperimentOptions::quick();
+                perf = true;
+            }
+            "--perf" => perf = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -26,8 +89,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bench-out" => match args.next() {
+                Some(path) => bench_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--bench-out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().map(|s| cli::apply_threads(&s)) {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--threads requires a count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: repro [--quick] [--out DIR] [EXPERIMENT...]");
+                eprintln!(
+                    "usage: repro [--quick] [--perf] [--threads N] [--out DIR] \
+                     [--bench-out PATH] [EXPERIMENT...]"
+                );
                 eprintln!("experiments:");
                 for (id, _) in registry() {
                     eprintln!("  {id}");
@@ -38,40 +122,118 @@ fn main() -> ExitCode {
         }
     }
 
-    let runners = registry();
+    let runners: Vec<(&'static str, Runner)> = registry()
+        .into_iter()
+        .filter(|(id, _)| selected.is_empty() || selected.iter().any(|s| s == id))
+        .collect();
     let unknown: Vec<&String> = selected
         .iter()
-        .filter(|s| !runners.iter().any(|(id, _)| id == s))
+        .filter(|s| !registry().iter().any(|(id, _)| id == s))
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiments: {unknown:?} (see --help)");
         return ExitCode::FAILURE;
     }
 
-    let mut failures = 0usize;
-    for (id, run) in runners {
-        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
-            continue;
-        }
-        let start = std::time::Instant::now();
-        match run(&opts) {
-            Ok(fig) => {
-                println!("{}", fig.render_table());
-                if let Err(e) = fig.write_csv(&out_dir) {
-                    eprintln!("warning: could not write {id}.csv: {e}");
-                } else {
-                    println!("   -> {}  ({:.1}s)\n", out_dir.join(format!("{id}.csv")).display(), start.elapsed().as_secs_f64());
-                }
-            }
-            Err(e) => {
-                eprintln!("{id} FAILED: {e}");
-                failures += 1;
-            }
+    let threads = par::threads();
+    // Optional reference pass on one thread, cold cache, for the speedup
+    // report and the serial-vs-parallel identity check.
+    let serial = if perf {
+        par::set_threads(1);
+        cache::clear();
+        let pass = run_pass(&runners, &opts);
+        par::set_threads(threads);
+        Some(pass)
+    } else {
+        None
+    };
+
+    cache::clear();
+    let parallel = run_pass(&runners, &opts);
+    let cache_stats = cache::stats();
+
+    for (id, fig) in &parallel.figures {
+        println!("{}", fig.render_table());
+        let t = parallel
+            .times_ms
+            .iter()
+            .find(|(i, _)| i == id)
+            .map_or(0.0, |(_, ms)| *ms);
+        if let Err(e) = fig.write_csv(&out_dir) {
+            eprintln!("warning: could not write {id}.csv: {e}");
+        } else {
+            println!(
+                "   -> {}  ({:.1}s)\n",
+                out_dir.join(format!("{id}.csv")).display(),
+                t / 1e3
+            );
         }
     }
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
+    for (id, e) in &parallel.failures {
+        eprintln!("{id} FAILED: {e}");
+    }
+
+    if let Some(serial) = &serial {
+        let mut per_figure = Vec::new();
+        let mut serial_total = 0.0;
+        let mut parallel_total = 0.0;
+        let mut all_identical = true;
+        for (id, par_ms) in &parallel.times_ms {
+            let Some((_, ser_ms)) = serial.times_ms.iter().find(|(i, _)| i == id) else {
+                continue;
+            };
+            let identical = match (
+                serial.figures.iter().find(|(i, _)| i == id),
+                parallel.figures.iter().find(|(i, _)| i == id),
+            ) {
+                (Some((_, a)), Some((_, b))) => figures_identical(a, b),
+                _ => false,
+            };
+            all_identical &= identical;
+            serial_total += ser_ms;
+            parallel_total += par_ms;
+            per_figure.push(serde_json::json!({
+                "id": id,
+                "serial_ms": ser_ms,
+                "parallel_ms": par_ms,
+                "speedup": ser_ms / par_ms.max(1e-9),
+                "identical": identical,
+            }));
+        }
+        let report = serde_json::json!({
+            "threads": threads,
+            "figures": per_figure,
+            "total": {
+                "serial_ms": serial_total,
+                "parallel_ms": parallel_total,
+                "speedup": serial_total / parallel_total.max(1e-9),
+            },
+            "identical": all_identical,
+            "cache": cache_stats,
+        });
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&bench_out, json + "\n") {
+                    eprintln!("warning: could not write {}: {e}", bench_out.display());
+                } else {
+                    println!(
+                        "perf: {threads} threads, {:.1}x speedup, outputs identical: {all_identical} -> {}",
+                        serial_total / parallel_total.max(1e-9),
+                        bench_out.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize perf report: {e}"),
+        }
+        if !all_identical {
+            eprintln!("ERROR: parallel output differs from the serial reference");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if parallel.failures.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

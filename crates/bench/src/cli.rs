@@ -96,6 +96,23 @@ impl fmt::Display for AlgorithmName {
     }
 }
 
+/// Parses and applies the shared `--threads N` flag: sets the worker count
+/// for both the sweep engine and the linprog dense kernels, returning the
+/// effective count. `0` restores the default resolution (the
+/// `DSMEC_THREADS` environment variable, then the machine's available
+/// parallelism).
+///
+/// # Errors
+///
+/// Returns a human-readable message when `spec` is not a number.
+pub fn apply_threads(spec: &str) -> Result<usize, String> {
+    let n: usize = spec
+        .parse()
+        .map_err(|e| format!("invalid --threads value {spec:?}: {e}"))?;
+    crate::par::set_threads(n);
+    Ok(crate::par::threads())
+}
+
 /// On-disk bundle tying an assignment to the scenario it was made for.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AssignmentFile {
@@ -177,13 +194,20 @@ pub fn render_report(file: &AssignmentFile, sim: Option<&SimReport>) -> String {
     let _ = writeln!(out, "mean latency:     {:.4} s", m.mean_latency.value());
     let _ = writeln!(out, "unsatisfied rate: {:.2}%", m.unsatisfied_rate * 100.0);
     let _ = writeln!(out, "cancelled tasks:  {}", m.cancelled);
-    let _ = writeln!(out, "placements:       device {d} / station {s} / cloud {c}");
+    let _ = writeln!(
+        out,
+        "placements:       device {d} / station {s} / cloud {c}"
+    );
     if let Some(r) = sim {
         let _ = writeln!(out, "--- discrete-event execution ---");
         let _ = writeln!(out, "makespan:         {:.4} s", r.makespan().value());
         let _ = writeln!(out, "sim mean latency: {:.4} s", r.mean_latency().value());
         let _ = writeln!(out, "sim energy:       {:.2} J", r.total_energy().value());
-        let _ = writeln!(out, "deadline misses:  {:.2}%", r.deadline_miss_rate() * 100.0);
+        let _ = writeln!(
+            out,
+            "deadline misses:  {:.2}%",
+            r.deadline_miss_rate() * 100.0
+        );
     }
     out
 }
@@ -191,6 +215,15 @@ pub fn render_report(file: &AssignmentFile, sim: Option<&SimReport>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn apply_threads_parses_and_applies() {
+        let _guard = crate::par::THREADS_TEST_LOCK.lock();
+        assert_eq!(apply_threads("3"), Ok(3));
+        assert!(apply_threads("zero").is_err());
+        // Restore the default so other tests see the ambient setting.
+        assert!(apply_threads("0").unwrap() >= 1);
+    }
 
     #[test]
     fn algorithm_names_round_trip() {

@@ -3,8 +3,15 @@
 //! whose series mirror the paper's plot legends, so
 //! `cargo run -p mec-bench --bin repro --release` regenerates the entire
 //! evaluation as text tables and CSV files.
+//!
+//! Every sweep fans out over its full (point × seed) cross product through
+//! [`sweep_seed_averaged`], with per-(point, seed) scenario construction
+//! served by the [`crate::cache`] — so runs parallelize across worker
+//! threads while remaining bit-identical to a serial evaluation.
 
-use crate::runner::{par_map, paper_comparators, seed_averaged, Algo};
+use crate::cache;
+use crate::par::par_map_result;
+use crate::runner::{eval_algos, paper_comparators, sweep_seed_averaged, Algo};
 use crate::table::Figure;
 use dsmec_core::costs::CostTable;
 use dsmec_core::dta::{
@@ -12,7 +19,10 @@ use dsmec_core::dta::{
     rebalance, run_dta, DtaConfig,
 };
 use dsmec_core::error::AssignError;
-use dsmec_core::hta::{partial_offload_plan, ExactBnB, HtaAlgorithm, LpHta, NashOffload, OnlineHta, OnlinePolicy, RoundingRule};
+use dsmec_core::hta::{
+    partial_offload_plan, ExactBnB, HtaAlgorithm, LpHta, NashOffload, OnlineHta, OnlinePolicy,
+    RoundingRule,
+};
 use dsmec_core::metrics::evaluate_assignment;
 use linprog::Solver;
 use mec_sim::radio::NetworkProfile;
@@ -92,10 +102,9 @@ fn sweep_tasks(
     extract: impl Fn(&dsmec_core::metrics::Metrics) -> f64 + Sync,
 ) -> Result<Vec<Vec<f64>>, AssignError> {
     let points = opts.task_sweep();
-    let rows = par_map(&points, |&tasks| {
-        seed_averaged(&holistic_cfg(tasks, max_kb), &opts.seeds, algos, &extract)
-    });
-    rows.into_iter().collect()
+    sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        eval_algos(&holistic_cfg(tasks, max_kb), seed, algos, &extract)
+    })
 }
 
 /// Sweeps input sizes at a fixed task count.
@@ -106,11 +115,11 @@ fn sweep_sizes(
     extract: impl Fn(&dsmec_core::metrics::Metrics) -> f64 + Sync,
 ) -> Result<Vec<Vec<f64>>, AssignError> {
     let points = opts.size_sweep();
-    let rows = par_map(&points, |&kb| {
-        seed_averaged(&holistic_cfg(100, kb), &opts.seeds, algos, &extract)
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&kb, seed| {
+        eval_algos(&holistic_cfg(100, kb), seed, algos, &extract)
     });
     let _ = tasks;
-    rows.into_iter().collect()
+    rows
 }
 
 fn assemble(
@@ -153,7 +162,10 @@ pub fn fig2b(opts: &ExperimentOptions) -> FigResult {
         "Energy cost vs size of input data",
         "max input (kB)",
         "total energy (J)",
-        opts.size_sweep().iter().map(|s| format!("{s:.0}")).collect(),
+        opts.size_sweep()
+            .iter()
+            .map(|s| format!("{s:.0}"))
+            .collect(),
         &["LP-HTA", "HGOS", "AllToC", "AllOffload"],
         rows,
     ))
@@ -169,13 +181,11 @@ pub fn fig3(opts: &ExperimentOptions) -> FigResult {
     ];
     // Tighter deadlines than the default so obliviousness is visible.
     let points = opts.task_sweep();
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
         let mut cfg = holistic_cfg(tasks, 3000.0);
         cfg.deadline_factor_range = (1.0, 2.0);
-        seed_averaged(&cfg, &opts.seeds, &algos, |m| m.unsatisfied_rate)
-    })
-    .into_iter()
-    .collect();
+        eval_algos(&cfg, seed, &algos, |m| m.unsatisfied_rate)
+    })?;
     Ok(assemble(
         "fig3",
         "Unsatisfied task rate vs number of tasks",
@@ -183,7 +193,7 @@ pub fn fig3(opts: &ExperimentOptions) -> FigResult {
         "unsatisfied rate",
         points.iter().map(|t| t.to_string()).collect(),
         &["LP-HTA", "HGOS", "AllOffload"],
-        rows?,
+        rows,
     ))
 }
 
@@ -211,7 +221,10 @@ pub fn fig4b(opts: &ExperimentOptions) -> FigResult {
         "Average latency vs size of input data",
         "max input (kB)",
         "average latency (s)",
-        opts.size_sweep().iter().map(|s| format!("{s:.0}")).collect(),
+        opts.size_sweep()
+            .iter()
+            .map(|s| format!("{s:.0}"))
+            .collect(),
         &["LP-HTA", "HGOS", "AllToC", "AllOffload"],
         rows,
     ))
@@ -224,9 +237,15 @@ fn dta_energy_point(cfg: &DivisibleScenarioConfig) -> Result<[f64; 3], AssignErr
     let holistic = divisible_as_holistic(&scenario)?;
     let costs = CostTable::build(&scenario.system, &holistic)?;
     let a = LpHta::paper().assign(&scenario.system, &holistic, &costs)?;
-    let lp = evaluate_assignment(&holistic, &costs, &a)?.total_energy.value();
-    let w = run_dta(&scenario, DtaConfig::workload())?.total_energy.value();
-    let n = run_dta(&scenario, DtaConfig::number())?.total_energy.value();
+    let lp = evaluate_assignment(&holistic, &costs, &a)?
+        .total_energy
+        .value();
+    let w = run_dta(&scenario, DtaConfig::workload())?
+        .total_energy
+        .value();
+    let n = run_dta(&scenario, DtaConfig::number())?
+        .total_energy
+        .value();
     Ok([lp, w, n])
 }
 
@@ -234,18 +253,9 @@ fn dta_energy_point(cfg: &DivisibleScenarioConfig) -> Result<[f64; 3], AssignErr
 /// number of (divisible) tasks grows.
 pub fn fig5a(opts: &ExperimentOptions) -> FigResult {
     let points = opts.task_sweep();
-    let rows: Result<Vec<[f64; 3]>, AssignError> = par_map(&points, |&tasks| {
-        let mut acc = [0.0; 3];
-        for &seed in &opts.seeds {
-            let point = dta_energy_point(&divisible_cfg(seed, tasks, 3000.0))?;
-            for (a, p) in acc.iter_mut().zip(point) {
-                *a += p;
-            }
-        }
-        Ok(acc.map(|v| v / opts.seeds.len() as f64))
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        dta_energy_point(&divisible_cfg(seed, tasks, 3000.0)).map(|p| p.to_vec())
+    })?;
     Ok(assemble(
         "fig5a",
         "Energy: holistic LP-HTA vs divisible DTA (by task count)",
@@ -253,7 +263,7 @@ pub fn fig5a(opts: &ExperimentOptions) -> FigResult {
         "total energy (J)",
         points.iter().map(|t| t.to_string()).collect(),
         &["LP-HTA", "DTA-Workload", "DTA-Number"],
-        rows?.into_iter().map(|r| r.to_vec()).collect(),
+        rows,
     ))
 }
 
@@ -268,20 +278,11 @@ pub fn fig5b(opts: &ExperimentOptions) -> FigResult {
         ("const".into(), ResultModel::Constant(Bytes::from_kb(10.0))),
     ];
     let tasks = if opts.quick { 30 } else { 100 };
-    let rows: Result<Vec<[f64; 3]>, AssignError> = par_map(&models, |(_, model)| {
-        let mut acc = [0.0; 3];
-        for &seed in &opts.seeds {
-            let mut cfg = divisible_cfg(seed, tasks, 3000.0);
-            cfg.base.result_model = *model;
-            let point = dta_energy_point(&cfg)?;
-            for (a, p) in acc.iter_mut().zip(point) {
-                *a += p;
-            }
-        }
-        Ok(acc.map(|v| v / opts.seeds.len() as f64))
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&models, &opts.seeds, |(_, model), seed| {
+        let mut cfg = divisible_cfg(seed, tasks, 3000.0);
+        cfg.base.result_model = *model;
+        dta_energy_point(&cfg).map(|p| p.to_vec())
+    })?;
     Ok(assemble(
         "fig5b",
         "Energy vs result size (100 divisible tasks)",
@@ -289,7 +290,7 @@ pub fn fig5b(opts: &ExperimentOptions) -> FigResult {
         "total energy (J)",
         models.iter().map(|(n, _)| n.clone()).collect(),
         &["LP-HTA", "DTA-Workload", "DTA-Number"],
-        rows?.into_iter().map(|r| r.to_vec()).collect(),
+        rows,
     ))
 }
 
@@ -302,20 +303,16 @@ pub fn fig6a(opts: &ExperimentOptions) -> FigResult {
         vec![1200.0, 1400.0, 1600.0, 1800.0, 2000.0]
     };
     let tasks = if opts.quick { 40 } else { 200 };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&kb| {
-        let mut acc = [0.0; 2];
-        for &seed in &opts.seeds {
-            let s = divisible_cfg(seed, tasks, kb).generate()?;
-            let required = s.required_universe();
-            let w = divide_balanced(&s.universe, &required)?;
-            let n = divide_min_devices(&s.universe, &required)?;
-            acc[0] += w.processing_time(&s.system, &s.universe).value();
-            acc[1] += n.processing_time(&s.system, &s.universe).value();
-        }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&kb, seed| {
+        let s = divisible_cfg(seed, tasks, kb).generate()?;
+        let required = s.required_universe();
+        let w = divide_balanced(&s.universe, &required)?;
+        let n = divide_min_devices(&s.universe, &required)?;
+        Ok(vec![
+            w.processing_time(&s.system, &s.universe).value(),
+            n.processing_time(&s.system, &s.universe).value(),
+        ])
+    })?;
     Ok(assemble(
         "fig6a",
         "Processing time: DTA-Workload vs DTA-Number",
@@ -323,7 +320,7 @@ pub fn fig6a(opts: &ExperimentOptions) -> FigResult {
         "processing time (s)",
         points.iter().map(|p| format!("{p:.0}")).collect(),
         &["DTA-Workload", "DTA-Number"],
-        rows?,
+        rows,
     ))
 }
 
@@ -334,20 +331,16 @@ pub fn fig6b(opts: &ExperimentOptions) -> FigResult {
     } else {
         (100..=900).step_by(100).collect()
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let mut acc = [0.0; 2];
-        for &seed in &opts.seeds {
-            let s = divisible_cfg(seed, tasks, 2000.0).generate()?;
-            let required = s.required_universe();
-            let w = divide_balanced(&s.universe, &required)?;
-            let n = divide_min_devices(&s.universe, &required)?;
-            acc[0] += w.involved_devices() as f64;
-            acc[1] += n.involved_devices() as f64;
-        }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let s = divisible_cfg(seed, tasks, 2000.0).generate()?;
+        let required = s.required_universe();
+        let w = divide_balanced(&s.universe, &required)?;
+        let n = divide_min_devices(&s.universe, &required)?;
+        Ok(vec![
+            w.involved_devices() as f64,
+            n.involved_devices() as f64,
+        ])
+    })?;
     Ok(assemble(
         "fig6b",
         "Involved mobile devices: DTA-Workload vs DTA-Number",
@@ -355,7 +348,7 @@ pub fn fig6b(opts: &ExperimentOptions) -> FigResult {
         "involved devices",
         points.iter().map(|p| p.to_string()).collect(),
         &["DTA-Workload", "DTA-Number"],
-        rows?,
+        rows,
     ))
 }
 
@@ -367,7 +360,10 @@ pub fn table1(_opts: &ExperimentOptions) -> FigResult {
         "Parameters of wireless networks (Table I)",
         "network",
         "value",
-        NetworkProfile::ALL.iter().map(|p| p.name().to_string()).collect(),
+        NetworkProfile::ALL
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
     );
     let links: Vec<_> = NetworkProfile::ALL.iter().map(|p| p.link()).collect();
     fig.push_series(
@@ -378,8 +374,14 @@ pub fn table1(_opts: &ExperimentOptions) -> FigResult {
         "upload (Mbps)",
         links.iter().map(|l| l.upload.as_mbps()).collect(),
     );
-    fig.push_series("P^T (W)", links.iter().map(|l| l.tx_power.value()).collect());
-    fig.push_series("P^R (W)", links.iter().map(|l| l.rx_power.value()).collect());
+    fig.push_series(
+        "P^T (W)",
+        links.iter().map(|l| l.tx_power.value()).collect(),
+    );
+    fig.push_series(
+        "P^R (W)",
+        links.iter().map(|l| l.rx_power.value()).collect(),
+    );
     Ok(fig)
 }
 
@@ -391,121 +393,123 @@ pub fn ratio_check(opts: &ExperimentOptions) -> FigResult {
     } else {
         (201..209).collect()
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&seeds, |&seed| {
+    let rows = par_map_result(&seeds, |&seed| {
         let mut cfg = ScenarioConfig::paper_defaults(seed);
         cfg.num_stations = 2;
         cfg.devices_per_station = 3;
         cfg.tasks_total = 12;
-        let s = cfg.generate()?;
-        let costs = CostTable::build(&s.system, &s.tasks)?;
-        let exact = ExactBnB::default().solve(&s.system, &s.tasks, &costs)?;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let exact = ExactBnB::default().solve(&s.system, &s.tasks, costs)?;
         let (a, report) = LpHta::paper()
             .without_fast_path()
-            .assign_with_report(&s.system, &s.tasks, &costs)?;
-        let m = evaluate_assignment(&s.tasks, &costs, &a)?;
+            .assign_with_report(&s.system, &s.tasks, costs)?;
+        let m = evaluate_assignment(&s.tasks, costs, &a)?;
         let opt = exact.map(|(_, e)| e).unwrap_or(f64::NAN);
         let ratio = if a.cancelled().is_empty() && opt.is_finite() {
             m.total_energy.value() / opt
         } else {
             f64::NAN
         };
-        Ok(vec![
-            m.total_energy.value(),
-            opt,
-            ratio,
-            report.ratio_bound,
-        ])
-    })
-    .into_iter()
-    .collect();
+        Ok(vec![m.total_energy.value(), opt, ratio, report.ratio_bound])
+    })?;
     Ok(assemble(
         "ratio_check",
         "Empirical approximation ratio vs certificate (small instances)",
         "seed",
         "energy (J) / ratio",
         seeds.iter().map(|s| s.to_string()).collect(),
-        &["LP-HTA energy", "optimal energy", "empirical ratio", "certificate"],
-        rows?,
+        &[
+            "LP-HTA energy",
+            "optimal energy",
+            "empirical ratio",
+            "certificate",
+        ],
+        rows,
     ))
 }
 
 /// A1: LP backend ablation — energy parity and wall time of the interior
-/// point vs the simplex inside LP-HTA (fast path disabled).
+/// point vs the simplex inside LP-HTA (fast path disabled). The `time ms`
+/// series are wall-clock measurements and are exempt from the
+/// serial-vs-parallel bit-identical check.
 pub fn ablate_lp_backend(opts: &ExperimentOptions) -> FigResult {
     let points = if opts.quick {
         vec![40usize]
     } else {
         vec![100, 200, 300]
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let mut out = [0.0; 4];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            for (k, solver) in [Solver::InteriorPoint, Solver::Simplex].iter().enumerate() {
-                let algo = LpHta {
-                    solver: *solver,
-                    ..LpHta::paper().without_fast_path()
-                };
-                let start = Instant::now();
-                let a = algo.assign(&s.system, &s.tasks, &costs)?;
-                let elapsed = start.elapsed().as_secs_f64() * 1e3;
-                let m = evaluate_assignment(&s.tasks, &costs, &a)?;
-                out[k] += m.total_energy.value();
-                out[2 + k] += elapsed;
-            }
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let mut out = vec![0.0; 4];
+        for (k, solver) in [Solver::InteriorPoint, Solver::Simplex].iter().enumerate() {
+            let algo = LpHta {
+                solver: *solver,
+                ..LpHta::paper().without_fast_path()
+            };
+            let start = Instant::now();
+            let a = algo.assign(&s.system, &s.tasks, costs)?;
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let m = evaluate_assignment(&s.tasks, costs, &a)?;
+            out[k] = m.total_energy.value();
+            out[2 + k] = elapsed;
         }
-        Ok(out.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+        Ok(out)
+    })?;
     Ok(assemble(
         "ablate_lp_backend",
         "LP backend ablation (LP-HTA, fast path off)",
         "tasks",
         "energy (J) / time (ms)",
         points.iter().map(|p| p.to_string()).collect(),
-        &["energy (IPM)", "energy (simplex)", "time ms (IPM)", "time ms (simplex)"],
-        rows?,
+        &[
+            "energy (IPM)",
+            "energy (simplex)",
+            "time ms (IPM)",
+            "time ms (simplex)",
+        ],
+        rows,
     ))
 }
 
-/// A2: rounding-rule ablation — arg-max vs randomized rounding.
+/// A2: rounding-rule ablation — arg-max vs randomized rounding. Both
+/// rules round the *same* cached LP relaxation (one solve per point and
+/// seed instead of one per rule).
 pub fn ablate_rounding(opts: &ExperimentOptions) -> FigResult {
     let points = if opts.quick {
         vec![40usize]
     } else {
         vec![100, 200, 300]
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let mut out = [0.0; 2];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            for (k, rounding) in [
-                RoundingRule::ArgMax,
-                RoundingRule::Randomized { seed: seed ^ 0xDEAD },
-            ]
-            .iter()
-            .enumerate()
-            {
-                let algo = LpHta {
-                    rounding: *rounding,
-                    ..LpHta::paper().without_fast_path()
-                };
-                let a = algo.assign(&s.system, &s.tasks, &costs)?;
-                let m = evaluate_assignment(&s.tasks, &costs, &a)?;
-                out[k] += m.total_energy.value();
-            }
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let mut out = vec![0.0; 2];
+        for (k, rounding) in [
+            RoundingRule::ArgMax,
+            RoundingRule::Randomized {
+                seed: seed ^ 0xDEAD,
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let algo = LpHta {
+                rounding: *rounding,
+                ..LpHta::paper().without_fast_path()
+            };
+            let frac = cache::lp_relaxation(&cfg, &algo, &cached)?;
+            let (a, _) = algo.round_with(&s.system, &s.tasks, costs, &frac)?;
+            let m = evaluate_assignment(&s.tasks, costs, &a)?;
+            out[k] = m.total_energy.value();
         }
-        Ok(out.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+        Ok(out)
+    })?;
     Ok(assemble(
         "ablate_rounding",
         "Rounding-rule ablation (LP-HTA)",
@@ -513,36 +517,36 @@ pub fn ablate_rounding(opts: &ExperimentOptions) -> FigResult {
         "total energy (J)",
         points.iter().map(|p| p.to_string()).collect(),
         &["arg-max", "randomized"],
-        rows?,
+        rows,
     ))
 }
 
 /// A4: rebalancing extension — max share of greedy DTA-Workload, the
 /// local-search refinement, and (small instances) the exact optimum.
 pub fn ablate_rebalance(opts: &ExperimentOptions) -> FigResult {
-    let points: Vec<usize> = if opts.quick { vec![8, 12] } else { vec![8, 10, 12, 14] };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&items| {
-        let mut out = [0.0; 3];
-        for &seed in &opts.seeds {
-            let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
-            cfg.base.num_stations = 1;
-            cfg.base.devices_per_station = 5;
-            cfg.num_items = items;
-            cfg.tasks_total = 6;
-            cfg.items_per_task = (2, items.min(6));
-            let s = cfg.generate()?;
-            let required = s.required_universe();
-            let greedy = divide_balanced(&s.universe, &required)?;
-            let refined = rebalance(&s.universe, &greedy);
-            let exact = exact_min_max(&s.universe, &required, 16)?;
-            out[0] += greedy.max_share_len() as f64;
-            out[1] += refined.max_share_len() as f64;
-            out[2] += exact.max_share_len() as f64;
-        }
-        Ok(out.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let points: Vec<usize> = if opts.quick {
+        vec![8, 12]
+    } else {
+        vec![8, 10, 12, 14]
+    };
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&items, seed| {
+        let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
+        cfg.base.num_stations = 1;
+        cfg.base.devices_per_station = 5;
+        cfg.num_items = items;
+        cfg.tasks_total = 6;
+        cfg.items_per_task = (2, items.min(6));
+        let s = cfg.generate()?;
+        let required = s.required_universe();
+        let greedy = divide_balanced(&s.universe, &required)?;
+        let refined = rebalance(&s.universe, &greedy);
+        let exact = exact_min_max(&s.universe, &required, 16)?;
+        Ok(vec![
+            greedy.max_share_len() as f64,
+            refined.max_share_len() as f64,
+            exact.max_share_len() as f64,
+        ])
+    })?;
     Ok(assemble(
         "ablate_rebalance",
         "Max share: greedy vs rebalanced vs exact (small universes)",
@@ -550,7 +554,7 @@ pub fn ablate_rebalance(opts: &ExperimentOptions) -> FigResult {
         "max share (items)",
         points.iter().map(|p| p.to_string()).collect(),
         &["greedy", "rebalanced", "exact"],
-        rows?,
+        rows,
     ))
 }
 
@@ -562,38 +566,40 @@ pub fn ablate_contention(opts: &ExperimentOptions) -> FigResult {
     } else {
         vec![50, 100, 150, 200]
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let mut out = [0.0; 3];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            let a = LpHta::paper().assign(&s.system, &s.tasks, &costs)?;
-            let exec = a.to_executable(&s.tasks)?;
-            let free = simulate(&s.system, &exec, Contention::None)?;
-            let queued = simulate(&s.system, &exec, Contention::Exclusive)?;
-            out[0] += free.mean_latency().value();
-            out[1] += queued.mean_latency().value();
-            out[2] += queued.makespan().value();
-        }
-        Ok(out.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let a = LpHta::paper().assign(&s.system, &s.tasks, costs)?;
+        let exec = a.to_executable(&s.tasks)?;
+        let free = simulate(&s.system, &exec, Contention::None)?;
+        let queued = simulate(&s.system, &exec, Contention::Exclusive)?;
+        Ok(vec![
+            free.mean_latency().value(),
+            queued.mean_latency().value(),
+            queued.makespan().value(),
+        ])
+    })?;
     Ok(assemble(
         "ablate_contention",
         "Analytic vs queued execution of LP-HTA assignments",
         "tasks",
         "seconds",
         points.iter().map(|p| p.to_string()).collect(),
-        &["analytic mean latency", "queued mean latency", "queued makespan"],
-        rows?,
+        &[
+            "analytic mean latency",
+            "queued mean latency",
+            "queued makespan",
+        ],
+        rows,
     ))
 }
 
 /// E-NASH (extension): the decentralized offloading game of refs \[8\]/\[13\]
 /// against LP-HTA and HGOS — energy and unsatisfied rate side by side.
+/// Each algorithm now runs once per (point, seed) and contributes both
+/// metrics (the previous driver ran the whole comparator set twice).
 pub fn ext_nash(opts: &ExperimentOptions) -> FigResult {
     let algos = vec![
         Algo::LpHta(LpHta::paper()),
@@ -602,14 +608,20 @@ pub fn ext_nash(opts: &ExperimentOptions) -> FigResult {
         Algo::LocalFirst,
     ];
     let points = opts.task_sweep();
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let cfg = holistic_cfg(tasks, 3000.0);
-        let energy = seed_averaged(&cfg, &opts.seeds, &algos, |m| m.total_energy.value())?;
-        let unsat = seed_averaged(&cfg, &opts.seeds, &algos, |m| m.unsatisfied_rate)?;
-        Ok(energy.into_iter().chain(unsat).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let mut energy = Vec::with_capacity(algos.len());
+        let mut unsat = Vec::with_capacity(algos.len());
+        for algo in &algos {
+            let m = algo.run(&cached.scenario, &cached.costs)?;
+            energy.push(m.total_energy.value());
+            unsat.push(m.unsatisfied_rate);
+        }
+        energy.extend(unsat);
+        Ok(energy)
+    })?;
     Ok(assemble(
         "ext_nash",
         "Game-theoretic comparator (extension): energy and unsatisfied rate",
@@ -626,7 +638,7 @@ pub fn ext_nash(opts: &ExperimentOptions) -> FigResult {
             "unsat Nash",
             "unsat LocalFirst",
         ],
-        rows?,
+        rows,
     ))
 }
 
@@ -637,8 +649,9 @@ pub fn ext_battery(opts: &ExperimentOptions) -> FigResult {
     use mec_sim::battery::{attribute_energy, BatteryFleet, DeviceShare};
     let tasks = if opts.quick { 40 } else { 150 };
     let strategies = ["LP-HTA raw", "DTA-Workload", "DTA-Number"];
-    let mut rows: Vec<Vec<f64>> = vec![vec![0.0; 3]; strategies.len()];
-    for &seed in &opts.seeds {
+    // One flat 3×3 row per seed (strategy-major), averaged by the sweep
+    // engine; seeds fan out in parallel.
+    let flat = sweep_seed_averaged(&[()], &opts.seeds, |_, seed| {
         let s = divisible_cfg(seed, tasks, 2000.0).generate()?;
         let capacity = mec_sim::units::Joules::new(5000.0);
 
@@ -665,7 +678,8 @@ pub fn ext_battery(opts: &ExperimentOptions) -> FigResult {
             per_strategy.push(dta_device_shares(&s, &report, cfg.descriptor_bytes)?);
         }
 
-        for (k, shares) in per_strategy.iter().enumerate() {
+        let mut row = Vec::with_capacity(strategies.len() * 3);
+        for shares in &per_strategy {
             // Rounds until the first battery dies under repeated rounds.
             let mut fleet = BatteryFleet::uniform(&s.system, capacity)?;
             let mut rounds = 0usize;
@@ -673,31 +687,34 @@ pub fn ext_battery(opts: &ExperimentOptions) -> FigResult {
                 fleet.drain(shares);
                 rounds += 1;
             }
-            rows[k][0] += rounds as f64;
+            row.push(rounds as f64);
             // Devices barely touched in one round (< 0.1% drain).
             let mut fresh = BatteryFleet::uniform(&s.system, capacity)?;
             fresh.drain(shares);
-            rows[k][1] += fresh.devices_below_drain(0.001) as f64;
+            row.push(fresh.devices_below_drain(0.001) as f64);
             // Largest single-device drain per round (J).
-            rows[k][2] += shares
-                .iter()
-                .map(|sh| sh.energy.value())
-                .fold(0.0f64, f64::max);
+            row.push(
+                shares
+                    .iter()
+                    .map(|sh| sh.energy.value())
+                    .fold(0.0f64, f64::max),
+            );
         }
-    }
-    let n = opts.seeds.len() as f64;
-    for row in &mut rows {
-        for v in row.iter_mut() {
-            *v /= n;
-        }
-    }
+        Ok(row)
+    })?
+    .remove(0);
+    let rows: Vec<Vec<f64>> = flat.chunks(3).map(|c| c.to_vec()).collect();
     Ok(assemble(
         "ext_battery",
         "Battery fairness (extension): per-device drain by strategy",
         "strategy",
         "rounds / devices / J",
         strategies.iter().map(|s| s.to_string()).collect(),
-        &["rounds to first depletion", "devices <0.1% drained", "max drain per round (J)"],
+        &[
+            "rounds to first depletion",
+            "devices <0.1% drained",
+            "max drain per round (J)",
+        ],
         rows,
     ))
 }
@@ -712,83 +729,89 @@ pub fn ext_mobility(opts: &ExperimentOptions) -> FigResult {
     } else {
         vec![0.0, 0.1, 0.2, 0.3, 0.5]
     };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&probs, |&p| {
-        let mut acc = [0.0; 4];
-        for &seed in &opts.seeds {
-            let mut cfg = MobilityConfig::paper_defaults(seed);
-            // Capacity pressure + tight deadlines: staleness only has a
-            // price when the optimal placement actually depends on the
-            // topology.
-            cfg.base.tasks_total = if opts.quick { 120 } else { 250 };
-            cfg.base.device_resource_mb = 6.0;
-            cfg.base.deadline_factor_range = (1.0, 1.6);
-            cfg.move_prob = p;
-            let dynamic = cfg.generate()?;
-            // Epoch-0 assignment, reused stale across epochs.
-            let costs0 = CostTable::build(&dynamic.epochs[0], &dynamic.tasks)?;
-            let stale = LpHta::paper().assign(&dynamic.epochs[0], &dynamic.tasks, &costs0)?;
-            let epochs = dynamic.epochs.len() as f64;
-            for (e, system) in dynamic.epochs.iter().enumerate() {
-                let costs = CostTable::build(system, &dynamic.tasks)?;
-                let stale_m = evaluate_assignment(&dynamic.tasks, &costs, &stale)?;
-                let fresh = LpHta::paper().assign(system, &dynamic.tasks, &costs)?;
-                let fresh_m = evaluate_assignment(&dynamic.tasks, &costs, &fresh)?;
-                acc[0] += fresh_m.total_energy.value() / epochs;
-                acc[1] += (stale_m.total_energy.value() - fresh_m.total_energy.value()) / epochs;
-                acc[2] += (stale_m.unsatisfied_rate - fresh_m.unsatisfied_rate) / epochs;
-                acc[3] += dynamic.churn(0, e)? / epochs;
-            }
+    let rows = sweep_seed_averaged(&probs, &opts.seeds, |&p, seed| {
+        let mut cfg = MobilityConfig::paper_defaults(seed);
+        // Capacity pressure + tight deadlines: staleness only has a
+        // price when the optimal placement actually depends on the
+        // topology.
+        cfg.base.tasks_total = if opts.quick { 120 } else { 250 };
+        cfg.base.device_resource_mb = 6.0;
+        cfg.base.deadline_factor_range = (1.0, 1.6);
+        cfg.move_prob = p;
+        let dynamic = cfg.generate()?;
+        // Epoch-0 assignment, reused stale across epochs.
+        let costs0 = CostTable::build(&dynamic.epochs[0], &dynamic.tasks)?;
+        let stale = LpHta::paper().assign(&dynamic.epochs[0], &dynamic.tasks, &costs0)?;
+        let epochs = dynamic.epochs.len() as f64;
+        let mut acc = vec![0.0; 4];
+        for (e, system) in dynamic.epochs.iter().enumerate() {
+            let costs = CostTable::build(system, &dynamic.tasks)?;
+            let stale_m = evaluate_assignment(&dynamic.tasks, &costs, &stale)?;
+            let fresh = LpHta::paper().assign(system, &dynamic.tasks, &costs)?;
+            let fresh_m = evaluate_assignment(&dynamic.tasks, &costs, &fresh)?;
+            acc[0] += fresh_m.total_energy.value() / epochs;
+            acc[1] += (stale_m.total_energy.value() - fresh_m.total_energy.value()) / epochs;
+            acc[2] += (stale_m.unsatisfied_rate - fresh_m.unsatisfied_rate) / epochs;
+            acc[3] += dynamic.churn(0, e)? / epochs;
         }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+        Ok(acc)
+    })?;
     Ok(assemble(
         "ext_mobility",
         "Quasi-static assumption (extension): stale vs per-epoch LP-HTA",
         "move probability / epoch",
         "energy (J) / rate",
         probs.iter().map(|p| format!("{p:.1}")).collect(),
-        &["E fresh", "dE stale-fresh", "dUnsat stale-fresh", "mean churn vs epoch 0"],
-        rows?,
+        &[
+            "E fresh",
+            "dE stale-fresh",
+            "dUnsat stale-fresh",
+            "mean churn vs epoch 0",
+        ],
+        rows,
     ))
 }
 
 /// X4 (extension): online arrivals — empirical competitive ratio of the
 /// greedy and reserve online controllers against offline LP-HTA.
 pub fn ext_online(opts: &ExperimentOptions) -> FigResult {
-    let points = if opts.quick { vec![60usize] } else { vec![100, 200, 300, 400] };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&points, |&tasks| {
-        let mut acc = [0.0; 6];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            cfg.device_resource_mb = 6.0; // pressure makes policies differ
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            let algos: [(&dyn HtaAlgorithm, usize); 3] = [
-                (&OnlineHta { policy: OnlinePolicy::Greedy }, 0),
-                (
-                    &OnlineHta {
-                        policy: OnlinePolicy::Reserve { reserve: 0.2 },
-                    },
-                    1,
-                ),
-                (&LpHta::paper(), 2),
-            ];
-            for (algo, k) in algos {
-                let a = algo.assign(&s.system, &s.tasks, &costs)?;
-                let m = evaluate_assignment(&s.tasks, &costs, &a)?;
-                // Energy per *satisfied* task: cancellation-fair.
-                let satisfied = (tasks as f64) * (1.0 - m.unsatisfied_rate);
-                acc[k] += m.total_energy.value() / satisfied.max(1.0);
-                acc[3 + k] += m.unsatisfied_rate;
-            }
+    let points = if opts.quick {
+        vec![60usize]
+    } else {
+        vec![100, 200, 300, 400]
+    };
+    let rows = sweep_seed_averaged(&points, &opts.seeds, |&tasks, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        cfg.device_resource_mb = 6.0; // pressure makes policies differ
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let mut acc = vec![0.0; 6];
+        let algos: [(&dyn HtaAlgorithm, usize); 3] = [
+            (
+                &OnlineHta {
+                    policy: OnlinePolicy::Greedy,
+                },
+                0,
+            ),
+            (
+                &OnlineHta {
+                    policy: OnlinePolicy::Reserve { reserve: 0.2 },
+                },
+                1,
+            ),
+            (&LpHta::paper(), 2),
+        ];
+        for (algo, k) in algos {
+            let a = algo.assign(&s.system, &s.tasks, costs)?;
+            let m = evaluate_assignment(&s.tasks, costs, &a)?;
+            // Energy per *satisfied* task: cancellation-fair.
+            let satisfied = (tasks as f64) * (1.0 - m.unsatisfied_rate);
+            acc[k] = m.total_energy.value() / satisfied.max(1.0);
+            acc[3 + k] = m.unsatisfied_rate;
         }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+        Ok(acc)
+    })?;
     Ok(assemble(
         "ext_online",
         "Online arrivals (extension): greedy / reserve vs offline LP-HTA",
@@ -803,7 +826,7 @@ pub fn ext_online(opts: &ExperimentOptions) -> FigResult {
             "unsat online-reserve",
             "unsat offline",
         ],
-        rows?,
+        rows,
     ))
 }
 
@@ -817,34 +840,35 @@ pub fn ext_partial(opts: &ExperimentOptions) -> FigResult {
         vec![(1.0, 1.1), (1.0, 1.3), (1.0, 1.6), (1.0, 2.0), (1.0, 3.0)]
     };
     let tasks = if opts.quick { 50 } else { 120 };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&factors, |&(lo, hi)| {
-        let mut acc = [0.0; 4];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            cfg.deadline_factor_range = (lo, hi);
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            let a = LpHta::paper().assign(&s.system, &s.tasks, &costs)?;
-            let binary = evaluate_assignment(&s.tasks, &costs, &a)?;
-            let plan = partial_offload_plan(&s.system, &s.tasks)?;
-            acc[0] += binary.total_energy.value();
-            acc[1] += plan.total_energy().value();
-            acc[2] += binary.unsatisfied_rate;
-            acc[3] += plan.unsatisfied_rate();
-        }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&factors, &opts.seeds, |&(lo, hi), seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        cfg.deadline_factor_range = (lo, hi);
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let a = LpHta::paper().assign(&s.system, &s.tasks, costs)?;
+        let binary = evaluate_assignment(&s.tasks, costs, &a)?;
+        let plan = partial_offload_plan(&s.system, &s.tasks)?;
+        Ok(vec![
+            binary.total_energy.value(),
+            plan.total_energy().value(),
+            binary.unsatisfied_rate,
+            plan.unsatisfied_rate(),
+        ])
+    })?;
     Ok(assemble(
         "ext_partial",
         "Binary vs fractional offloading (extension) under deadline pressure",
         "deadline slack (hi)",
         "energy (J) / rate",
         factors.iter().map(|(_, hi)| format!("{hi:.1}")).collect(),
-        &["E binary LP-HTA", "E partial split", "unsat binary", "unsat partial"],
-        rows?,
+        &[
+            "E binary LP-HTA",
+            "E partial split",
+            "unsat binary",
+            "unsat partial",
+        ],
+        rows,
     ))
 }
 
@@ -861,32 +885,28 @@ pub fn ext_arrivals(opts: &ExperimentOptions) -> FigResult {
         vec![20.0, 10.0, 5.0, 2.0, 1.0, 0.5]
     };
     let tasks = if opts.quick { 40 } else { 100 };
-    let rows: Result<Vec<Vec<f64>>, AssignError> = par_map(&rates, |&rate| {
-        let mut acc = [0.0; 3];
-        for &seed in &opts.seeds {
-            let mut cfg = holistic_cfg(tasks, 3000.0);
-            cfg.seed = seed;
-            let s = cfg.generate()?;
-            let costs = CostTable::build(&s.system, &s.tasks)?;
-            let a = LpHta::paper().assign(&s.system, &s.tasks, &costs)?;
-            let exec = a.to_executable(&s.tasks)?;
-            let free = simulate(&s.system, &exec, Contention::None)?;
-            let batch = simulate(&s.system, &exec, Contention::Exclusive)?;
-            let arrivals = poisson_arrivals(seed, exec.len(), rate)?;
-            let timed: Vec<_> = exec
-                .iter()
-                .zip(arrivals.iter())
-                .map(|((t, site), at)| (*t, *site, *at))
-                .collect();
-            let open = simulate_with_arrivals(&s.system, &timed, Contention::Exclusive)?;
-            acc[0] += free.mean_latency().value();
-            acc[1] += batch.mean_latency().value();
-            acc[2] += open.mean_latency().value();
-        }
-        Ok(acc.iter().map(|v| v / opts.seeds.len() as f64).collect())
-    })
-    .into_iter()
-    .collect();
+    let rows = sweep_seed_averaged(&rates, &opts.seeds, |&rate, seed| {
+        let mut cfg = holistic_cfg(tasks, 3000.0);
+        cfg.seed = seed;
+        let cached = cache::scenario_with_costs(&cfg)?;
+        let (s, costs) = (&cached.scenario, &cached.costs);
+        let a = LpHta::paper().assign(&s.system, &s.tasks, costs)?;
+        let exec = a.to_executable(&s.tasks)?;
+        let free = simulate(&s.system, &exec, Contention::None)?;
+        let batch = simulate(&s.system, &exec, Contention::Exclusive)?;
+        let arrivals = poisson_arrivals(seed, exec.len(), rate)?;
+        let timed: Vec<_> = exec
+            .iter()
+            .zip(arrivals.iter())
+            .map(|((t, site), at)| (*t, *site, *at))
+            .collect();
+        let open = simulate_with_arrivals(&s.system, &timed, Contention::Exclusive)?;
+        Ok(vec![
+            free.mean_latency().value(),
+            batch.mean_latency().value(),
+            open.mean_latency().value(),
+        ])
+    })?;
     Ok(assemble(
         "ext_arrivals",
         "Open-loop arrivals (extension): batch vs Poisson release",
@@ -894,7 +914,7 @@ pub fn ext_arrivals(opts: &ExperimentOptions) -> FigResult {
         "mean sojourn (s)",
         rates.iter().map(|r| format!("{r}")).collect(),
         &["analytic", "batch + contention", "poisson + contention"],
-        rows?,
+        rows,
     ))
 }
 

@@ -22,10 +22,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod cli;
 pub mod figures;
+pub mod par;
 pub mod runner;
 pub mod table;
 
 pub use figures::ExperimentOptions;
+pub use par::{set_threads, threads};
 pub use table::{Figure, Series};

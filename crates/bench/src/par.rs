@@ -1,0 +1,257 @@
+//! Work-stealing parallel map primitives for the experiment sweeps.
+//!
+//! Replaces the previous crossbeam-scope implementation (which funneled
+//! every result through a contended `Mutex<Vec<Option<R>>>` and poisoned
+//! the whole run on any worker panic) with:
+//!
+//! * lock-free result collection — each item writes its result exactly
+//!   once into its pre-allocated slot, no lock on the hot path;
+//! * [`par_map_result`] — `Result`-propagating variant that also converts
+//!   worker *panics* into a proper `Err` (via [`FromWorkerPanic`]) instead
+//!   of tearing down the process, and aborts remaining work after the
+//!   first failure.
+//!
+//! The worker count is the workspace-wide setting shared with the dense
+//! LP kernels; see [`set_threads`]/[`threads`] (resolution order: explicit
+//! `set_threads`, the `DSMEC_THREADS` environment variable, then the
+//! machine's available parallelism).
+
+use dsmec_core::error::AssignError;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sets the worker-thread count for both the sweep engine and the linprog
+/// dense kernels. `0` restores the default resolution.
+pub fn set_threads(n: usize) {
+    linprog::set_threads(n);
+}
+
+/// The worker-thread count the sweep engine will use.
+pub fn threads() -> usize {
+    linprog::threads()
+}
+
+/// Converts a worker panic's message into the caller's error type, so
+/// [`par_map_result`] can surface panics as ordinary errors.
+pub trait FromWorkerPanic {
+    /// Builds the error for a worker that panicked with `message`.
+    fn from_worker_panic(message: String) -> Self;
+}
+
+impl FromWorkerPanic for AssignError {
+    fn from_worker_panic(message: String) -> Self {
+        AssignError::Worker(message)
+    }
+}
+
+/// One pre-allocated result slot per item; each slot is written exactly
+/// once, by whichever worker claimed that item's index.
+struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
+
+// Safety: a slot is only accessed by the single worker that claimed its
+// index from the shared atomic counter, and ownership of the whole vector
+// returns to the caller only after the thread scope joins.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    ///
+    /// `i` must have been claimed exclusively by the calling worker.
+    unsafe fn fill(&self, i: usize, value: R) {
+        *self.0[i].get() = Some(value);
+    }
+}
+
+/// Parallel map preserving input order. Results land lock-free in
+/// pre-allocated slots; work is distributed through a shared atomic index
+/// so fast workers steal whatever is left.
+///
+/// # Panics
+///
+/// A panicking `f` propagates to the caller once the scope joins (use
+/// [`par_map_result`] to receive failures as values instead).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let slots = Slots::new(n);
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let r = f(&items[i]);
+        // Safety: index `i` was claimed exclusively above.
+        unsafe { slots.fill(i, r) };
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(&work);
+        }
+        work();
+    });
+    slots
+        .0
+        .into_iter()
+        .map(|c| c.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Fallible parallel map preserving input order. The first failure —
+/// an `Err` from `f` or a worker panic (converted through
+/// [`FromWorkerPanic`]) — aborts the remaining work and is returned;
+/// among failures observed concurrently, the one with the smallest item
+/// index wins, so single-failure runs are deterministic.
+///
+/// # Errors
+///
+/// Returns the first failure as described above.
+pub fn par_map_result<T, R, E>(
+    items: &[T],
+    f: impl Fn(&T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send + FromWorkerPanic,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = threads().min(n);
+    let slots = Slots::new(n);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    let record = |i: usize, e: E| {
+        let mut guard = failure.lock();
+        match &*guard {
+            Some((j, _)) if *j <= i => {}
+            _ => *guard = Some((i, e)),
+        }
+        abort.store(true, Ordering::Relaxed);
+    };
+    let work = || loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            // Safety: index `i` was claimed exclusively above.
+            Ok(Ok(r)) => unsafe { slots.fill(i, r) },
+            Ok(Err(e)) => record(i, e),
+            Err(payload) => record(i, E::from_worker_panic(panic_message(&payload))),
+        }
+    };
+    if workers <= 1 {
+        work();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(&work);
+            }
+            work();
+        });
+    }
+
+    if let Some((_, e)) = failure.into_inner() {
+        return Err(e);
+    }
+    Ok(slots
+        .0
+        .into_iter()
+        .map(|c| c.into_inner().expect("every slot filled"))
+        .collect())
+}
+
+/// Serializes tests that mutate the process-global thread count.
+#[cfg(test)]
+pub(crate) static THREADS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = vec![];
+        assert!(par_map(&empty, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_result_collects_ok() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Result<Vec<usize>, AssignError> = par_map_result(&items, |&i| Ok(i + 1));
+        assert_eq!(out.unwrap(), (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_result_surfaces_first_error() {
+        let items: Vec<usize> = (0..64).collect();
+        let out: Result<Vec<usize>, AssignError> = par_map_result(&items, |&i| {
+            if i == 7 {
+                Err(AssignError::InvalidInput(format!("bad item {i}")))
+            } else {
+                Ok(i)
+            }
+        });
+        let err = out.unwrap_err();
+        assert!(err.to_string().contains("bad item 7"), "{err}");
+    }
+
+    #[test]
+    fn par_map_result_converts_panics() {
+        let items: Vec<usize> = (0..32).collect();
+        let out: Result<Vec<usize>, AssignError> = par_map_result(&items, |&i| {
+            if i == 3 {
+                panic!("worker exploded on {i}");
+            }
+            Ok(i)
+        });
+        match out {
+            Err(AssignError::Worker(msg)) => assert!(msg.contains("worker exploded"), "{msg}"),
+            other => panic!("expected Worker error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_setting_round_trips_through_linprog() {
+        let _guard = THREADS_TEST_LOCK.lock();
+        set_threads(2);
+        assert_eq!(threads(), 2);
+        assert_eq!(linprog::threads(), 2);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

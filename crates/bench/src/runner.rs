@@ -1,14 +1,18 @@
 //! Sweep machinery: algorithm dispatch, seed-averaged metric extraction
-//! and a small crossbeam-based parallel map used to spread a figure's
-//! x-points over cores.
+//! and the flat (point × seed) fan-out that spreads a whole figure over
+//! worker threads (see [`crate::par`]) while keeping the output
+//! bit-identical to a serial run.
 
+use crate::cache;
 use dsmec_core::costs::CostTable;
 use dsmec_core::error::AssignError;
-use dsmec_core::hta::{AllOffload, AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, NashOffload, RandomAssign};
+use dsmec_core::hta::{
+    AllOffload, AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, NashOffload, RandomAssign,
+};
 use dsmec_core::metrics::{evaluate_assignment, Metrics};
 use mec_sim::workload::{Scenario, ScenarioConfig};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use crate::par::{par_map, par_map_result};
 
 /// The holistic algorithms a figure can sweep, as a value type so sweeps
 /// are `Send + Sync` without trait-object plumbing.
@@ -75,66 +79,114 @@ pub fn paper_comparators() -> Vec<Algo> {
     ]
 }
 
+/// Runs every algorithm on `base` with its seed set to `seed` (scenario
+/// and cost table come from the shared cache) and extracts one value per
+/// algorithm.
+///
+/// # Errors
+///
+/// Propagates generation and algorithm errors.
+pub fn eval_algos(
+    base: &ScenarioConfig,
+    seed: u64,
+    algos: &[Algo],
+    extract: impl Fn(&Metrics) -> f64,
+) -> Result<Vec<f64>, AssignError> {
+    let mut cfg = base.clone();
+    cfg.seed = seed;
+    let cached = cache::scenario_with_costs(&cfg)?;
+    algos
+        .iter()
+        .map(|algo| {
+            algo.run(&cached.scenario, &cached.costs)
+                .map(|m| extract(&m))
+        })
+        .collect()
+}
+
 /// Runs every algorithm over every seed of a configuration and averages
 /// the metric extracted by `extract`.
 ///
 /// # Errors
 ///
-/// Propagates generation and algorithm errors.
+/// Returns [`AssignError::InvalidInput`] for an empty seed list (the
+/// average would otherwise be `NaN`); propagates generation and algorithm
+/// errors.
 pub fn seed_averaged(
     base: &ScenarioConfig,
     seeds: &[u64],
     algos: &[Algo],
     extract: impl Fn(&Metrics) -> f64,
 ) -> Result<Vec<f64>, AssignError> {
+    if seeds.is_empty() {
+        return Err(AssignError::InvalidInput(
+            "seed_averaged requires at least one seed".into(),
+        ));
+    }
     let mut sums = vec![0.0; algos.len()];
     for &seed in seeds {
-        let mut cfg = base.clone();
-        cfg.seed = seed;
-        let scenario = cfg.generate()?;
-        let costs = CostTable::build(&scenario.system, &scenario.tasks)?;
-        for (k, algo) in algos.iter().enumerate() {
-            let m = algo.run(&scenario, &costs)?;
-            sums[k] += extract(&m);
+        let row = eval_algos(base, seed, algos, &extract)?;
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
         }
     }
     Ok(sums.into_iter().map(|s| s / seeds.len() as f64).collect())
 }
 
-/// Parallel map preserving input order, spreading work over available
-/// cores with a shared work queue.
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
+/// The sweep engine behind every figure: evaluates `eval(point, seed)` for
+/// the full (point × seed) cross product as one flat parallel fan-out,
+/// then averages each point over its seeds.
+///
+/// Determinism contract: `eval` is called with exactly the arguments a
+/// serial double loop would use, each `(point, seed)` evaluation is
+/// independent, and the reduction sums a point's rows in seed order before
+/// dividing once — so the output is bit-identical to the serial nesting,
+/// for any thread count.
+///
+/// # Errors
+///
+/// Returns [`AssignError::InvalidInput`] for an empty seed list or for
+/// rows of inconsistent width; propagates (or converts, for panics) worker
+/// failures via [`par_map_result`].
+pub fn sweep_seed_averaged<P: Sync>(
+    points: &[P],
+    seeds: &[u64],
+    eval: impl Fn(&P, u64) -> Result<Vec<f64>, AssignError> + Sync,
+) -> Result<Vec<Vec<f64>>, AssignError> {
+    if seeds.is_empty() {
+        return Err(AssignError::InvalidInput(
+            "sweep_seed_averaged requires at least one seed".into(),
+        ));
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
+    if points.is_empty() {
+        return Ok(Vec::new());
     }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock()[i] = Some(r);
-            });
+    let pairs: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|pi| seeds.iter().map(move |&s| (pi, s)))
+        .collect();
+    let rows = par_map_result(&pairs, |&(pi, seed)| eval(&points[pi], seed))?;
+
+    let per_point = seeds.len();
+    let mut out = Vec::with_capacity(points.len());
+    for chunk in rows.chunks_exact(per_point) {
+        let width = chunk[0].len();
+        if chunk.iter().any(|r| r.len() != width) {
+            return Err(AssignError::InvalidInput(
+                "sweep_seed_averaged rows have inconsistent widths".into(),
+            ));
         }
-    })
-    .expect("worker threads must not panic");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+        let mut acc = vec![0.0; width];
+        for row in chunk {
+            for (a, v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= per_point as f64;
+        }
+        out.push(acc);
+    }
+    Ok(out)
 }
 
 /// Mean of a slice; zero for empty input.
@@ -151,15 +203,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn par_map_preserves_order() {
-        let items: Vec<usize> = (0..257).collect();
-        let out = par_map(&items, |&i| i * 2);
-        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
-        let empty: Vec<usize> = vec![];
-        assert!(par_map(&empty, |&i: &usize| i).is_empty());
-    }
-
-    #[test]
     fn algo_names() {
         assert_eq!(Algo::LpHta(LpHta::paper()).name(), "LP-HTA");
         assert_eq!(Algo::AllToC.name(), "AllToC");
@@ -171,13 +214,51 @@ mod tests {
         let mut cfg = ScenarioConfig::paper_defaults(0);
         cfg.tasks_total = 20;
         let algos = paper_comparators();
-        let means =
-            seed_averaged(&cfg, &[1, 2], &algos, |m| m.total_energy.value()).unwrap();
+        let means = seed_averaged(&cfg, &[1, 2], &algos, |m| m.total_energy.value()).unwrap();
         assert_eq!(means.len(), algos.len());
         assert!(means.iter().all(|&v| v > 0.0));
         // LP-HTA should be the cheapest of the four on average.
         let lp = means[0];
         assert!(means.iter().skip(1).all(|&v| lp <= v * 1.001));
+    }
+
+    #[test]
+    fn seed_averaged_rejects_empty_seeds() {
+        let cfg = ScenarioConfig::paper_defaults(0);
+        let algos = paper_comparators();
+        let err = seed_averaged(&cfg, &[], &algos, |m| m.total_energy.value()).unwrap_err();
+        assert!(matches!(err, AssignError::InvalidInput(_)), "{err}");
+        let err = sweep_seed_averaged(&[1usize], &[], |_, _| Ok(vec![0.0])).unwrap_err();
+        assert!(matches!(err, AssignError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn sweep_matches_serial_double_loop() {
+        let points = [3usize, 5, 8];
+        let seeds = [11u64, 12, 13];
+        let eval = |&p: &usize, s: u64| -> Result<Vec<f64>, AssignError> {
+            Ok(vec![
+                (p as f64) * 0.1 + s as f64,
+                (p * 2) as f64 / (s as f64),
+            ])
+        };
+        let swept = sweep_seed_averaged(&points, &seeds, eval).unwrap();
+        // Serial reference: same nesting, same reduction order.
+        let mut reference = Vec::new();
+        for p in &points {
+            let mut acc = vec![0.0; 2];
+            for &s in &seeds {
+                let row = eval(p, s).unwrap();
+                for (a, v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+            for a in &mut acc {
+                *a /= seeds.len() as f64;
+            }
+            reference.push(acc);
+        }
+        assert_eq!(swept, reference);
     }
 
     #[test]

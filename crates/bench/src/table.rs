@@ -112,7 +112,11 @@ impl Figure {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&headers));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &rows {
             let _ = writeln!(out, "{}", fmt_row(row));
         }

@@ -52,7 +52,10 @@ impl fmt::Display for CoverageViolation {
                 write!(f, "{device} was assigned item {item} it does not own")
             }
             CoverageViolation::OutsideRequired { device, item } => {
-                write!(f, "{device} was assigned item {item} outside the required set")
+                write!(
+                    f,
+                    "{device} was assigned item {item} outside the required set"
+                )
             }
             CoverageViolation::Uncovered { missing } => {
                 write!(f, "{missing} required items are uncovered")
@@ -259,7 +262,9 @@ mod tests {
 
     #[test]
     fn processing_time_is_gated_by_slowest_share() {
-        let s = DivisibleScenarioConfig::paper_defaults(50).generate().unwrap();
+        let s = DivisibleScenarioConfig::paper_defaults(50)
+            .generate()
+            .unwrap();
         // One device takes everything → worst possible balance.
         let required = s.required_universe();
         // Find a device owning at least one required item and give it all

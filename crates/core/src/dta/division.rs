@@ -325,7 +325,9 @@ mod tests {
     }
 
     fn scenario(seed: u64) -> mec_sim::workload::DivisibleScenario {
-        DivisibleScenarioConfig::paper_defaults(seed).generate().unwrap()
+        DivisibleScenarioConfig::paper_defaults(seed)
+            .generate()
+            .unwrap()
     }
 
     #[test]
@@ -393,7 +395,11 @@ mod tests {
         exact.validate(&u, &required).unwrap();
         let greedy = divide_balanced(&u, &required).unwrap();
         assert!(exact.max_share_len() <= greedy.max_share_len());
-        assert_eq!(exact.max_share_len(), 2, "6 items over 3 devices balance at 2");
+        assert_eq!(
+            exact.max_share_len(),
+            2,
+            "6 items over 3 devices balance at 2"
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub mod division;
 pub mod rearrange;
 
 pub use coverage::{Coverage, CoverageViolation};
-pub use division::{divide_balanced, divide_min_devices, exact_min_devices, exact_min_max, rebalance};
+pub use division::{
+    divide_balanced, divide_min_devices, exact_min_devices, exact_min_max, rebalance,
+};
 pub use rearrange::{
     divisible_as_holistic, dta_device_shares, run_dta, run_dta_with_coverage, DivisionStrategy,
     DtaConfig, DtaReport,
@@ -63,7 +65,9 @@ mod tests {
 
     #[test]
     fn distributed_aggregation_matches_centralized() {
-        let s = DivisibleScenarioConfig::paper_defaults(90).generate().unwrap();
+        let s = DivisibleScenarioConfig::paper_defaults(90)
+            .generate()
+            .unwrap();
         let required = s.required_universe();
         let cov = divide_balanced(&s.universe, &required).unwrap();
         let values: Vec<f64> = (0..s.universe.num_items())
@@ -75,7 +79,11 @@ mod tests {
             let expect = task.op.apply(&central);
             match (distributed, expect) {
                 (Some(a), Some(b)) => {
-                    assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{}: {a} vs {b}", task.id)
+                    assert!(
+                        (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                        "{}: {a} vs {b}",
+                        task.id
+                    )
                 }
                 (a, b) => assert_eq!(a, b, "{}", task.id),
             }

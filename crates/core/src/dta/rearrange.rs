@@ -201,8 +201,8 @@ pub fn run_dta_with_coverage(
         let to = system.device(piece.processor)?;
         let cross = !system.same_cluster(piece.aggregator, piece.processor)?;
         // Descriptor: aggregator → processor.
-        descriptor_energy += transfer::upload_energy(&from.link, desc)
-            + transfer::download_energy(&to.link, desc);
+        descriptor_energy +=
+            transfer::upload_energy(&from.link, desc) + transfer::download_energy(&to.link, desc);
         // Partial result: processor → aggregator.
         let partial = system.result_model.result_size(piece.size);
         partial_energy += transfer::upload_energy(&to.link, partial)
@@ -244,10 +244,7 @@ pub fn divisible_as_holistic(
 ) -> Result<Vec<HolisticTask>, AssignError> {
     let mut out = Vec::with_capacity(scenario.tasks.len());
     for task in &scenario.tasks {
-        let local = scenario
-            .universe
-            .usable(task.owner, &task.items)?
-            .clone();
+        let local = scenario.universe.usable(task.owner, &task.items)?.clone();
         let missing = task.items.difference(&local);
         let alpha = scenario.universe.set_size(&local);
         let beta = scenario.universe.set_size(&missing);
@@ -318,10 +315,22 @@ pub fn dta_device_shares(
         if piece.processor != piece.aggregator {
             let agg_dev = system.device(piece.aggregator)?;
             let partial = system.result_model.result_size(piece.size);
-            pay(piece.processor, transfer::upload_energy(&proc_dev.link, partial));
-            pay(piece.aggregator, transfer::download_energy(&agg_dev.link, partial));
-            pay(piece.aggregator, transfer::upload_energy(&agg_dev.link, desc));
-            pay(piece.processor, transfer::download_energy(&proc_dev.link, desc));
+            pay(
+                piece.processor,
+                transfer::upload_energy(&proc_dev.link, partial),
+            );
+            pay(
+                piece.aggregator,
+                transfer::download_energy(&agg_dev.link, partial),
+            );
+            pay(
+                piece.aggregator,
+                transfer::upload_energy(&agg_dev.link, desc),
+            );
+            pay(
+                piece.processor,
+                transfer::download_energy(&proc_dev.link, desc),
+            );
         }
     }
     Ok(shares)

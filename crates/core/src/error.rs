@@ -25,6 +25,12 @@ pub enum AssignError {
         /// Number of entries in the other input.
         other: usize,
     },
+    /// A parallel worker panicked; carries the panic payload's message so
+    /// the failure surfaces as an error instead of poisoning the run.
+    Worker(String),
+    /// An experiment driver received input it cannot average or sweep
+    /// over (e.g. an empty seed list).
+    InvalidInput(String),
 }
 
 impl fmt::Display for AssignError {
@@ -38,6 +44,8 @@ impl fmt::Display for AssignError {
             AssignError::LengthMismatch { tasks, other } => {
                 write!(f, "length mismatch: {tasks} tasks vs {other} entries")
             }
+            AssignError::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
+            AssignError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
     }
 }
@@ -79,5 +87,9 @@ mod tests {
             reason: "too many tasks".into(),
         };
         assert!(e.to_string().contains("exact"));
+        let e = AssignError::Worker("index out of bounds".into());
+        assert!(e.to_string().contains("worker panicked"));
+        let e = AssignError::InvalidInput("empty seed list".into());
+        assert!(e.to_string().contains("invalid input"));
     }
 }

@@ -207,9 +207,15 @@ mod tests {
     #[test]
     fn random_is_seed_deterministic() {
         let (s, costs) = setup();
-        let a = RandomAssign { seed: 5 }.assign(&s.system, &s.tasks, &costs).unwrap();
-        let b = RandomAssign { seed: 5 }.assign(&s.system, &s.tasks, &costs).unwrap();
-        let c = RandomAssign { seed: 6 }.assign(&s.system, &s.tasks, &costs).unwrap();
+        let a = RandomAssign { seed: 5 }
+            .assign(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let b = RandomAssign { seed: 5 }
+            .assign(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let c = RandomAssign { seed: 6 }
+            .assign(&s.system, &s.tasks, &costs)
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

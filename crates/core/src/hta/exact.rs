@@ -261,7 +261,9 @@ mod tests {
     fn exact_lower_bounds_lp_hta() {
         for seed in [42, 43, 44, 45] {
             let (s, costs) = small_scenario(seed);
-            let Some((_, opt)) = ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap()
+            let Some((_, opt)) = ExactBnB::default()
+                .solve(&s.system, &s.tasks, &costs)
+                .unwrap()
             else {
                 continue;
             };
@@ -293,7 +295,9 @@ mod tests {
         let (mut s, _) = small_scenario(46);
         s.tasks[0].deadline = mec_sim::units::Seconds::new(1e-12);
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
-        let res = ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap();
+        let res = ExactBnB::default()
+            .solve(&s.system, &s.tasks, &costs)
+            .unwrap();
         assert!(res.is_none());
     }
 
@@ -312,7 +316,9 @@ mod tests {
     #[test]
     fn exact_beats_or_matches_every_heuristic() {
         let (s, costs) = small_scenario(48);
-        let Some((_, opt)) = ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap()
+        let Some((_, opt)) = ExactBnB::default()
+            .solve(&s.system, &s.tasks, &costs)
+            .unwrap()
         else {
             panic!("expected feasible");
         };

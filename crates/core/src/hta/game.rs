@@ -232,8 +232,13 @@ mod tests {
     #[test]
     fn dynamics_reach_equilibrium() {
         let (s, costs) = setup(91, 150);
-        let out = NashOffload::default().play(&s.system, &s.tasks, &costs).unwrap();
-        assert!(out.converged, "best response should converge well before the cap");
+        let out = NashOffload::default()
+            .play(&s.system, &s.tasks, &costs)
+            .unwrap();
+        assert!(
+            out.converged,
+            "best response should converge well before the cap"
+        );
         assert!(out.rounds < 50, "rounds {}", out.rounds);
         assert_eq!(out.assignment.len(), s.tasks.len());
     }
@@ -241,8 +246,12 @@ mod tests {
     #[test]
     fn equilibrium_is_stable_under_replay() {
         let (s, costs) = setup(92, 100);
-        let a = NashOffload::default().play(&s.system, &s.tasks, &costs).unwrap();
-        let b = NashOffload::default().play(&s.system, &s.tasks, &costs).unwrap();
+        let a = NashOffload::default()
+            .play(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let b = NashOffload::default()
+            .play(&s.system, &s.tasks, &costs)
+            .unwrap();
         assert_eq!(a.assignment, b.assignment, "the dynamics are deterministic");
     }
 
@@ -252,7 +261,9 @@ mod tests {
         let nash = evaluate_assignment(
             &s.tasks,
             &costs,
-            &NashOffload::default().assign(&s.system, &s.tasks, &costs).unwrap(),
+            &NashOffload::default()
+                .assign(&s.system, &s.tasks, &costs)
+                .unwrap(),
         )
         .unwrap();
         let cloud = evaluate_assignment(
@@ -288,7 +299,10 @@ mod tests {
         .unwrap();
         let [dev, st, cl] = out.assignment.site_counts();
         assert!(dev > 0, "someone stays local");
-        assert!(st + cl < s.tasks.len(), "not everyone offloads: {dev}/{st}/{cl}");
+        assert!(
+            st + cl < s.tasks.len(),
+            "not everyone offloads: {dev}/{st}/{cl}"
+        );
     }
 
     #[test]
@@ -319,10 +333,15 @@ mod capacity_tests {
         cfg.station_resource_mb = 60.0;
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
-        let out = NashOffload::default().play(&s.system, &s.tasks, &costs).unwrap();
+        let out = NashOffload::default()
+            .play(&s.system, &s.tasks, &costs)
+            .unwrap();
         let usage = capacity_usage(&s.system, &s.tasks, &out.assignment).unwrap();
         assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
         let [dev, st, cl] = out.assignment.site_counts();
-        assert!(dev > 0 && st > 0 && cl > 0, "pressure spreads players: {dev}/{st}/{cl}");
+        assert!(
+            dev > 0 && st > 0 && cl > 0,
+            "pressure spreads players: {dev}/{st}/{cl}"
+        );
     }
 }

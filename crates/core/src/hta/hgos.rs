@@ -193,10 +193,14 @@ mod tests {
     #[test]
     fn pure_latency_weight_prefers_fast_sites() {
         let (s, costs) = setup(34);
-        let fast = Hgos { latency_weight: 1.0 };
+        let fast = Hgos {
+            latency_weight: 1.0,
+        };
         let a = fast.assign(&s.system, &s.tasks, &costs).unwrap();
         let m = evaluate_assignment(&s.tasks, &costs, &a).unwrap();
-        let frugal = Hgos { latency_weight: 0.0 };
+        let frugal = Hgos {
+            latency_weight: 0.0,
+        };
         let b = frugal.assign(&s.system, &s.tasks, &costs).unwrap();
         let mb = evaluate_assignment(&s.tasks, &costs, &b).unwrap();
         assert!(m.mean_latency <= mb.mean_latency);

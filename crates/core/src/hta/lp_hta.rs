@@ -21,7 +21,7 @@ use crate::hta::relaxation::build_cluster_relaxation;
 use crate::hta::{cluster_task_indices, HtaAlgorithm};
 use linprog::{solve, LpStatus, Solver};
 use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
-use mec_sim::topology::MecSystem;
+use mec_sim::topology::{MecSystem, StationId};
 use mec_sim::units::Bytes;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -62,6 +62,34 @@ pub struct LpHtaReport {
     pub ratio_bound: f64,
     /// Tasks cancelled by the repair steps.
     pub cancelled: Vec<TaskId>,
+    /// Total LP iterations across clusters.
+    pub lp_iterations: usize,
+}
+
+/// One cluster's fractional Step-1/2 output: the tasks it covers and the
+/// relaxed site fractions `X[i, ·]` for each of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFractions {
+    /// The cluster's base station.
+    pub station: StationId,
+    /// Global task indices covered by this cluster, in cluster order.
+    pub task_indices: Vec<usize>,
+    /// Fractional site weights per task (device, station, cloud), parallel
+    /// to `task_indices`.
+    pub x: Vec<[f64; 3]>,
+}
+
+/// The Step-1/2 output of LP-HTA for a whole instance: every cluster's
+/// fractional matrix plus the aggregate LP diagnostics. Computed by
+/// [`LpHta::solve_relaxation`] and consumed by [`LpHta::round_with`]; the
+/// split lets callers solve the (expensive) relaxation once and reuse it
+/// across rounding rules, as the benchmark ablations do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalSolution {
+    /// Per-cluster fractional matrices, in station order.
+    pub clusters: Vec<ClusterFractions>,
+    /// `E_LP^(OPT)` summed over clusters.
+    pub lp_objective: f64,
     /// Total LP iterations across clusters.
     pub lp_iterations: usize,
 }
@@ -213,23 +241,37 @@ impl LpHta {
                 return Ok(result);
             }
         }
-        let mut assignment = Assignment::new(vec![Decision::Cancelled; tasks.len()]);
-        let mut report = LpHtaReport {
+        let fractional = self.solve_relaxation(system, tasks, costs)?;
+        self.round_with(system, tasks, costs, &fractional)
+    }
+
+    /// Steps 1–2: solves every cluster's relaxed LP (or seeds oversized
+    /// clusters greedily) and returns the fractional matrices. The result
+    /// depends on `solver`, `lp_cluster_limit` and the instance — not on
+    /// the rounding rule — so it can be cached and fed to [`Self::round_with`]
+    /// under several rounding rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for substrate failures or irrecoverable LP
+    /// numerical failures.
+    pub fn solve_relaxation(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+    ) -> Result<FractionalSolution, AssignError> {
+        if tasks.len() != costs.len() {
+            return Err(AssignError::LengthMismatch {
+                tasks: tasks.len(),
+                other: costs.len(),
+            });
+        }
+        let mut fractional = FractionalSolution {
+            clusters: Vec::new(),
             lp_objective: 0.0,
-            rounded_energy: 0.0,
-            final_energy: 0.0,
-            delta: 0.0,
-            theorem2_bound: f64::INFINITY,
-            corollary1_bound: f64::INFINITY,
-            ratio_bound: f64::INFINITY,
-            cancelled: Vec::new(),
             lp_iterations: 0,
         };
-        let mut rng = match self.rounding {
-            RoundingRule::Randomized { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
-            RoundingRule::ArgMax => None,
-        };
-
         for (station, idxs) in cluster_task_indices(system, tasks)? {
             if idxs.is_empty() {
                 continue;
@@ -255,7 +297,7 @@ impl LpHta {
                         .unwrap_or(ExecutionSite::Cloud);
                     row[best.index()] = 1.0;
                     seed.push(row);
-                    report.lp_objective += ExecutionSite::ALL
+                    fractional.lp_objective += ExecutionSite::ALL
                         .iter()
                         .map(|&s| costs.at(i, s).energy.value())
                         .fold(f64::INFINITY, f64::min);
@@ -268,25 +310,69 @@ impl LpHta {
                 };
                 // Step 1: solve the relaxation.
                 let sol = solve(&rel.lp, self.solver)?;
-                report.lp_iterations += sol.iterations;
+                fractional.lp_iterations += sol.iterations;
                 // Step 2: the fractional matrix X. If the LP could not be
                 // solved to optimality (pathological custom instances), fall
                 // back to the always-feasible all-cloud fractional point.
                 if sol.status == LpStatus::Optimal {
-                    report.lp_objective += sol.objective;
+                    fractional.lp_objective += sol.objective;
                     rel.fractional_matrix(&sol.x)
                 } else {
-                    report.lp_objective += idxs
+                    fractional.lp_objective += idxs
                         .iter()
                         .map(|&i| costs.at(i, ExecutionSite::Cloud).energy.value())
                         .sum::<f64>();
                     idxs.iter().map(|_| [0.0, 0.0, 1.0]).collect()
                 }
             };
+            fractional.clusters.push(ClusterFractions {
+                station,
+                task_indices: idxs,
+                x,
+            });
+        }
+        Ok(fractional)
+    }
+
+    /// Steps 3–6 plus certificates: rounds a precomputed [`FractionalSolution`]
+    /// (from [`Self::solve_relaxation`], possibly cached) and repairs it into
+    /// a feasible assignment under this instance's rounding rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for substrate failures.
+    pub fn round_with(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+        fractional: &FractionalSolution,
+    ) -> Result<(Assignment, LpHtaReport), AssignError> {
+        let mut assignment = Assignment::new(vec![Decision::Cancelled; tasks.len()]);
+        let mut report = LpHtaReport {
+            lp_objective: fractional.lp_objective,
+            rounded_energy: 0.0,
+            final_energy: 0.0,
+            delta: 0.0,
+            theorem2_bound: f64::INFINITY,
+            corollary1_bound: f64::INFINITY,
+            ratio_bound: f64::INFINITY,
+            cancelled: Vec::new(),
+            lp_iterations: fractional.lp_iterations,
+        };
+        let mut rng = match self.rounding {
+            RoundingRule::Randomized { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
+            RoundingRule::ArgMax => None,
+        };
+
+        for cluster in &fractional.clusters {
+            let station = cluster.station;
+            let idxs = &cluster.task_indices;
+            let x = &cluster.x;
 
             // Step 3: rounding.
             let mut sites: Vec<Option<ExecutionSite>> = Vec::with_capacity(idxs.len());
-            for row in &x {
+            for row in x {
                 let site = match &mut rng {
                     None => argmax_site(row),
                     Some(rng) => sample_site(row, rng),
@@ -320,7 +406,7 @@ impl LpHta {
                 repair_capacity(
                     tasks,
                     costs,
-                    &idxs,
+                    idxs,
                     &mut sites,
                     ExecutionSite::Device,
                     ExecutionSite::Station,
@@ -334,7 +420,7 @@ impl LpHta {
             repair_capacity(
                 tasks,
                 costs,
-                &idxs,
+                idxs,
                 &mut sites,
                 ExecutionSite::Station,
                 ExecutionSite::Cloud,
@@ -454,7 +540,10 @@ fn repair_capacity(
                     && costs.feasible(idx, to, tasks[idx].deadline)
             })
             .max_by(|(_, &a), (_, &b)| {
-                tasks[a].resource.value().total_cmp(&tasks[b].resource.value())
+                tasks[a]
+                    .resource
+                    .value()
+                    .total_cmp(&tasks[b].resource.value())
             })
             .map(|(k, _)| k);
         if let Some(k) = movable {
@@ -467,7 +556,10 @@ fn repair_capacity(
             .enumerate()
             .filter(|(k, &idx)| sites[*k] == Some(from) && belongs(idx))
             .max_by(|(_, &a), (_, &b)| {
-                tasks[a].resource.value().total_cmp(&tasks[b].resource.value())
+                tasks[a]
+                    .resource
+                    .value()
+                    .total_cmp(&tasks[b].resource.value())
             })
             .map(|(k, _)| k);
         match victim {
@@ -484,7 +576,9 @@ mod tests {
     use mec_sim::units::Seconds;
     use mec_sim::workload::ScenarioConfig;
 
-    fn run(seed: u64) -> (
+    fn run(
+        seed: u64,
+    ) -> (
         mec_sim::workload::Scenario,
         CostTable,
         Assignment,
@@ -646,6 +740,39 @@ mod tests {
         for idx in 0..5 {
             assert_eq!(a.decision(idx), Decision::Cancelled);
         }
+    }
+
+    #[test]
+    fn split_relaxation_plus_rounding_matches_assign_with_report() {
+        let s = ScenarioConfig::paper_defaults(9).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        for rounding in [RoundingRule::ArgMax, RoundingRule::Randomized { seed: 7 }] {
+            let algo = LpHta {
+                rounding,
+                ..LpHta::paper().without_fast_path()
+            };
+            let frac = algo.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+            let (a1, r1) = algo.round_with(&s.system, &s.tasks, &costs, &frac).unwrap();
+            let (a2, r2) = algo
+                .assign_with_report(&s.system, &s.tasks, &costs)
+                .unwrap();
+            assert_eq!(a1, a2);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn relaxation_is_independent_of_rounding_rule() {
+        let s = ScenarioConfig::paper_defaults(10).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let a = LpHta::paper().without_fast_path();
+        let b = LpHta {
+            rounding: RoundingRule::Randomized { seed: 3 },
+            ..a
+        };
+        let fa = a.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+        let fb = b.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+        assert_eq!(fa, fb);
     }
 
     #[test]

@@ -98,9 +98,7 @@ impl HtaAlgorithm for OnlineHta {
                               station_free: &[f64]|
              -> bool {
                 match site {
-                    ExecutionSite::Device => {
-                        device_free[dev] - need >= reserve * device_total[dev]
-                    }
+                    ExecutionSite::Device => device_free[dev] - need >= reserve * device_total[dev],
                     ExecutionSite::Station => {
                         station_free[st] - need >= reserve * station_total[st]
                     }
@@ -156,7 +154,9 @@ mod tests {
     fn online_respects_all_constraints() {
         for policy in [OnlinePolicy::Greedy, OnlinePolicy::Reserve { reserve: 0.2 }] {
             let (s, costs) = setup(121, 200, 6.0);
-            let a = OnlineHta { policy }.assign(&s.system, &s.tasks, &costs).unwrap();
+            let a = OnlineHta { policy }
+                .assign(&s.system, &s.tasks, &costs)
+                .unwrap();
             for (idx, task) in s.tasks.iter().enumerate() {
                 if let Some(site) = a.decision(idx).site() {
                     assert!(costs.feasible(idx, site, task.deadline));
@@ -174,7 +174,9 @@ mod tests {
             let online = evaluate_assignment(
                 &s.tasks,
                 &costs,
-                &OnlineHta::default().assign(&s.system, &s.tasks, &costs).unwrap(),
+                &OnlineHta::default()
+                    .assign(&s.system, &s.tasks, &costs)
+                    .unwrap(),
             )
             .unwrap();
             let offline = evaluate_assignment(
@@ -198,7 +200,9 @@ mod tests {
     #[test]
     fn reserve_keeps_headroom() {
         let (s, costs) = setup(125, 300, 6.0);
-        let greedy = OnlineHta::default().assign(&s.system, &s.tasks, &costs).unwrap();
+        let greedy = OnlineHta::default()
+            .assign(&s.system, &s.tasks, &costs)
+            .unwrap();
         let reserve = OnlineHta {
             policy: OnlinePolicy::Reserve { reserve: 0.3 },
         }

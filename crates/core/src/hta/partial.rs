@@ -50,11 +50,7 @@ pub struct PartialPlan {
 impl PartialPlan {
     /// Total energy over the feasible splits.
     pub fn total_energy(&self) -> Joules {
-        self.splits
-            .iter()
-            .flatten()
-            .map(|s| s.energy)
-            .sum()
+        self.splits.iter().flatten().map(|s| s.energy).sum()
     }
 
     /// Mean completion time over the feasible splits.
@@ -63,7 +59,12 @@ impl PartialPlan {
         if n == 0 {
             return Seconds::ZERO;
         }
-        self.splits.iter().flatten().map(|s| s.time).sum::<Seconds>() / n as f64
+        self.splits
+            .iter()
+            .flatten()
+            .map(|s| s.time)
+            .sum::<Seconds>()
+            / n as f64
     }
 
     /// Fraction of tasks with no feasible split.
@@ -151,9 +152,8 @@ pub fn optimal_split(
     let phi = if slope <= 0.0 { phi_hi } else { phi_lo };
 
     let time = t_ret + Seconds::new((phi * l_coef).max((1.0 - phi) * k_coef));
-    let energy = e_ret
-        + Joules::new(phi * e_compute_full)
-        + Joules::new((1.0 - phi) * e_radio_full);
+    let energy =
+        e_ret + Joules::new(phi * e_compute_full) + Joules::new((1.0 - phi) * e_radio_full);
     Ok(Some(PartialSplit { phi, time, energy }))
 }
 
@@ -221,9 +221,11 @@ mod tests {
                     endpoints.push(costs.at(idx, site).energy.value());
                 }
             }
-            if let Some(best) = endpoints.iter().cloned().fold(None::<f64>, |m, v| {
-                Some(m.map_or(v, |x| x.min(v)))
-            }) {
+            if let Some(best) = endpoints
+                .iter()
+                .cloned()
+                .fold(None::<f64>, |m, v| Some(m.map_or(v, |x| x.min(v))))
+            {
                 assert!(
                     split.energy.value() <= best + 1e-6,
                     "{}: split {} > best endpoint {best}",

@@ -304,8 +304,7 @@ mod tests {
     #[test]
     fn empty_cluster_yields_none() {
         let (s, costs) = setup();
-        let rel =
-            build_cluster_relaxation(&s.system, &s.tasks, &costs, StationId(0), &[]).unwrap();
+        let rel = build_cluster_relaxation(&s.system, &s.tasks, &costs, StationId(0), &[]).unwrap();
         assert!(rel.is_none());
     }
 }

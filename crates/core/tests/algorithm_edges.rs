@@ -93,7 +93,9 @@ fn dta_single_task_single_item() {
 
 #[test]
 fn dta_empty_required_set_is_trivial() {
-    let s = DivisibleScenarioConfig::paper_defaults(606).generate().unwrap();
+    let s = DivisibleScenarioConfig::paper_defaults(606)
+        .generate()
+        .unwrap();
     let empty = ItemSet::new(s.universe.num_items());
     let cov = divide_balanced(&s.universe, &empty).unwrap();
     assert_eq!(cov.involved_devices(), 0);

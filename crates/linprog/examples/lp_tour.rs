@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "{:<15} shadow prices: {:?}",
                 "",
-                duals.iter().map(|d| (d * 1e4).round() / 1e4).collect::<Vec<_>>()
+                duals
+                    .iter()
+                    .map(|d| (d * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>()
             );
         }
     }

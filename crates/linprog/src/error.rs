@@ -49,14 +49,20 @@ impl fmt::Display for LpError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             LpError::VariableOutOfRange { var, num_vars } => {
-                write!(f, "variable index {var} out of range for {num_vars} variables")
+                write!(
+                    f,
+                    "variable index {var} out of range for {num_vars} variables"
+                )
             }
             LpError::DuplicateTerm { col } => {
                 write!(f, "constraint mentions column {col} more than once")
             }
             LpError::InvalidNumber(v) => write!(f, "non-finite number {v} in problem data"),
             LpError::InfeasibleBounds { var, lower, upper } => {
-                write!(f, "variable {var} has lower bound {lower} above upper bound {upper}")
+                write!(
+                    f,
+                    "variable {var} has lower bound {lower} above upper bound {upper}"
+                )
             }
             LpError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
         }
@@ -71,7 +77,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LpError::DimensionMismatch { expected: 3, got: 2 };
+        let e = LpError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = LpError::InfeasibleBounds {
             var: 1,

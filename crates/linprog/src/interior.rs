@@ -77,7 +77,9 @@ pub fn solve_interior_point_with(lp: &LpProblem, opts: IpmOptions) -> Result<LpS
     // shift) have an empty relative interior and would keep the barrier from
     // converging; drop them and scatter zeros back afterwards. LP-HTA
     // produces such columns whenever a site is deadline-infeasible.
-    let active: Vec<usize> = (0..sf.num_cols()).filter(|&j| sf.upper[j] > 1e-12).collect();
+    let active: Vec<usize> = (0..sf.num_cols())
+        .filter(|&j| sf.upper[j] > 1e-12)
+        .collect();
     if active.len() == sf.num_cols() {
         let mut ipm = Ipm::new(&sf, opts);
         return ipm.run(&sf);
@@ -163,7 +165,13 @@ impl Ipm {
         }
         let z = vec![1.0 + norm_inf(&sf.c); n];
         let s: Vec<f64> = (0..n)
-            .map(|j| if upper[j].is_finite() { 1.0 + norm_inf(&sf.c) } else { 0.0 })
+            .map(|j| {
+                if upper[j].is_finite() {
+                    1.0 + norm_inf(&sf.c)
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         Ipm {
@@ -341,7 +349,11 @@ impl Ipm {
                 if let Some(l) = gram.cholesky() {
                     break l;
                 }
-                reg = if reg == 0.0 { 1e-10 * (1.0 + gram.max_abs()) } else { reg * 100.0 };
+                reg = if reg == 0.0 {
+                    1e-10 * (1.0 + gram.max_abs())
+                } else {
+                    reg * 100.0
+                };
                 if reg > 1e6 * (1.0 + gram.max_abs()) {
                     return Err(LpError::NumericalFailure(
                         "normal equations stayed singular despite regularization",
@@ -355,7 +367,13 @@ impl Ipm {
             // Predictor (affine-scaling) direction: σ = 0.
             let r_xz_aff: Vec<f64> = (0..self.n).map(|j| -self.x[j] * self.z[j]).collect();
             let r_ws_aff: Vec<f64> = (0..self.n)
-                .map(|j| if self.bounded(j) { -self.w[j] * self.s[j] } else { 0.0 })
+                .map(|j| {
+                    if self.bounded(j) {
+                        -self.w[j] * self.s[j]
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let (dx_a, dw_a, _dy_a, dz_a, ds_a) =
                 self.newton_direction(&chol, &theta_inv, &r_p, &r_u, &r_d, &r_xz_aff, &r_ws_aff);
@@ -375,7 +393,11 @@ impl Ipm {
                 }
             }
             let mu_aff = (mu_aff_total / count as f64).max(0.0);
-            let sigma = if mu > 0.0 { (mu_aff / mu).powi(3).clamp(0.0, 1.0) } else { 0.0 };
+            let sigma = if mu > 0.0 {
+                (mu_aff / mu).powi(3).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
 
             // Corrector: include second-order terms.
             let r_xz: Vec<f64> = (0..self.n)
@@ -467,12 +489,8 @@ mod tests {
         // min 2x + 3y + z  s.t.  x + y + z = 1, 0 <= each <= 1 → z = 1.
         let mut lp = LpProblem::new(3);
         lp.set_objective(vec![2.0, 3.0, 1.0]).unwrap();
-        lp.add_constraint(
-            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
-            ConstraintSense::Eq,
-            1.0,
-        )
-        .unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintSense::Eq, 1.0)
+            .unwrap();
         for v in 0..3 {
             lp.set_bounds(v, 0.0, 1.0).unwrap();
         }

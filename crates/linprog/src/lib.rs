@@ -41,12 +41,14 @@ pub mod error;
 pub mod interior;
 pub mod matrix;
 pub mod mps;
+pub mod par;
 pub mod presolve;
 pub mod problem;
 pub mod simplex;
 pub mod standard;
 
 pub use error::LpError;
+pub use par::{set_threads, threads};
 pub use problem::{Bounds, Constraint, ConstraintSense, LpProblem, LpSolution, LpStatus};
 
 /// Which backend to use for a solve.
@@ -107,7 +109,8 @@ mod tests {
     fn dispatch_reaches_both_backends() {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0)
+            .unwrap();
         for solver in [Solver::Simplex, Solver::InteriorPoint] {
             let sol = solve(&lp, solver).unwrap();
             assert!(sol.is_optimal(), "{solver} failed");
@@ -119,8 +122,10 @@ mod tests {
     fn infeasible_is_certified_via_fallback() {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0)
+            .unwrap();
         let sol = solve(&lp, Solver::InteriorPoint).unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }

@@ -246,7 +246,12 @@ mod tests {
         let parsed = parse_mps(&text).unwrap();
         let a = solve(&lp, Solver::Simplex).unwrap();
         let b = solve(&parsed, Solver::Simplex).unwrap();
-        assert!((a.objective - b.objective).abs() < 1e-9, "{} vs {}", a.objective, b.objective);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9,
+            "{} vs {}",
+            a.objective,
+            b.objective
+        );
     }
 
     #[test]
@@ -288,7 +293,10 @@ ENDATA
     #[test]
     fn rejects_malformed_input() {
         assert!(parse_mps("garbage\n").is_err());
-        assert!(parse_mps("ROWS\n L  R0\nENDATA\n").is_err(), "no N row / columns");
+        assert!(
+            parse_mps("ROWS\n L  R0\nENDATA\n").is_err(),
+            "no N row / columns"
+        );
         let unknown_row = "\
 NAME X
 ROWS

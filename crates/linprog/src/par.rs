@@ -1,0 +1,200 @@
+//! Thread-pool configuration and the scoped-parallelism primitives behind
+//! the dense kernels in [`crate::matrix`].
+//!
+//! The workspace pins no external parallelism crate (the build must work
+//! from a vendored, offline dependency set), so the primitives here are
+//! built on `std::thread::scope`:
+//!
+//! * [`run_workers`] — spawn a small worker team for one parallel region;
+//!   each worker receives its index and typically processes a strided or
+//!   chunked share of the rows.
+//! * [`SharedRows`] — an unsafe-but-audited shared view of a mutable
+//!   `f64` buffer that lets workers write *disjoint* row ranges without a
+//!   lock. Every call site partitions rows statically, so no two workers
+//!   ever alias a slot.
+//!
+//! **Determinism contract:** parallel kernels perform exactly the same
+//! per-row floating-point operations in exactly the same order as their
+//! serial counterparts — work is split *across* rows, never inside a
+//! reduction — so results are bit-identical for any thread count.
+//!
+//! The global thread count is resolved, in order, from
+//! [`set_threads`], the `DSMEC_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`].
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Row count below which the one-shot kernels (`mul_mat`, `transpose`,
+/// `scaled_gram`) stay serial: below this the spawn overhead dominates.
+pub const PAR_MIN_ROWS: usize = 64;
+
+/// Dimension below which the synchronization-heavy factorizations
+/// (`cholesky`, `inverse`) stay serial; they pay two barrier waits per
+/// column, so they need substantially more work per column to win.
+pub const PAR_MIN_FACTOR_ROWS: usize = 192;
+
+/// 0 = "not explicitly configured": fall back to the environment / CPU.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("DSMEC_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Sets the number of worker threads used by the dense kernels.
+/// `0` restores the default (environment / available parallelism).
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads the dense kernels will use.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Runs `body(worker_index)` on `n_workers` threads (the last share runs
+/// on the calling thread) and joins them all. Panics in workers propagate
+/// to the caller after the scope joins.
+pub(crate) fn run_workers(n_workers: usize, body: &(dyn Fn(usize) + Sync)) {
+    if n_workers <= 1 {
+        body(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 1..n_workers {
+            scope.spawn(move || body(w));
+        }
+        body(0);
+    });
+}
+
+/// The worker count a kernel over `rows` rows should use: the configured
+/// thread count, capped so every worker owns at least a few rows, or 1
+/// when `rows` is under `min_rows`.
+pub(crate) fn plan_workers(rows: usize, min_rows: usize) -> usize {
+    if rows < min_rows {
+        return 1;
+    }
+    threads().min(rows / 8).max(1)
+}
+
+/// A shared view of a mutable `f64` buffer, handed to worker threads so
+/// each can write its own statically assigned rows without locking.
+///
+/// # Safety contract
+///
+/// [`SharedRows::row_mut`] hands out `&mut [f64]` aliases into the same
+/// buffer; callers must guarantee that no two workers ever touch the same
+/// row between two synchronization points (scope join or barrier). Every
+/// use in this crate partitions rows by `row % n_workers` or by contiguous
+/// chunks, which satisfies the contract by construction.
+pub(crate) struct SharedRows<'a> {
+    ptr: *mut f64,
+    len: usize,
+    row_len: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+unsafe impl Sync for SharedRows<'_> {}
+
+impl<'a> SharedRows<'a> {
+    /// Wraps `data`, interpreted as rows of `row_len` entries.
+    pub(crate) fn new(data: &'a mut [f64], row_len: usize) -> Self {
+        debug_assert!(row_len > 0 && data.len() % row_len == 0);
+        SharedRows {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            row_len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mutable access to row `r`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure no other thread reads or writes row `r`
+    /// until the next synchronization point (see the type-level contract).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn row_mut(&self, r: usize) -> &mut [f64] {
+        let start = r * self.row_len;
+        debug_assert!(start + self.row_len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), self.row_len)
+    }
+
+    /// Read-only access to row `r`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure no other thread *writes* row `r` until the
+    /// next synchronization point.
+    pub(crate) unsafe fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.row_len;
+        debug_assert!(start + self.row_len <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(start), self.row_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_config_round_trips() {
+        let before = threads();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0); // restore default resolution
+        assert!(threads() >= 1);
+        let _ = before;
+    }
+
+    #[test]
+    fn run_workers_covers_all_indices() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(vec![false; 5]);
+        run_workers(5, &|w| {
+            seen.lock().unwrap()[w] = true;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn plan_workers_respects_threshold() {
+        assert_eq!(plan_workers(10, PAR_MIN_ROWS), 1);
+        set_threads(4);
+        assert!(plan_workers(1024, PAR_MIN_ROWS) >= 1);
+        set_threads(0);
+    }
+
+    #[test]
+    fn shared_rows_disjoint_writes() {
+        let mut data = vec![0.0f64; 8 * 4];
+        let shared = SharedRows::new(&mut data, 4);
+        run_workers(4, &|w| {
+            for r in (w..8).step_by(4) {
+                let row = unsafe { shared.row_mut(r) };
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r * 4 + c) as f64;
+                }
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+}

@@ -220,10 +220,7 @@ impl Presolved {
 /// # Errors
 ///
 /// Propagates solver errors.
-pub fn presolve_and_solve(
-    lp: &LpProblem,
-    solver: crate::Solver,
-) -> Result<LpSolution, LpError> {
+pub fn presolve_and_solve(lp: &LpProblem, solver: crate::Solver) -> Result<LpSolution, LpError> {
     match presolve(lp)? {
         PresolveOutcome::Infeasible => Ok(LpSolution {
             status: LpStatus::Infeasible,
@@ -265,7 +262,8 @@ mod tests {
         // min -x s.t. 2x <= 6, x <= 10 bound → x = 3.
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![-1.0]).unwrap();
-        lp.add_constraint(vec![(0, 2.0)], ConstraintSense::Le, 6.0).unwrap();
+        lp.add_constraint(vec![(0, 2.0)], ConstraintSense::Le, 6.0)
+            .unwrap();
         lp.set_bounds(0, 0.0, 10.0).unwrap();
         let out = presolve_and_solve(&lp, Solver::Simplex).unwrap();
         assert!((out.objective - (-3.0)).abs() < 1e-9);
@@ -275,8 +273,10 @@ mod tests {
     fn contradictory_singletons_are_infeasible() {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0)
+            .unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
         match presolve(&lp).unwrap() {
             PresolveOutcome::Infeasible => {}
             other => panic!("expected infeasible, got {other:?}"),
@@ -304,7 +304,8 @@ mod tests {
     fn fully_fixed_infeasible_is_detected() {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0)
+            .unwrap();
         lp.set_bounds(0, 1.0, 1.0).unwrap();
         match presolve(&lp).unwrap() {
             PresolveOutcome::Infeasible => {}
@@ -319,7 +320,8 @@ mod tests {
         lp.set_objective(vec![1.0, -2.0, 0.5]).unwrap();
         lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintSense::Le, 5.0)
             .unwrap();
-        lp.add_constraint(vec![(1, 2.0)], ConstraintSense::Le, 3.0).unwrap();
+        lp.add_constraint(vec![(1, 2.0)], ConstraintSense::Le, 3.0)
+            .unwrap();
         lp.set_bounds(0, 0.5, 0.5).unwrap();
         lp.set_bounds(1, 0.0, 4.0).unwrap();
         lp.set_bounds(2, 0.0, 4.0).unwrap();
@@ -334,13 +336,15 @@ mod tests {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
         lp.add_constraint(vec![], ConstraintSense::Le, 1.0).unwrap(); // 0 <= 1 ok
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 0.5).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 0.5)
+            .unwrap();
         let out = presolve_and_solve(&lp, Solver::Simplex).unwrap();
         assert!((out.objective - 0.5).abs() < 1e-9);
 
         let mut bad = LpProblem::new(1);
         bad.set_objective(vec![1.0]).unwrap();
-        bad.add_constraint(vec![], ConstraintSense::Ge, 1.0).unwrap(); // 0 >= 1
+        bad.add_constraint(vec![], ConstraintSense::Ge, 1.0)
+            .unwrap(); // 0 >= 1
         match presolve(&bad).unwrap() {
             PresolveOutcome::Infeasible => {}
             other => panic!("expected infeasible, got {other:?}"),

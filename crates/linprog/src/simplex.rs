@@ -303,8 +303,7 @@ impl SimplexState {
         }
         match leave {
             Some(row) if t_max <= self.upper[enter_col] + PIVOT_TOL => {
-                if t_max >= self.upper[enter_col] - PIVOT_TOL && self.upper[enter_col].is_finite()
-                {
+                if t_max >= self.upper[enter_col] - PIVOT_TOL && self.upper[enter_col].is_finite() {
                     // The entering variable reaches its opposite bound first
                     // (or simultaneously): prefer the cheaper bound flip.
                     if self.upper[enter_col] <= t_max {
@@ -335,7 +334,14 @@ impl SimplexState {
         }
     }
 
-    fn apply_pivot(&mut self, enter_col: usize, alpha: &[f64], from_lower: bool, row: usize, t: f64) {
+    fn apply_pivot(
+        &mut self,
+        enter_col: usize,
+        alpha: &[f64],
+        from_lower: bool,
+        row: usize,
+        t: f64,
+    ) {
         let dir = if from_lower { 1.0 } else { -1.0 };
         let leaving_col = self.basis[row];
 
@@ -343,7 +349,11 @@ impl SimplexState {
         for i in 0..self.m {
             self.x_basic[i] -= dir * t * alpha[i];
         }
-        let enter_value = if from_lower { t } else { self.upper[enter_col] - t };
+        let enter_value = if from_lower {
+            t
+        } else {
+            self.upper[enter_col] - t
+        };
         self.x_basic[row] = enter_value;
 
         // Leaving variable rests at whichever bound it hit.
@@ -421,9 +431,9 @@ impl SimplexState {
                 basis_mat[(i, k)] = self.a[(i, col)];
             }
         }
-        let inv = basis_mat
-            .inverse()
-            .ok_or(LpError::NumericalFailure("singular basis during refactorization"))?;
+        let inv = basis_mat.inverse().ok_or(LpError::NumericalFailure(
+            "singular basis during refactorization",
+        ))?;
         self.b_inv = inv;
         // Recompute basic values from scratch: x_B = B⁻¹ (b − N x_N).
         let mut rhs = self.b.clone();
@@ -501,7 +511,12 @@ mod tests {
     use crate::problem::ConstraintSense;
 
     fn assert_optimal(sol: &LpSolution, objective: f64, tol: f64) {
-        assert_eq!(sol.status, LpStatus::Optimal, "expected optimal, got {:?}", sol);
+        assert_eq!(
+            sol.status,
+            LpStatus::Optimal,
+            "expected optimal, got {:?}",
+            sol
+        );
         assert!(
             (sol.objective - objective).abs() < tol,
             "objective {} != expected {objective}",
@@ -542,8 +557,10 @@ mod tests {
         // x <= 1 and x >= 2 simultaneously.
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0)
+            .unwrap();
         let sol = solve_simplex(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
@@ -553,7 +570,8 @@ mod tests {
         // min -x s.t. x >= 1, x unbounded above.
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![-1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 1.0)
+            .unwrap();
         let sol = solve_simplex(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Unbounded);
     }
@@ -576,7 +594,8 @@ mod tests {
         // min -x s.t. x <= 10 (row), 0 <= x <= 2 (bound) → x = 2.
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![-1.0]).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 10.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 10.0)
+            .unwrap();
         lp.set_bounds(0, 0.0, 2.0).unwrap();
         let sol = solve_simplex(&lp).unwrap();
         assert_optimal(&sol, -2.0, 1e-8);
@@ -591,8 +610,10 @@ mod tests {
             lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, rhs)
                 .unwrap();
         }
-        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0).unwrap();
-        lp.add_constraint(vec![(1, 1.0)], ConstraintSense::Le, 2.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![(1, 1.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
         let sol = solve_simplex(&lp).unwrap();
         assert_optimal(&sol, -2.0, 1e-8);
     }

@@ -33,10 +33,8 @@ impl RandomLp {
 fn random_lp() -> impl Strategy<Value = RandomLp> {
     (2usize..8, 1usize..5).prop_flat_map(|(n, m)| {
         let obj = proptest::collection::vec(-2.0..2.0f64, n);
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(-2.0..2.0f64, n), 0.5..6.0f64),
-            m,
-        );
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(-2.0..2.0f64, n), 0.5..6.0f64), m);
         (obj, rows).prop_map(|(objective, rows)| RandomLp { objective, rows })
     })
 }
@@ -146,10 +144,8 @@ proptest! {
 fn random_lp_for_duals() -> impl Strategy<Value = RandomLp> {
     (2usize..6, 1usize..4).prop_flat_map(|(n, m)| {
         let obj = proptest::collection::vec(0.1..2.0f64, n);
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(0.1..2.0f64, n), 0.5..4.0f64),
-            m,
-        );
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(0.1..2.0f64, n), 0.5..4.0f64), m);
         (obj, rows).prop_map(|(objective, rows)| {
             // Negate the (positive) costs so the `≤` rows actually bind at
             // the optimum and carry nonzero shadow prices.

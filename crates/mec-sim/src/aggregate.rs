@@ -114,13 +114,7 @@ impl Partial {
         match (self, other) {
             (Partial::Sum(a), Partial::Sum(b)) => *a += b,
             (Partial::Count(a), Partial::Count(b)) => *a += b,
-            (
-                Partial::Mean { sum, count },
-                Partial::Mean {
-                    sum: s2,
-                    count: c2,
-                },
-            ) => {
+            (Partial::Mean { sum, count }, Partial::Mean { sum: s2, count: c2 }) => {
                 *sum += s2;
                 *count += c2;
             }

@@ -34,7 +34,10 @@ impl BackhaulLink {
     pub fn new(latency: Seconds, bandwidth: BytesPerSecond, energy_per_byte: f64) -> Self {
         assert!(latency.value() >= 0.0, "latency must be nonnegative");
         assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
-        assert!(energy_per_byte >= 0.0, "energy per byte must be nonnegative");
+        assert!(
+            energy_per_byte >= 0.0,
+            "energy per byte must be nonnegative"
+        );
         BackhaulLink {
             latency,
             bandwidth,
@@ -108,7 +111,10 @@ mod tests {
             b.station_to_station.transfer_time(Bytes::ZERO),
             Seconds::from_ms(15.0)
         );
-        assert_eq!(b.station_to_station.transfer_energy(Bytes::ZERO), Joules::ZERO);
+        assert_eq!(
+            b.station_to_station.transfer_energy(Bytes::ZERO),
+            Joules::ZERO
+        );
     }
 
     #[test]

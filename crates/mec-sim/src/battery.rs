@@ -204,8 +204,8 @@ pub fn rounds_until_first_depletion(
 
 #[cfg(test)]
 mod tests {
-    use crate::cost;
     use super::*;
+    use crate::cost;
     use crate::units::Seconds;
     use crate::workload::ScenarioConfig;
 
@@ -248,11 +248,23 @@ mod tests {
     #[test]
     fn offloading_shifts_cost_but_owner_still_pays_radio() {
         let s = scenario();
-        let task = s.tasks.iter().find(|t| t.external_source.is_some()).unwrap();
+        let task = s
+            .tasks
+            .iter()
+            .find(|t| t.external_source.is_some())
+            .unwrap();
         let local = attribute_energy(&s.system, task, ExecutionSite::Device).unwrap();
         let station = attribute_energy(&s.system, task, ExecutionSite::Station).unwrap();
-        let owner_local = local.iter().find(|s| s.device == task.owner).unwrap().energy;
-        let owner_station = station.iter().find(|s| s.device == task.owner).unwrap().energy;
+        let owner_local = local
+            .iter()
+            .find(|s| s.device == task.owner)
+            .unwrap()
+            .energy;
+        let owner_station = station
+            .iter()
+            .find(|s| s.device == task.owner)
+            .unwrap()
+            .energy;
         assert!(owner_local > Joules::ZERO);
         assert!(owner_station > Joules::ZERO);
         // The source pays the same β upload either way.

@@ -51,7 +51,11 @@ impl TaskCosts {
     pub fn cheapest_feasible(&self, deadline: Seconds) -> Option<ExecutionSite> {
         self.iter()
             .filter(|(_, c)| c.time <= deadline)
-            .min_by(|a, b| a.1.energy.partial_cmp(&b.1.energy).expect("finite energies"))
+            .min_by(|a, b| {
+                a.1.energy
+                    .partial_cmp(&b.1.energy)
+                    .expect("finite energies")
+            })
             .map(|(s, _)| s)
     }
 
@@ -231,7 +235,10 @@ mod tests {
 
     fn task(owner: usize, src: Option<usize>, alpha_kb: f64, beta_kb: f64) -> HolisticTask {
         HolisticTask {
-            id: TaskId { user: owner, index: 0 },
+            id: TaskId {
+                user: owner,
+                index: 0,
+            },
             owner: DeviceId(owner),
             local_size: Bytes::from_kb(alpha_kb),
             external_size: Bytes::from_kb(beta_kb),
@@ -262,9 +269,9 @@ mod tests {
         let dev = costs.at(ExecutionSite::Device);
         // Expected: only compute. 3 MB · 330 c/B / 1.5 GHz = 0.66 s.
         assert!((dev.time.value() - 0.66).abs() < 1e-9);
-        let e_compute = sys
-            .cycle_model
-            .device_energy(Bytes::from_kb(3000.0), 1.0, Hertz::from_ghz(1.5));
+        let e_compute =
+            sys.cycle_model
+                .device_energy(Bytes::from_kb(3000.0), 1.0, Hertz::from_ghz(1.5));
         assert!((dev.energy.value() - e_compute.value()).abs() < 1e-12);
     }
 
@@ -334,9 +341,7 @@ mod tests {
         sys.result_model = ResultModel::Proportional(0.2);
         let prop = evaluate(&sys, &task(0, None, 5000.0, 0.0)).unwrap();
         // A 1 kB constant result is far cheaper to return than 1000 kB.
-        assert!(
-            big.at(ExecutionSite::Station).energy < prop.at(ExecutionSite::Station).energy
-        );
+        assert!(big.at(ExecutionSite::Station).energy < prop.at(ExecutionSite::Station).energy);
     }
 
     #[test]

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one data item: an index into the universe.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DataItemId(pub usize);
 
 impl fmt::Display for DataItemId {
@@ -119,7 +117,11 @@ impl ItemSet {
     ///
     /// Panics if `id.0 >= capacity`.
     pub fn insert(&mut self, id: DataItemId) -> bool {
-        assert!(id.0 < self.capacity, "item {id} beyond capacity {}", self.capacity);
+        assert!(
+            id.0 < self.capacity,
+            "item {id} beyond capacity {}",
+            self.capacity
+        );
         let (w, b) = (id.0 / 64, id.0 % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -393,7 +395,9 @@ impl DataUniverse {
     ///
     /// Returns [`MecError::UnknownDevice`] for an out-of-range device.
     pub fn holdings(&self, device: DeviceId) -> Result<&ItemSet, MecError> {
-        self.holdings.get(device.0).ok_or(MecError::UnknownDevice(device))
+        self.holdings
+            .get(device.0)
+            .ok_or(MecError::UnknownDevice(device))
     }
 
     /// `UD_i = D ∩ D_i` for a required set `D` (paper Section IV.A).
@@ -496,7 +500,10 @@ mod tests {
         let u = DataUniverse::new(sizes, holdings).unwrap();
         assert_eq!(u.num_items(), 4);
         assert_eq!(u.owners(DataItemId(1)), vec![DeviceId(0), DeviceId(1)]);
-        assert_eq!(u.set_size(&ItemSet::from_ids(4, ids(&[0, 2]))), Bytes::new(20.0));
+        assert_eq!(
+            u.set_size(&ItemSet::from_ids(4, ids(&[0, 2]))),
+            Bytes::new(20.0)
+        );
     }
 
     #[test]

@@ -85,7 +85,12 @@ impl RadioLink {
         tx_power: Watts,
         rx_power: Watts,
     ) -> RadioLink {
-        for v in [download.value(), upload.value(), tx_power.value(), rx_power.value()] {
+        for v in [
+            download.value(),
+            upload.value(),
+            tx_power.value(),
+            rx_power.value(),
+        ] {
             assert!(v.is_finite() && v > 0.0, "link parameters must be positive");
         }
         RadioLink {

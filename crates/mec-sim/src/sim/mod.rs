@@ -415,9 +415,17 @@ mod tests {
             for (task, result) in s.tasks.iter().zip(report.results.iter()) {
                 let expect = cost::evaluate(&s.system, task).unwrap().at(site);
                 let dt = (result.completion.value() - expect.time.value()).abs();
-                assert!(dt < 1e-9 * (1.0 + expect.time.value()), "{} at {site}", task.id);
+                assert!(
+                    dt < 1e-9 * (1.0 + expect.time.value()),
+                    "{} at {site}",
+                    task.id
+                );
                 let de = (result.energy.value() - expect.energy.value()).abs();
-                assert!(de < 1e-9 * (1.0 + expect.energy.value()), "{} at {site}", task.id);
+                assert!(
+                    de < 1e-9 * (1.0 + expect.energy.value()),
+                    "{} at {site}",
+                    task.id
+                );
             }
         }
     }
@@ -510,7 +518,11 @@ mod arrival_tests {
         let mut cfg = ScenarioConfig::paper_defaults(701);
         cfg.tasks_total = 20;
         let s = cfg.generate().unwrap();
-        let batch: Vec<_> = s.tasks.iter().map(|t| (*t, ExecutionSite::Device)).collect();
+        let batch: Vec<_> = s
+            .tasks
+            .iter()
+            .map(|t| (*t, ExecutionSite::Device))
+            .collect();
         let base = simulate(&s.system, &batch, Contention::None).unwrap();
         let arrivals = poisson_arrivals(7, s.tasks.len(), 1.0).unwrap();
         let timed: Vec<_> = s
@@ -524,7 +536,8 @@ mod arrival_tests {
             let expect = b.completion.value() + at.value();
             assert!(
                 (r.completion.value() - expect).abs() < 1e-9 * (1.0 + expect),
-                "{}", b.id
+                "{}",
+                b.id
             );
             // Sojourn is arrival-independent without contention.
             assert!((r.sojourn.value() - b.sojourn.value()).abs() < 1e-9);
@@ -543,7 +556,11 @@ mod arrival_tests {
         cfg.tasks_total = 10;
         cfg.external_frac_range = (0.0, 0.0);
         let s = cfg.generate().unwrap();
-        let batch: Vec<_> = s.tasks.iter().map(|t| (*t, ExecutionSite::Device)).collect();
+        let batch: Vec<_> = s
+            .tasks
+            .iter()
+            .map(|t| (*t, ExecutionSite::Device))
+            .collect();
         let queued = simulate(&s.system, &batch, Contention::Exclusive).unwrap();
         // Slow arrivals: one task every 100 s, far above any service time.
         let timed: Vec<_> = s
@@ -557,7 +574,11 @@ mod arrival_tests {
         // With no overlap, queued sojourn equals the contention-free one.
         let free = simulate(&s.system, &batch, Contention::None).unwrap();
         for (r, f) in relaxed.results.iter().zip(free.results.iter()) {
-            assert!((r.sojourn.value() - f.sojourn.value()).abs() < 1e-9, "{}", r.id);
+            assert!(
+                (r.sojourn.value() - f.sojourn.value()).abs() < 1e-9,
+                "{}",
+                r.id
+            );
         }
     }
 

@@ -17,9 +17,7 @@ use std::fmt;
 
 /// Identifier of a task: the `j`-th task raised by user `i` (paper
 /// `T_ij`). Users are identified with their mobile device.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId {
     /// The raising user/device index `i`.
     pub user: usize,
@@ -34,9 +32,7 @@ impl fmt::Display for TaskId {
 }
 
 /// The subsystem a holistic task runs on (the paper's `l ∈ {1,2,3}`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ExecutionSite {
     /// `l = 1`: the raising user's own mobile device.
     Device,
@@ -126,14 +122,23 @@ impl HolisticTask {
             ("resource", self.resource.value()),
         ] {
             if !v.is_finite() || v < 0.0 {
-                return Err(bad(name, format!("{v} must be a nonnegative finite number")));
+                return Err(bad(
+                    name,
+                    format!("{v} must be a nonnegative finite number"),
+                ));
             }
         }
         if !(self.complexity.is_finite() && self.complexity > 0.0) {
-            return Err(bad("complexity", format!("{} must be positive", self.complexity)));
+            return Err(bad(
+                "complexity",
+                format!("{} must be positive", self.complexity),
+            ));
         }
         if !(self.deadline.value() > 0.0) {
-            return Err(bad("deadline", format!("{} must be positive", self.deadline)));
+            return Err(bad(
+                "deadline",
+                format!("{} must be positive", self.deadline),
+            ));
         }
         match (self.external_size.value() > 0.0, self.external_source) {
             (true, None) => Err(bad(

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a mobile device (index into [`MecSystem::devices`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId(pub usize);
 
 impl fmt::Display for DeviceId {
@@ -28,9 +26,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Identifier of a base station (index into [`MecSystem::stations`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct StationId(pub usize);
 
 impl fmt::Display for StationId {
@@ -342,8 +338,13 @@ mod tests {
             (s0, NetworkProfile::WiFi),
             (s1, NetworkProfile::WiFi),
         ] {
-            b.add_device(st, Hertz::from_ghz(1.5), profile.link(), Bytes::from_mb(8.0))
-                .unwrap();
+            b.add_device(
+                st,
+                Hertz::from_ghz(1.5),
+                profile.link(),
+                Bytes::from_mb(8.0),
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -353,9 +354,14 @@ mod tests {
         let sys = small_system();
         assert_eq!(sys.num_devices(), 3);
         assert_eq!(sys.num_stations(), 2);
-        assert_eq!(sys.cluster(StationId(0)).unwrap(), &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(
+            sys.cluster(StationId(0)).unwrap(),
+            &[DeviceId(0), DeviceId(1)]
+        );
         assert_eq!(sys.cluster(StationId(1)).unwrap(), &[DeviceId(2)]);
-        let total: usize = (0..2).map(|r| sys.cluster(StationId(r)).unwrap().len()).sum();
+        let total: usize = (0..2)
+            .map(|r| sys.cluster(StationId(r)).unwrap().len())
+            .sum();
         assert_eq!(total, sys.num_devices());
     }
 

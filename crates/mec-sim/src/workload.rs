@@ -106,7 +106,10 @@ impl ScenarioConfig {
             return Err(bad("tasks_total", "must be positive".into()));
         }
         if !(self.max_input_kb > 0.0) {
-            return Err(bad("max_input_kb", format!("{} must be positive", self.max_input_kb)));
+            return Err(bad(
+                "max_input_kb",
+                format!("{} must be positive", self.max_input_kb),
+            ));
         }
         if !(0.0 < self.min_input_frac && self.min_input_frac <= 1.0) {
             return Err(bad("min_input_frac", "must be in (0, 1]".into()));
@@ -184,7 +187,11 @@ impl ScenarioConfig {
 
             let alpha_kb = rng.gen_range(self.min_input_frac..=1.0) * self.max_input_kb;
             let (flo, fhi) = self.external_frac_range;
-            let ext_frac = if fhi > flo { rng.gen_range(flo..=fhi) } else { flo };
+            let ext_frac = if fhi > flo {
+                rng.gen_range(flo..=fhi)
+            } else {
+                flo
+            };
             let beta_kb = ext_frac * alpha_kb;
             let external_source = if beta_kb * 1e3 >= 1.0 && n > 1 {
                 // Uniform over the other devices; cross-cluster sources
@@ -197,10 +204,18 @@ impl ScenarioConfig {
             } else {
                 None
             };
-            let beta_kb = if external_source.is_some() { beta_kb } else { 0.0 };
+            let beta_kb = if external_source.is_some() {
+                beta_kb
+            } else {
+                0.0
+            };
 
             let (clo, chi) = self.complexity_range;
-            let complexity = if chi > clo { rng.gen_range(clo..=chi) } else { clo };
+            let complexity = if chi > clo {
+                rng.gen_range(clo..=chi)
+            } else {
+                clo
+            };
 
             let mut task = HolisticTask {
                 id: TaskId { user, index },
@@ -214,7 +229,11 @@ impl ScenarioConfig {
             };
             let costs = cost::evaluate(system, &task)?;
             let (dlo, dhi) = self.deadline_factor_range;
-            let factor = if dhi > dlo { rng.gen_range(dlo..=dhi) } else { dlo };
+            let factor = if dhi > dlo {
+                rng.gen_range(dlo..=dhi)
+            } else {
+                dlo
+            };
             task.deadline = costs.min_time() * factor;
             tasks.push(task);
         }
@@ -323,7 +342,11 @@ impl DivisibleScenarioConfig {
         let mut holdings = vec![ItemSet::new(m); n];
         for holding in holdings.iter_mut() {
             let (wlo, whi) = self.region_width;
-            let width = if whi > wlo { rng.gen_range(wlo..=whi) } else { wlo };
+            let width = if whi > wlo {
+                rng.gen_range(wlo..=whi)
+            } else {
+                wlo
+            };
             let span = ((width * m as f64).round() as usize).clamp(1, m);
             let start = rng.gen_range(0..m);
             for k in 0..span {
@@ -362,15 +385,17 @@ impl DivisibleScenarioConfig {
             let count = rng.gen_range(ilo..=ihi);
             let mut pool: Vec<usize> = (0..m).collect();
             pool.shuffle(&mut rng);
-            let items = ItemSet::from_ids(
-                m,
-                pool.into_iter().take(count).map(crate::data::DataItemId),
-            );
+            let items =
+                ItemSet::from_ids(m, pool.into_iter().take(count).map(crate::data::DataItemId));
             let op = *AggregateOp::ALL.choose(&mut rng).expect("nonempty");
             let input = universe.set_size(&items);
             let serial_local = system.cycle_model.cycles(input, 1.0) / slowest_cpu;
             let (slo, shi) = self.deadline_slack;
-            let slack = if shi > slo { rng.gen_range(slo..=shi) } else { slo };
+            let slack = if shi > slo {
+                rng.gen_range(slo..=shi)
+            } else {
+                slo
+            };
             tasks.push(DivisibleTask {
                 id: TaskId {
                     user,
@@ -509,8 +534,12 @@ mod tests {
 
     #[test]
     fn divisible_generation_is_deterministic() {
-        let a = DivisibleScenarioConfig::paper_defaults(2).generate().unwrap();
-        let b = DivisibleScenarioConfig::paper_defaults(2).generate().unwrap();
+        let a = DivisibleScenarioConfig::paper_defaults(2)
+            .generate()
+            .unwrap();
+        let b = DivisibleScenarioConfig::paper_defaults(2)
+            .generate()
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -536,7 +565,11 @@ mod tests {
 /// # Errors
 ///
 /// Returns [`MecError::InvalidParameter`] for a non-positive rate.
-pub fn poisson_arrivals(seed: u64, n: usize, rate_per_second: f64) -> Result<Vec<Seconds>, MecError> {
+pub fn poisson_arrivals(
+    seed: u64,
+    n: usize,
+    rate_per_second: f64,
+) -> Result<Vec<Seconds>, MecError> {
     if !(rate_per_second.is_finite() && rate_per_second > 0.0) {
         return Err(MecError::InvalidParameter {
             name: "rate_per_second",

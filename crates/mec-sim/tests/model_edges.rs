@@ -31,10 +31,17 @@ fn two_cluster_system() -> MecSystem {
 
 fn task(owner: usize, src: Option<usize>) -> HolisticTask {
     HolisticTask {
-        id: TaskId { user: owner, index: 0 },
+        id: TaskId {
+            user: owner,
+            index: 0,
+        },
         owner: DeviceId(owner),
         local_size: Bytes::from_kb(1000.0),
-        external_size: if src.is_some() { Bytes::from_kb(400.0) } else { Bytes::ZERO },
+        external_size: if src.is_some() {
+            Bytes::from_kb(400.0)
+        } else {
+            Bytes::ZERO
+        },
         external_source: src.map(DeviceId),
         complexity: 1.0,
         resource: Bytes::from_kb(1400.0),
@@ -58,7 +65,10 @@ fn cross_cluster_device_plan_contains_backhaul_stage() {
 
     let same = task(0, Some(1));
     let plan = build_plan(&sys, &same, ExecutionSite::Device).unwrap();
-    let has_bb = plan.steps.iter().any(|s| matches!(s, PlanStep::Single(st) if st.resource == Resource::StationBackhaul));
+    let has_bb = plan
+        .steps
+        .iter()
+        .any(|s| matches!(s, PlanStep::Single(st) if st.resource == Resource::StationBackhaul));
     assert!(!has_bb, "same-cluster retrieval stays inside the cell");
 }
 

@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (west, NetworkProfile::WiFi, 1.6),
         (west, NetworkProfile::FourG, 1.3),
     ] {
-        b.add_device(cell, Hertz::from_ghz(ghz), profile.link(), Bytes::from_mb(10.0))?;
+        b.add_device(
+            cell,
+            Hertz::from_ghz(ghz),
+            profile.link(),
+            Bytes::from_mb(10.0),
+        )?;
     }
     let system = b.build()?;
 
@@ -63,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .enumerate()
     {
         tasks.push(HolisticTask {
-            id: TaskId { user: owner, index: j },
+            id: TaskId {
+                user: owner,
+                index: j,
+            },
             owner: DeviceId(owner),
             local_size: Bytes::from_kb(alpha_kb),
             external_size: Bytes::from_kb(beta_kb),
@@ -86,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(58));
     for (idx, task) in tasks.iter().enumerate() {
         let (site, t) = match assignment.decision(idx).site() {
-            Some(site) => (site.to_string(), format!("{:.3}", costs.at(idx, site).time.value())),
+            Some(site) => (
+                site.to_string(),
+                format!("{:.3}", costs.at(idx, site).time.value()),
+            ),
             None => ("CANCELLED".into(), "-".into()),
         };
         println!(

@@ -58,9 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // LP-HTA also certifies its own approximation ratio (Theorem 2 /
     // Corollary 1 of the paper).
-    let (_, report) = LpHta::paper()
-        .without_fast_path()
-        .assign_with_report(&scenario.system, &scenario.tasks, &costs)?;
+    let (_, report) = LpHta::paper().without_fast_path().assign_with_report(
+        &scenario.system,
+        &scenario.tasks,
+        &costs,
+    )?;
     println!(
         "\nLP-HTA certificate: E_LP(OPT) = {:.1} J, rounded = {:.1} J, final = {:.1} J",
         report.lp_objective, report.rounded_energy, report.final_energy

@@ -15,10 +15,10 @@
 //! cargo run -p dsmec-core --example traffic_monitoring --release
 //! ```
 
+use dsmec_core::costs::CostTable;
 use dsmec_core::dta::{
     aggregate_distributed, divide_balanced, divisible_as_holistic, run_dta, DtaConfig,
 };
-use dsmec_core::costs::CostTable;
 use dsmec_core::hta::{HtaAlgorithm, LpHta};
 use dsmec_core::metrics::evaluate_assignment;
 use mec_sim::workload::DivisibleScenarioConfig;

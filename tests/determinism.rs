@@ -1,0 +1,179 @@
+//! Determinism guarantees of the parallel sweep engine and the parallel
+//! dense kernels: running on N worker threads must produce outputs that
+//! are bit-identical to a single-threaded run, and the scenario/cost
+//! caches must be invisible in results.
+//!
+//! The thread count is process-global, so every test that toggles it
+//! holds one shared lock.
+
+use linprog::{solve, ConstraintSense, LpProblem, Solver};
+use mec_bench::figures::{fig2a, fig5a, ExperimentOptions};
+use mec_bench::table::Figure;
+use mec_bench::{cache, par};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that mutate the global thread count.
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn assert_bit_identical(a: &Figure, b: &Figure) {
+    assert_eq!(a.x_ticks, b.x_ticks, "{}: x ticks differ", a.id);
+    assert_eq!(a.series.len(), b.series.len(), "{}: series count", a.id);
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.name, sb.name, "{}: series name", a.id);
+        assert_eq!(sa.values.len(), sb.values.len(), "{}: series length", a.id);
+        for (i, (va, vb)) in sa.values.iter().zip(&sb.values).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{} `{}`[{i}]: serial {va} vs parallel {vb}",
+                a.id,
+                sa.name,
+            );
+        }
+    }
+}
+
+/// The headline guarantee: a holistic figure (LP-heavy, cached scenarios)
+/// and a divisible figure (DTA path, uncached) are bit-identical between
+/// one worker thread and four.
+#[test]
+fn figures_are_bit_identical_serial_vs_parallel() {
+    let _guard = threads_lock();
+    let opts = ExperimentOptions::quick();
+    for run in [fig2a, fig5a] {
+        par::set_threads(1);
+        cache::clear();
+        let serial = run(&opts).unwrap();
+        par::set_threads(4);
+        cache::clear();
+        let parallel = run(&opts).unwrap();
+        assert_bit_identical(&serial, &parallel);
+    }
+    par::set_threads(0);
+}
+
+/// A caller that keeps its cache warm must see the same figure as a cold
+/// run — the cache can change timings only, never values.
+#[test]
+fn warm_cache_changes_nothing() {
+    let _guard = threads_lock();
+    par::set_threads(2);
+    let opts = ExperimentOptions::quick();
+    cache::clear();
+    let cold = fig2a(&opts).unwrap();
+    let stats = cache::stats();
+    assert!(stats.scenario_misses > 0, "cold run must build scenarios");
+    let warm = fig2a(&opts).unwrap();
+    let stats = cache::stats();
+    assert!(
+        stats.scenario_hits >= stats.scenario_misses,
+        "warm rerun must hit the scenario cache: {stats:?}"
+    );
+    assert_bit_identical(&cold, &warm);
+    par::set_threads(0);
+}
+
+/// The cached scenario/cost pair equals a direct build, entry for entry.
+#[test]
+fn cached_cost_table_agrees_with_direct_build() {
+    use dsmec_core::costs::CostTable;
+    use mec_sim::workload::ScenarioConfig;
+    // The cache counters are process-global; serialize with the tests
+    // that assert on them.
+    let _guard = threads_lock();
+    let mut cfg = ScenarioConfig::paper_defaults(8899);
+    cfg.tasks_total = 25;
+    let cached = cache::scenario_with_costs(&cfg).unwrap();
+    let scenario = cfg.generate().unwrap();
+    let costs = CostTable::build(&scenario.system, &scenario.tasks).unwrap();
+    assert_eq!(cached.scenario, scenario);
+    assert_eq!(cached.costs, costs);
+}
+
+/// Pseudo-random dense-ish LP used to exercise both backends.
+fn random_lp(seed: u64, vars: usize, rows: usize) -> LpProblem {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut lp = LpProblem::new(vars);
+    lp.set_objective((0..vars).map(|_| 0.1 + next()).collect())
+        .unwrap();
+    for _ in 0..rows {
+        let terms: Vec<(usize, f64)> = (0..vars).map(|v| (v, next())).collect();
+        // Row sums keep every instance feasible and bounded.
+        let rhs = 1.0 + next() * vars as f64 * 0.5;
+        lp.add_constraint(terms, ConstraintSense::Ge, rhs).unwrap();
+    }
+    for v in 0..vars {
+        lp.set_bounds(v, 0.0, 10.0 + next()).unwrap();
+    }
+    lp
+}
+
+/// Both LP backends produce bit-identical solutions on 1 vs 4 threads —
+/// the parallel dense kernels must not reorder any reduction.
+#[test]
+fn lp_solvers_are_bit_identical_across_thread_counts() {
+    let _guard = threads_lock();
+    for solver in [Solver::Simplex, Solver::InteriorPoint] {
+        for seed in [1u64, 2, 3] {
+            let lp = random_lp(seed, 24, 18);
+            linprog::set_threads(1);
+            let serial = solve(&lp, solver).unwrap();
+            linprog::set_threads(4);
+            let parallel = solve(&lp, solver).unwrap();
+            assert_eq!(serial.status, parallel.status, "{solver:?} seed {seed}");
+            assert_eq!(
+                serial.iterations, parallel.iterations,
+                "{solver:?} seed {seed}"
+            );
+            assert_eq!(
+                serial.objective.to_bits(),
+                parallel.objective.to_bits(),
+                "{solver:?} seed {seed}: objective {} vs {}",
+                serial.objective,
+                parallel.objective
+            );
+            for (i, (a, b)) in serial.x.iter().zip(&parallel.x).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{solver:?} seed {seed} x[{i}]");
+            }
+        }
+    }
+    linprog::set_threads(0);
+}
+
+/// The sweep engine surfaces worker failures as errors in a deterministic
+/// way (smallest failing index wins) regardless of the thread count.
+#[test]
+fn sweep_failures_are_deterministic() {
+    use dsmec_core::error::AssignError;
+    use mec_bench::par::par_map_result;
+    let _guard = threads_lock();
+    let items: Vec<usize> = (0..97).collect();
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let out: Result<Vec<usize>, AssignError> = par_map_result(&items, |&i| {
+            if i % 31 == 13 {
+                Err(AssignError::InvalidInput(format!("item {i}")))
+            } else {
+                Ok(i)
+            }
+        });
+        let err = out.unwrap_err();
+        assert!(
+            err.to_string().contains("item 13"),
+            "threads={threads}: expected the smallest failing index, got {err}"
+        );
+    }
+    par::set_threads(0);
+}

@@ -14,8 +14,7 @@ fn quick() -> ExperimentOptions {
 }
 
 fn series<'f>(fig: &'f Figure, name: &str) -> &'f [f64] {
-    &fig
-        .series_named(name)
+    &fig.series_named(name)
         .unwrap_or_else(|| panic!("{} missing series {name}", fig.id))
         .values
 }
@@ -41,7 +40,11 @@ fn fig2a_lp_hta_wins_on_energy() {
     assert!(lp.iter().zip(hgos).all(|(a, b)| *a <= b * 1.05));
     // Energy grows with the task count for every algorithm.
     for s in &fig.series {
-        assert!(s.values.windows(2).all(|w| w[0] < w[1]), "{} not increasing", s.name);
+        assert!(
+            s.values.windows(2).all(|w| w[0] < w[1]),
+            "{} not increasing",
+            s.name
+        );
     }
 }
 
@@ -57,7 +60,10 @@ fn fig2b_lp_hta_wins_as_data_grows() {
         .all(|(a, b)| *a <= b * 1.05));
     assert!(all_below(lp, series(&fig, "AllToC")));
     assert!(all_below(lp, series(&fig, "AllOffload")));
-    assert!(lp.windows(2).all(|w| w[0] < w[1]), "energy grows with data size");
+    assert!(
+        lp.windows(2).all(|w| w[0] < w[1]),
+        "energy grows with data size"
+    );
 }
 
 #[test]
@@ -69,7 +75,10 @@ fn fig3_unsatisfied_ordering() {
     assert!(all_below(lp, hgos), "LP-HTA <= HGOS everywhere");
     assert!(all_below(lp, offload), "LP-HTA <= AllOffload everywhere");
     assert!(lp.iter().all(|&r| r < 0.2), "LP-HTA rate stays small");
-    assert!(offload.iter().all(|&r| r > 0.3), "AllOffload misses many deadlines");
+    assert!(
+        offload.iter().all(|&r| r > 0.3),
+        "AllOffload misses many deadlines"
+    );
 }
 
 #[test]
@@ -227,7 +236,10 @@ fn ext_nash_sits_between_lp_hta_and_chaos() {
     let lp_u = series(&fig, "unsat LP-HTA");
     let nash_u = series(&fig, "unsat Nash");
     for ((le, ne), (lu, nu)) in lp_e.iter().zip(nash_e).zip(lp_u.iter().zip(nash_u)) {
-        assert!(*le <= ne * 1.05, "LP-HTA energy within 5% of Nash or better");
+        assert!(
+            *le <= ne * 1.05,
+            "LP-HTA energy within 5% of Nash or better"
+        );
         assert!(lu <= nu, "LP-HTA never has a worse unsatisfied rate");
     }
 }
@@ -238,8 +250,14 @@ fn ext_battery_shows_the_papers_tradeoff() {
     let rounds = series(&fig, "rounds to first depletion");
     let untouched = series(&fig, "devices <0.1% drained");
     // Order: [LP-HTA raw, DTA-Workload, DTA-Number].
-    assert!(rounds[1] > rounds[0], "balanced DTA outlives raw-data LP-HTA");
-    assert!(rounds[1] >= rounds[2], "balanced drain maximizes fleet lifetime");
+    assert!(
+        rounds[1] > rounds[0],
+        "balanced DTA outlives raw-data LP-HTA"
+    );
+    assert!(
+        rounds[1] >= rounds[2],
+        "balanced drain maximizes fleet lifetime"
+    );
     assert!(
         untouched[2] > untouched[1],
         "DTA-Number spares the majority of devices (the paper's motivation)"

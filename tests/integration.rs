@@ -92,7 +92,10 @@ fn lp_hta_constraints_hold_under_pressure() {
         }
         // C2/C3 (capacities).
         let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
-        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)), "seed {seed}");
+        assert!(
+            usage.within_limits(&s.system, Bytes::new(1e-6)),
+            "seed {seed}"
+        );
         // C4/C5: every task has exactly one decision by construction.
         assert_eq!(a.len(), s.tasks.len());
     }
@@ -156,7 +159,9 @@ fn approximation_ratio_certificate_holds_empirically() {
         cfg.tasks_total = 10;
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
-        let Some((_, opt)) = ExactBnB::default().solve(&s.system, &s.tasks, &costs).unwrap()
+        let Some((_, opt)) = ExactBnB::default()
+            .solve(&s.system, &s.tasks, &costs)
+            .unwrap()
         else {
             continue;
         };
@@ -198,7 +203,9 @@ fn divisible_pipeline_end_to_end() {
     assert!(balanced.max_share_len() <= minimal.max_share_len());
 
     // Aggregation correctness over the balanced coverage.
-    let values: Vec<f64> = (0..s.universe.num_items()).map(|i| (i % 17) as f64).collect();
+    let values: Vec<f64> = (0..s.universe.num_items())
+        .map(|i| (i % 17) as f64)
+        .collect();
     for task in &s.tasks {
         let got = aggregate_distributed(&s, &balanced, task, &values);
         let central: Vec<f64> = task.items.iter().map(|d| values[d.0]).collect();

@@ -12,14 +12,14 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
     (
-        0u64..10_000,          // seed
-        1usize..5,             // stations
-        2usize..8,             // devices per station
-        10usize..60,           // tasks
-        500.0..4000.0f64,      // max input kB
-        1.0f64..3.0,           // deadline lo
-        2.0f64..16.0,          // device MB
-        20.0f64..300.0,        // station MB
+        0u64..10_000,     // seed
+        1usize..5,        // stations
+        2usize..8,        // devices per station
+        10usize..60,      // tasks
+        500.0..4000.0f64, // max input kB
+        1.0f64..3.0,      // deadline lo
+        2.0f64..16.0,     // device MB
+        20.0f64..300.0,   // station MB
     )
         .prop_map(|(seed, k, dps, tasks, kb, dl_lo, dev_mb, st_mb)| {
             let mut cfg = ScenarioConfig::paper_defaults(seed);
