@@ -1,14 +1,16 @@
-//! Criterion benchmarks of the assignment algorithms themselves: LP-HTA
-//! (both LP backends, with and without the exact fast path), the
-//! comparators, the exact branch-and-bound, and the DTA divisions.
+//! Timing benches of the assignment algorithms themselves: LP-HTA (both
+//! LP backends, with and without the exact fast path), the comparators,
+//! the exact branch-and-bound, and the DTA divisions.
+//!
+//! Plain `harness = false` binary on [`mec_bench::timing`]; filter cases
+//! with `cargo bench --bench algorithms -- <substring>`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsmec_core::costs::CostTable;
 use dsmec_core::dta::{divide_balanced, divide_min_devices, run_dta, DtaConfig};
 use dsmec_core::hta::{AllOffload, ExactBnB, Hgos, HtaAlgorithm, LpHta, RoundingRule};
 use linprog::Solver;
+use mec_bench::timing::Harness;
 use mec_sim::workload::{DivisibleScenarioConfig, ScenarioConfig};
-use std::hint::black_box;
 
 fn holistic(tasks: usize) -> (mec_sim::workload::Scenario, CostTable) {
     let mut cfg = ScenarioConfig::paper_defaults(9000 + tasks as u64);
@@ -18,94 +20,80 @@ fn holistic(tasks: usize) -> (mec_sim::workload::Scenario, CostTable) {
     (s, costs)
 }
 
-fn bench_lp_hta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_hta");
+fn bench_lp_hta(h: &mut Harness) {
     for tasks in [100usize, 200, 400] {
         let (s, costs) = holistic(tasks);
-        group.bench_with_input(BenchmarkId::new("paper", tasks), &tasks, |b, _| {
-            let algo = LpHta::paper();
-            b.iter(|| black_box(algo.assign(&s.system, &s.tasks, &costs).unwrap()))
+        let paper = LpHta::paper();
+        h.bench(&format!("lp_hta/paper/{tasks}"), || {
+            paper.assign(&s.system, &s.tasks, &costs).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("full_ipm", tasks), &tasks, |b, _| {
-            let algo = LpHta::paper().without_fast_path();
-            b.iter(|| black_box(algo.assign(&s.system, &s.tasks, &costs).unwrap()))
+        let ipm = LpHta::paper().without_fast_path();
+        h.bench(&format!("lp_hta/full_ipm/{tasks}"), || {
+            ipm.assign(&s.system, &s.tasks, &costs).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("full_simplex", tasks), &tasks, |b, _| {
-            let algo = LpHta {
-                solver: Solver::Simplex,
-                rounding: RoundingRule::ArgMax,
-                ..LpHta::paper().without_fast_path()
-            };
-            b.iter(|| black_box(algo.assign(&s.system, &s.tasks, &costs).unwrap()))
+        let simplex = LpHta {
+            solver: Solver::Simplex,
+            rounding: RoundingRule::ArgMax,
+            ..LpHta::paper().without_fast_path()
+        };
+        h.bench(&format!("lp_hta/full_simplex/{tasks}"), || {
+            simplex.assign(&s.system, &s.tasks, &costs).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_comparators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("comparators");
+fn bench_comparators(h: &mut Harness) {
     let (s, costs) = holistic(300);
-    group.bench_function("hgos", |b| {
-        b.iter(|| black_box(Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap()))
+    h.bench("comparators/hgos", || {
+        Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap()
     });
-    group.bench_function("all_offload", |b| {
-        b.iter(|| black_box(AllOffload.assign(&s.system, &s.tasks, &costs).unwrap()))
+    h.bench("comparators/all_offload", || {
+        AllOffload.assign(&s.system, &s.tasks, &costs).unwrap()
     });
-    group.finish();
 }
 
-fn bench_exact(c: &mut Criterion) {
+fn bench_exact(h: &mut Harness) {
     let mut cfg = ScenarioConfig::paper_defaults(77);
     cfg.num_stations = 2;
     cfg.devices_per_station = 3;
     cfg.tasks_total = 14;
     let s = cfg.generate().unwrap();
     let costs = CostTable::build(&s.system, &s.tasks).unwrap();
-    c.bench_function("exact_bnb_14_tasks", |b| {
-        b.iter(|| {
-            black_box(
-                ExactBnB::default()
-                    .solve(&s.system, &s.tasks, &costs)
-                    .unwrap(),
-            )
-        })
+    h.bench("exact_bnb_14_tasks", || {
+        ExactBnB::default()
+            .solve(&s.system, &s.tasks, &costs)
+            .unwrap()
     });
 }
 
-fn bench_dta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dta");
+fn bench_dta(h: &mut Harness) {
     for items in [500usize, 1000, 2000] {
         let mut cfg = DivisibleScenarioConfig::paper_defaults(8000 + items as u64);
         cfg.num_items = items;
         cfg.tasks_total = 100;
         let s = cfg.generate().unwrap();
         let required = s.required_universe();
-        group.bench_with_input(
-            BenchmarkId::new("divide_balanced", items),
-            &items,
-            |b, _| b.iter(|| black_box(divide_balanced(&s.universe, &required).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("divide_min_devices", items),
-            &items,
-            |b, _| b.iter(|| black_box(divide_min_devices(&s.universe, &required).unwrap())),
-        );
+        h.bench(&format!("dta/divide_balanced/{items}"), || {
+            divide_balanced(&s.universe, &required).unwrap()
+        });
+        h.bench(&format!("dta/divide_min_devices/{items}"), || {
+            divide_min_devices(&s.universe, &required).unwrap()
+        });
     }
     // The whole pipeline at the paper's default scale.
     let s = DivisibleScenarioConfig::paper_defaults(8500)
         .generate()
         .unwrap();
-    group.bench_function("pipeline_workload_100_tasks", |b| {
-        b.iter(|| black_box(run_dta(&s, DtaConfig::workload()).unwrap()))
+    h.bench("dta/pipeline_workload_100_tasks", || {
+        run_dta(&s, DtaConfig::workload()).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_lp_hta,
-    bench_comparators,
-    bench_exact,
-    bench_dta
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_lp_hta(&mut h);
+    bench_comparators(&mut h);
+    bench_exact(&mut h);
+    bench_dta(&mut h);
+    h.finish();
+}

@@ -1,23 +1,21 @@
-//! Criterion benchmarks of the figure regeneration itself: one benchmark
-//! per paper table/figure, timing the quick-mode runner end to end. The
-//! full-sweep regeneration lives in the `repro` binary; these benches
-//! keep the per-figure cost visible and regression-tested.
+//! Timing benches of the figure regeneration itself: one case per paper
+//! table/figure, timing the quick-mode runner end to end. The full-sweep
+//! regeneration lives in the `repro` binary; these benches keep the
+//! per-figure cost visible.
+//!
+//! Plain `harness = false` binary on [`mec_bench::timing`]; filter cases
+//! with `cargo bench --bench figures -- <substring>`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mec_bench::figures::{registry, ExperimentOptions};
-use std::hint::black_box;
+use mec_bench::timing::Harness;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let opts = ExperimentOptions::quick();
-    let mut group = c.benchmark_group("figures_quick");
-    group.sample_size(10);
+    let mut h = Harness::from_args();
     for (id, run) in registry() {
-        group.bench_function(id, |b| {
-            b.iter(|| black_box(run(&opts).expect("figure regenerates")))
+        h.bench(&format!("figures_quick/{id}"), || {
+            run(&opts).expect("figure regenerates")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

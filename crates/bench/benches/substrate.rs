@@ -1,15 +1,17 @@
-//! Criterion benchmarks of the substrates: the LP solvers on growing
-//! problem sizes, the data-sharing bitset, the cost model and the
-//! discrete-event executor.
+//! Timing benches of the substrates: the LP solvers on growing problem
+//! sizes, the data-sharing bitset, the cost model and the discrete-event
+//! executor.
+//!
+//! Plain `harness = false` binary on [`mec_bench::timing`]; filter cases
+//! with `cargo bench --bench substrate -- <substring>`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsmec_core::costs::CostTable;
 use dsmec_core::hta::HtaAlgorithm;
 use linprog::{solve, ConstraintSense, LpProblem, Solver};
+use mec_bench::timing::Harness;
 use mec_sim::data::{DataItemId, ItemSet};
 use mec_sim::sim::{simulate, Contention};
 use mec_sim::workload::ScenarioConfig;
-use std::hint::black_box;
 
 /// A dense random-ish LP with box bounds, `rows` coupling rows and
 /// `3 * rows` variables — the shape LP-HTA produces.
@@ -48,59 +50,53 @@ fn synthetic_lp(rows: usize) -> LpProblem {
     lp
 }
 
-fn bench_linprog(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linprog");
-    group.sample_size(10);
+fn bench_linprog(h: &mut Harness) {
     for rows in [20usize, 60, 120] {
         let lp = synthetic_lp(rows);
-        group.bench_with_input(BenchmarkId::new("interior_point", rows), &rows, |b, _| {
-            b.iter(|| black_box(solve(&lp, Solver::InteriorPoint).unwrap()))
+        h.bench(&format!("linprog/interior_point/{rows}"), || {
+            solve(&lp, Solver::InteriorPoint).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("simplex", rows), &rows, |b, _| {
-            b.iter(|| black_box(solve(&lp, Solver::Simplex).unwrap()))
+        h.bench(&format!("linprog/simplex/{rows}"), || {
+            solve(&lp, Solver::Simplex).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_itemset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("itemset");
+fn bench_itemset(h: &mut Harness) {
     let capacity = 10_000;
     let a = ItemSet::from_ids(capacity, (0..capacity).step_by(3).map(DataItemId));
     let b = ItemSet::from_ids(capacity, (0..capacity).step_by(5).map(DataItemId));
-    group.bench_function("intersection_10k", |bch| {
-        bch.iter(|| black_box(a.intersection(&b)))
+    h.bench("itemset/intersection_10k", || a.intersection(&b));
+    h.bench("itemset/intersection_len_10k", || a.intersection_len(&b));
+    h.bench("itemset/iterate_10k", || {
+        a.iter().map(|d| d.0).sum::<usize>()
     });
-    group.bench_function("intersection_len_10k", |bch| {
-        bch.iter(|| black_box(a.intersection_len(&b)))
-    });
-    group.bench_function("iterate_10k", |bch| {
-        bch.iter(|| black_box(a.iter().map(|d| d.0).sum::<usize>()))
-    });
-    group.finish();
 }
 
-fn bench_cost_and_sim(c: &mut Criterion) {
+fn bench_cost_and_sim(h: &mut Harness) {
     let mut cfg = ScenarioConfig::paper_defaults(4242);
     cfg.tasks_total = 200;
     let s = cfg.generate().unwrap();
-    c.bench_function("cost_table_200_tasks", |b| {
-        b.iter(|| black_box(CostTable::build(&s.system, &s.tasks).unwrap()))
+    h.bench("cost_table_200_tasks", || {
+        CostTable::build(&s.system, &s.tasks).unwrap()
     });
     let costs = CostTable::build(&s.system, &s.tasks).unwrap();
     let a = dsmec_core::hta::LpHta::paper()
         .assign(&s.system, &s.tasks, &costs)
         .unwrap();
     let exec = a.to_executable(&s.tasks).unwrap();
-    let mut group = c.benchmark_group("des");
-    group.bench_function("simulate_free_200", |b| {
-        b.iter(|| black_box(simulate(&s.system, &exec, Contention::None).unwrap()))
+    h.bench("des/simulate_free_200", || {
+        simulate(&s.system, &exec, Contention::None).unwrap()
     });
-    group.bench_function("simulate_queued_200", |b| {
-        b.iter(|| black_box(simulate(&s.system, &exec, Contention::Exclusive).unwrap()))
+    h.bench("des/simulate_queued_200", || {
+        simulate(&s.system, &exec, Contention::Exclusive).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_linprog, bench_itemset, bench_cost_and_sim);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_linprog(&mut h);
+    bench_itemset(&mut h);
+    bench_cost_and_sim(&mut h);
+    h.finish();
+}

@@ -9,8 +9,8 @@
 //! ```
 
 use mec_bench::cli::{
-    assign_scenario, generate_scenario, render_report, simulate_assignment, AlgorithmName,
-    AssignmentFile,
+    assign_scenario, generate_scenario, read_json, render_report, simulate_assignment, write_json,
+    AlgorithmName, AssignmentFile,
 };
 use mec_sim::sim::Contention;
 use mec_sim::workload::Scenario;
@@ -204,14 +204,4 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command `{other}` (see --help)")),
     }
-}
-
-fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
-}
-
-fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }

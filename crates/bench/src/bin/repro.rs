@@ -16,11 +16,22 @@
 //! land in `BENCH_parallel.json`. Series whose name contains `"time ms"`
 //! are wall-clock measurements and are exempt from the identity check.
 
+use djson::{Json, ToJson};
 use mec_bench::figures::{registry, ExperimentOptions, Runner};
 use mec_bench::table::Figure;
 use mec_bench::{cache, cli, par};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// A JSON object literal from `(key, value)` pairs.
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
 
 /// Outcome of one timed pass over the selected experiments.
 struct Pass {
@@ -192,38 +203,40 @@ fn main() -> ExitCode {
             all_identical &= identical;
             serial_total += ser_ms;
             parallel_total += par_ms;
-            per_figure.push(serde_json::json!({
-                "id": id,
-                "serial_ms": ser_ms,
-                "parallel_ms": par_ms,
-                "speedup": ser_ms / par_ms.max(1e-9),
-                "identical": identical,
-            }));
+            per_figure.push(obj(vec![
+                ("id", Json::from(*id)),
+                ("serial_ms", Json::from(*ser_ms)),
+                ("parallel_ms", Json::from(*par_ms)),
+                ("speedup", Json::from(ser_ms / par_ms.max(1e-9))),
+                ("identical", Json::from(identical)),
+            ]));
         }
-        let report = serde_json::json!({
-            "threads": threads,
-            "figures": per_figure,
-            "total": {
-                "serial_ms": serial_total,
-                "parallel_ms": parallel_total,
-                "speedup": serial_total / parallel_total.max(1e-9),
-            },
-            "identical": all_identical,
-            "cache": cache_stats,
-        });
-        match serde_json::to_string_pretty(&report) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&bench_out, json + "\n") {
-                    eprintln!("warning: could not write {}: {e}", bench_out.display());
-                } else {
-                    println!(
-                        "perf: {threads} threads, {:.1}x speedup, outputs identical: {all_identical} -> {}",
-                        serial_total / parallel_total.max(1e-9),
-                        bench_out.display()
-                    );
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize perf report: {e}"),
+        let report = obj(vec![
+            ("threads", Json::from(threads as u64)),
+            ("figures", Json::Arr(per_figure)),
+            (
+                "total",
+                obj(vec![
+                    ("serial_ms", Json::from(serial_total)),
+                    ("parallel_ms", Json::from(parallel_total)),
+                    (
+                        "speedup",
+                        Json::from(serial_total / parallel_total.max(1e-9)),
+                    ),
+                ]),
+            ),
+            ("identical", Json::from(all_identical)),
+            ("cache", cache_stats.to_json()),
+        ]);
+        let json = djson::to_string_pretty(&report);
+        if let Err(e) = std::fs::write(&bench_out, json + "\n") {
+            eprintln!("warning: could not write {}: {e}", bench_out.display());
+        } else {
+            println!(
+                "perf: {threads} threads, {:.1}x speedup, outputs identical: {all_identical} -> {}",
+                serial_total / parallel_total.max(1e-9),
+                bench_out.display()
+            );
         }
         if !all_identical {
             eprintln!("ERROR: parallel output differs from the serial reference");

@@ -26,11 +26,17 @@ use dsmec_core::error::AssignError;
 use dsmec_core::hta::{FractionalSolution, LpHta};
 use linprog::Solver;
 use mec_sim::workload::{Scenario, ScenarioConfig};
-use parking_lot::Mutex;
-use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a cache map ignoring std poisoning: every critical section is a
+/// plain map read/insert/clear, so a panicking holder cannot leave the map
+/// half-updated; recovering the guard preserves the old
+/// non-poisoning behavior.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Cap per cache map; on overflow the map is reset wholesale (the working
 /// set of one `repro` run is far below this, so eviction sophistication
@@ -57,7 +63,7 @@ static LP_HITS: AtomicU64 = AtomicU64::new(0);
 static LP_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Hit/miss counters of both caches, as of the moment of the call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Scenario-cache hits.
     pub scenario_hits: u64,
@@ -83,10 +89,10 @@ pub fn stats() -> CacheStats {
 /// so serial and parallel runs are compared cold-for-cold.
 pub fn clear() {
     if let Some(map) = SCENARIOS.get() {
-        map.lock().clear();
+        lock(map).clear();
     }
     if let Some(map) = RELAXATIONS.get() {
-        map.lock().clear();
+        lock(map).clear();
     }
     SCENARIO_HITS.store(0, Ordering::Relaxed);
     SCENARIO_MISSES.store(0, Ordering::Relaxed);
@@ -100,12 +106,11 @@ pub fn clear() {
 ///
 /// # Errors
 ///
-/// Returns [`AssignError::InvalidInput`] when the configuration cannot be
-/// serialized (non-finite floats under some serializers, etc.).
+/// Infallible with the in-workspace JSON encoder (non-finite floats encode
+/// as `null` rather than failing); the `Result` is kept so callers are
+/// insulated from future key schemes that can reject a configuration.
 pub fn config_key(cfg: &ScenarioConfig) -> Result<u64, AssignError> {
-    let bytes = serde_json::to_vec(cfg)
-        .map_err(|e| AssignError::InvalidInput(format!("unhashable scenario config: {e}")))?;
-    Ok(fnv1a(&bytes))
+    Ok(fnv1a(&djson::to_vec(cfg)))
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -126,7 +131,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub fn scenario_with_costs(cfg: &ScenarioConfig) -> Result<Arc<CachedScenario>, AssignError> {
     let key = config_key(cfg)?;
     let map = SCENARIOS.get_or_init(Default::default);
-    if let Some(hit) = map.lock().get(&key) {
+    if let Some(hit) = lock(map).get(&key) {
         SCENARIO_HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(hit));
     }
@@ -136,7 +141,7 @@ pub fn scenario_with_costs(cfg: &ScenarioConfig) -> Result<Arc<CachedScenario>, 
     let scenario = cfg.generate()?;
     let costs = CostTable::build(&scenario.system, &scenario.tasks)?;
     let built = Arc::new(CachedScenario { scenario, costs });
-    let mut guard = map.lock();
+    let mut guard = lock(map);
     if guard.len() >= MAX_ENTRIES {
         guard.clear();
     }
@@ -169,7 +174,7 @@ pub fn lp_relaxation(
         algo.lp_cluster_limit,
     );
     let map = RELAXATIONS.get_or_init(Default::default);
-    if let Some(hit) = map.lock().get(&key) {
+    if let Some(hit) = lock(map).get(&key) {
         LP_HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(hit));
     }
@@ -179,12 +184,20 @@ pub fn lp_relaxation(
         &cached.scenario.tasks,
         &cached.costs,
     )?);
-    let mut guard = map.lock();
+    let mut guard = lock(map);
     if guard.len() >= MAX_ENTRIES {
         guard.clear();
     }
     Ok(Arc::clone(guard.entry(key).or_insert(solved)))
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(CacheStats {
+    scenario_hits,
+    scenario_misses,
+    lp_hits,
+    lp_misses,
+});
 
 #[cfg(test)]
 mod tests {

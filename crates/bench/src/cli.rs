@@ -15,11 +15,10 @@ use dsmec_core::hta::{
 use dsmec_core::metrics::{evaluate_assignment, Metrics};
 use mec_sim::sim::{simulate, Contention, SimReport};
 use mec_sim::workload::{Scenario, ScenarioConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Algorithms selectable from the command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgorithmName {
     /// The paper's LP-HTA.
     LpHta,
@@ -114,7 +113,7 @@ pub fn apply_threads(spec: &str) -> Result<usize, String> {
 }
 
 /// On-disk bundle tying an assignment to the scenario it was made for.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AssignmentFile {
     /// Which algorithm produced it.
     pub algorithm: AlgorithmName,
@@ -124,6 +123,28 @@ pub struct AssignmentFile {
     pub assignment: Assignment,
     /// Metrics at assignment time.
     pub metrics: Metrics,
+}
+
+/// Pretty-prints `value` as JSON into `path`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the file cannot be written.
+pub fn write_json<T: djson::ToJson>(path: &str, value: &T) -> Result<(), String> {
+    let json = djson::to_string_pretty(value);
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Reads and decodes a JSON file, prefixing every failure — missing file,
+/// truncated or malformed JSON, wrong field types, unknown fields — with
+/// the path so CLI users see which input was bad.
+///
+/// # Errors
+///
+/// Returns a human-readable message for I/O and decode failures.
+pub fn read_json<T: djson::FromJson>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    djson::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 /// Generates a scenario from CLI-level knobs.
@@ -212,13 +233,32 @@ pub fn render_report(file: &AssignmentFile, sim: Option<&SimReport>) -> String {
     out
 }
 
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(AlgorithmName {
+    LpHta,
+    Hgos,
+    AllToC,
+    AllOffload,
+    LocalFirst,
+    Nash,
+    Random,
+});
+djson::impl_json_struct!(AssignmentFile {
+    algorithm,
+    scenario_seed,
+    assignment,
+    metrics,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn apply_threads_parses_and_applies() {
-        let _guard = crate::par::THREADS_TEST_LOCK.lock();
+        let _guard = crate::par::THREADS_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         assert_eq!(apply_threads("3"), Ok(3));
         assert!(apply_threads("zero").is_err());
         // Restore the default so other tests see the ambient setting.
@@ -253,14 +293,31 @@ mod tests {
     #[test]
     fn scenario_and_assignment_serialize() {
         let scenario = generate_scenario(6, 1, 3, 9, 1000.0).unwrap();
-        let json = serde_json::to_string(&scenario).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
+        let json = djson::to_string(&scenario);
+        let back: Scenario = djson::from_str(&json).unwrap();
         assert_eq!(back, scenario);
 
         let file = assign_scenario(&scenario, AlgorithmName::Hgos, 6).unwrap();
-        let json = serde_json::to_string(&file).unwrap();
-        let back: AssignmentFile = serde_json::from_str(&json).unwrap();
+        let json = djson::to_string(&file);
+        let back: AssignmentFile = djson::from_str(&json).unwrap();
         assert_eq!(back.assignment, file.assignment);
+    }
+
+    #[test]
+    fn write_and_read_json_round_trip_through_disk() {
+        let scenario = generate_scenario(8, 1, 2, 6, 800.0).unwrap();
+        let dir = std::env::temp_dir().join("dsmec-cli-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        let path = path.to_str().unwrap();
+        write_json(path, &scenario).unwrap();
+        let back: Scenario = read_json(path).unwrap();
+        assert_eq!(back, scenario);
+        // Failures carry the path.
+        let missing = dir.join("nope.json");
+        let err = read_json::<Scenario>(missing.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("nope.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -393,7 +393,7 @@ pub fn ratio_check(opts: &ExperimentOptions) -> FigResult {
     } else {
         (201..209).collect()
     };
-    let rows = par_map_result(&seeds, |&seed| {
+    let rows = par_map_result(&seeds, |&seed| -> Result<Vec<f64>, AssignError> {
         let mut cfg = ScenarioConfig::paper_defaults(seed);
         cfg.num_stations = 2;
         cfg.devices_per_station = 3;

@@ -28,6 +28,7 @@ pub mod figures;
 pub mod par;
 pub mod runner;
 pub mod table;
+pub mod timing;
 
 pub use figures::ExperimentOptions;
 pub use par::{set_threads, threads};

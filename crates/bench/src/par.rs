@@ -17,10 +17,17 @@
 //! machine's available parallelism).
 
 use dsmec_core::error::AssignError;
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Locks ignoring std poisoning: the failure slot stays consistent even if
+/// a recording thread dies, because `record` only ever writes a complete
+/// `(index, error)` pair.
+fn lock_failure<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Sets the worker-thread count for both the sweep engine and the linprog
 /// dense kernels. `0` restores the default resolution.
@@ -97,6 +104,8 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         unsafe { slots.fill(i, r) };
     };
     std::thread::scope(|scope| {
+        // The borrow is load-bearing: the same closure runs on N threads.
+        #[allow(clippy::needless_borrows_for_generic_args)]
         for _ in 1..workers {
             scope.spawn(&work);
         }
@@ -138,7 +147,7 @@ where
     let failure: Mutex<Option<(usize, E)>> = Mutex::new(None);
 
     let record = |i: usize, e: E| {
-        let mut guard = failure.lock();
+        let mut guard = lock_failure(&failure);
         match &*guard {
             Some((j, _)) if *j <= i => {}
             _ => *guard = Some((i, e)),
@@ -157,13 +166,17 @@ where
             // Safety: index `i` was claimed exclusively above.
             Ok(Ok(r)) => unsafe { slots.fill(i, r) },
             Ok(Err(e)) => record(i, e),
-            Err(payload) => record(i, E::from_worker_panic(panic_message(&payload))),
+            // `&*payload` reborrows the payload itself: `&payload` would
+            // coerce the Box into `dyn Any` and make every downcast miss.
+            Err(payload) => record(i, E::from_worker_panic(panic_message(&*payload))),
         }
     };
     if workers <= 1 {
         work();
     } else {
         std::thread::scope(|scope| {
+            // The borrow is load-bearing: the same closure runs on N threads.
+            #[allow(clippy::needless_borrows_for_generic_args)]
             for _ in 1..workers {
                 scope.spawn(&work);
             }
@@ -171,7 +184,10 @@ where
         });
     }
 
-    if let Some((_, e)) = failure.into_inner() {
+    if let Some((_, e)) = failure
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
     Ok(slots
@@ -247,7 +263,7 @@ mod tests {
 
     #[test]
     fn thread_setting_round_trips_through_linprog() {
-        let _guard = THREADS_TEST_LOCK.lock();
+        let _guard = THREADS_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         set_threads(2);
         assert_eq!(threads(), 2);
         assert_eq!(linprog::threads(), 2);

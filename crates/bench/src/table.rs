@@ -3,13 +3,12 @@
 //! printed as an aligned text table or written as CSV next to the paper's
 //! plots.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// One plotted series (an algorithm's curve).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend name.
     pub name: String,
@@ -18,7 +17,7 @@ pub struct Series {
 }
 
 /// One reproduced figure or table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Stable identifier, e.g. `"fig2a"`.
     pub id: String,
@@ -165,6 +164,17 @@ fn format_value(v: f64) -> String {
         format!("{v:.4}")
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(Series { name, values });
+djson::impl_json_struct!(Figure {
+    id,
+    title,
+    x_label,
+    y_label,
+    x_ticks,
+    series
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,150 @@
+//! Plain wall-clock timing for the `harness = false` bench targets.
+//!
+//! Replaces the criterion dependency with the same `Instant`-based
+//! measurement the `repro --perf` speedup report uses: one warm-up call,
+//! then timed iterations until a per-case budget is spent, reporting the
+//! mean and minimum per iteration.
+//!
+//! A positional argument filters cases by substring — the CLI shape
+//! `cargo bench -- <filter>` already had under criterion — and flags
+//! cargo forwards (such as `--bench`) are ignored. `DSMEC_BENCH_MS`
+//! overrides the per-case time budget in milliseconds.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed case: wall-clock statistics over `iters` iterations.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case name as printed (group/case/param).
+    pub name: String,
+    /// Timed iterations (excluding the warm-up call).
+    pub iters: u32,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Collects timed cases and prints one aligned row per case.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    budget_ns: f64,
+    printed_header: bool,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments (see module docs).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        let budget_ms: f64 = std::env::var("DSMEC_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300.0);
+        Harness {
+            filter,
+            budget_ns: budget_ms * 1e6,
+            printed_header: false,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing a row unless the CLI filter excludes `name`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up call, outside the statistics.
+        black_box(f());
+        let mut min_ns = f64::INFINITY;
+        let mut total = 0.0;
+        let mut iters = 0u32;
+        while total < self.budget_ns && iters < 100_000 {
+            let t = Instant::now();
+            black_box(f());
+            let ns = t.elapsed().as_secs_f64() * 1e9;
+            min_ns = min_ns.min(ns);
+            total += ns;
+            iters += 1;
+        }
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            mean_ns: total / f64::from(iters),
+            min_ns,
+        };
+        if !self.printed_header {
+            println!(
+                "{:<44} {:>12} {:>12} {:>7}",
+                "bench", "mean", "min", "iters"
+            );
+            self.printed_header = true;
+        }
+        println!(
+            "{:<44} {:>12} {:>12} {:>7}",
+            m.name,
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// Consumes the harness, returning every measurement taken.
+    pub fn finish(self) -> Vec<Measurement> {
+        self.results
+    }
+}
+
+/// Human-friendly duration: picks ns/µs/ms/s by magnitude.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_filters() {
+        let mut h = Harness {
+            filter: Some("keep".into()),
+            budget_ns: 1e5,
+            printed_header: false,
+            results: Vec::new(),
+        };
+        h.bench("keep/fast", || 1 + 1);
+        h.bench("drop/slow", || panic!("filtered cases must not run"));
+        let out = h.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "keep/fast");
+        assert!(out[0].iters >= 1);
+        assert!(out[0].min_ns <= out[0].mean_ns);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50 s");
+    }
+}

@@ -1,0 +1,99 @@
+//! Malformed-input coverage for the `dsmec` JSON loading path: truncated
+//! files, wrong field types and unknown fields must all surface readable
+//! errors naming the file and the offending location — never a panic.
+
+use mec_bench::cli::{assign_scenario, read_json, AlgorithmName, AssignmentFile};
+use mec_sim::workload::{Scenario, ScenarioConfig};
+use std::path::PathBuf;
+
+/// A fresh scratch directory per test, to keep parallel tests apart.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dsmec-malformed")
+        .join(format!("{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, text: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// A small but complete, valid scenario to mutate.
+fn valid_scenario_text() -> String {
+    let mut cfg = ScenarioConfig::paper_defaults(7);
+    cfg.num_stations = 1;
+    cfg.devices_per_station = 2;
+    cfg.tasks_total = 2;
+    djson::to_string_pretty(&cfg.generate().unwrap())
+}
+
+#[test]
+fn missing_file_names_the_path() {
+    let err = read_json::<Scenario>("/nonexistent/scenario.json").unwrap_err();
+    assert!(err.contains("reading /nonexistent/scenario.json"), "{err}");
+}
+
+#[test]
+fn truncated_file_is_a_parse_error_not_a_panic() {
+    let dir = scratch("truncated");
+    let full = valid_scenario_text();
+    // Cut the document at several depths; every prefix must error
+    // gracefully and name the file.
+    for cut in [1, full.len() / 4, full.len() / 2, full.len() - 2] {
+        let path = write(&dir, "truncated.json", &full[..cut]);
+        let err = read_json::<Scenario>(&path).unwrap_err();
+        assert!(err.contains("parsing"), "cut {cut}: {err}");
+        assert!(err.contains("truncated.json"), "cut {cut}: {err}");
+    }
+}
+
+#[test]
+fn wrong_field_type_names_the_field() {
+    let dir = scratch("wrong-type");
+    let text = valid_scenario_text().replace("\"tasks\": [", "\"tasks\": 5, \"x\": [");
+    let path = write(&dir, "wrong.json", &text);
+    let err = read_json::<Scenario>(&path).unwrap_err();
+    assert!(err.contains("parsing"), "{err}");
+    // Either the retyped `tasks` or the now-unknown `x` is reported first;
+    // both are readable, field-naming errors.
+    assert!(
+        err.contains("expected array") || err.contains("unknown field"),
+        "{err}"
+    );
+}
+
+#[test]
+fn unknown_field_is_rejected_by_name() {
+    let dir = scratch("unknown-field");
+    let mut cfg = ScenarioConfig::paper_defaults(7);
+    cfg.num_stations = 1;
+    cfg.devices_per_station = 2;
+    cfg.tasks_total = 2;
+    let scenario = cfg.generate().unwrap();
+    let file = assign_scenario(&scenario, AlgorithmName::Hgos, 7).unwrap();
+    let text =
+        djson::to_string_pretty(&file).replace("\"algorithm\"", "\"bogus\": 1,\n  \"algorithm\"");
+    let path = write(&dir, "extra.json", &text);
+    let err = read_json::<AssignmentFile>(&path).unwrap_err();
+    assert!(err.contains("unknown field `bogus`"), "{err}");
+}
+
+#[test]
+fn non_json_garbage_is_reported_readably() {
+    let dir = scratch("garbage");
+    let path = write(&dir, "garbage.json", "this is not json at all {{{");
+    let err = read_json::<Scenario>(&path).unwrap_err();
+    assert!(err.contains("parsing"), "{err}");
+    assert!(err.contains("garbage.json"), "{err}");
+}
+
+#[test]
+fn wrong_toplevel_shape_is_reported() {
+    let dir = scratch("toplevel");
+    let path = write(&dir, "array.json", "[1, 2, 3]");
+    let err = read_json::<Scenario>(&path).unwrap_err();
+    assert!(err.contains("expected object"), "{err}");
+}

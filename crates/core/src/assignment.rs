@@ -3,10 +3,9 @@
 
 use crate::error::AssignError;
 use mec_sim::task::{ExecutionSite, HolisticTask};
-use serde::{Deserialize, Serialize};
 
 /// The decision for one task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Decision {
     /// Run at the given subsystem (`x_ijl = 1`).
     Assigned(ExecutionSite),
@@ -25,7 +24,7 @@ impl Decision {
 }
 
 /// Decisions for a task list, parallel to the input `tasks` slice.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     decisions: Vec<Decision>,
 }
@@ -117,6 +116,10 @@ impl Assignment {
             .collect())
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(Decision { Assigned(ExecutionSite), Cancelled });
+djson::impl_json_struct!(Assignment { decisions });
 
 #[cfg(test)]
 mod tests {

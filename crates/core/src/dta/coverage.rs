@@ -10,7 +10,6 @@
 use mec_sim::data::{DataItemId, DataUniverse, ItemSet};
 use mec_sim::topology::{DeviceId, MecSystem};
 use mec_sim::units::{Bytes, Seconds};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a coverage is invalid.
@@ -67,7 +66,7 @@ impl fmt::Display for CoverageViolation {
 impl std::error::Error for CoverageViolation {}
 
 /// A disjoint division of the required data over the devices.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coverage {
     shares: Vec<ItemSet>,
 }
@@ -171,6 +170,9 @@ impl Coverage {
         Ok(())
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(Coverage { shares });
 
 #[cfg(test)]
 mod tests {

@@ -25,10 +25,9 @@ use mec_sim::topology::DeviceId;
 use mec_sim::transfer;
 use mec_sim::units::{Bytes, Joules, Seconds};
 use mec_sim::workload::DivisibleScenario;
-use serde::{Deserialize, Serialize};
 
 /// Which Section IV division drives the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DivisionStrategy {
     /// DTA-Workload (Section IV.A): balance the shares.
     Workload,
@@ -77,7 +76,7 @@ impl DtaConfig {
 
 /// One rearranged piece: which device processes which slice of which
 /// original task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Piece {
     /// The original divisible task.
     pub original: TaskId,
@@ -335,6 +334,16 @@ pub fn dta_device_shares(
     }
     Ok(shares)
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(DivisionStrategy { Workload, Number });
+djson::impl_json_struct!(Piece {
+    original,
+    aggregator,
+    processor,
+    items,
+    size
+});
 
 #[cfg(test)]
 mod tests {

@@ -15,10 +15,9 @@ use crate::assignment::{Assignment, Decision};
 use crate::costs::CostTable;
 use crate::error::AssignError;
 use crate::hta::HtaAlgorithm;
+use detrand::{ChaCha8Rng, SliceRandom};
 use mec_sim::task::{ExecutionSite, HolisticTask};
 use mec_sim::topology::MecSystem;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 
 /// Offload every task to the remote cloud.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

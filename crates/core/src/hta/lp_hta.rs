@@ -19,16 +19,14 @@ use crate::costs::CostTable;
 use crate::error::AssignError;
 use crate::hta::relaxation::build_cluster_relaxation;
 use crate::hta::{cluster_task_indices, HtaAlgorithm};
+use detrand::ChaCha8Rng;
 use linprog::{solve, LpStatus, Solver};
 use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
 use mec_sim::topology::{MecSystem, StationId};
 use mec_sim::units::Bytes;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// How Step 3 turns fractions into a site choice.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RoundingRule {
     /// The paper's rule: pick `argmax_l X[i,j,l]` (ties toward the lower
     /// level, i.e. the device).
@@ -43,7 +41,7 @@ pub enum RoundingRule {
 }
 
 /// Diagnostics of one LP-HTA run (summed over clusters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LpHtaReport {
     /// `E_LP^(OPT)`: the optimum of the relaxation (a lower bound on the
     /// optimal integral energy).
@@ -68,7 +66,7 @@ pub struct LpHtaReport {
 
 /// One cluster's fractional Step-1/2 output: the tasks it covers and the
 /// relaxed site fractions `X[i, ·]` for each of them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterFractions {
     /// The cluster's base station.
     pub station: StationId,
@@ -84,7 +82,7 @@ pub struct ClusterFractions {
 /// [`LpHta::solve_relaxation`] and consumed by [`LpHta::round_with`]; the
 /// split lets callers solve the (expensive) relaxation once and reuse it
 /// across rounding rules, as the benchmark ablations do.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FractionalSolution {
     /// Per-cluster fractional matrices, in station order.
     pub clusters: Vec<ClusterFractions>,
@@ -174,7 +172,9 @@ impl LpHta {
                         .total_cmp(&costs.at(idx, b).energy.value())
                 })
                 .copied()
-                .expect("three sites");
+                .ok_or_else(|| {
+                    AssignError::InvalidInput("no execution sites to choose from".into())
+                })?;
             if !costs.feasible(idx, cheapest, task.deadline) {
                 return Ok(None); // the lower bound is not attainable
             }
@@ -340,7 +340,12 @@ impl LpHta {
     ///
     /// # Errors
     ///
-    /// Returns [`AssignError`] for substrate failures.
+    /// Returns [`AssignError`] for substrate failures, and
+    /// [`AssignError::InvalidInput`] when the fractional solution is
+    /// malformed (a cluster whose matrix and task list disagree in length,
+    /// or a task index outside `tasks`) — possible because
+    /// [`FractionalSolution`] is a public type callers may build or cache
+    /// themselves.
     pub fn round_with(
         &self,
         system: &MecSystem,
@@ -348,6 +353,24 @@ impl LpHta {
         costs: &CostTable,
         fractional: &FractionalSolution,
     ) -> Result<(Assignment, LpHtaReport), AssignError> {
+        for (c, cluster) in fractional.clusters.iter().enumerate() {
+            if cluster.x.len() != cluster.task_indices.len() {
+                return Err(AssignError::InvalidInput(format!(
+                    "fractional cluster {c} (station {:?}) has {} matrix rows for {} tasks",
+                    cluster.station,
+                    cluster.x.len(),
+                    cluster.task_indices.len()
+                )));
+            }
+            if let Some(&bad) = cluster.task_indices.iter().find(|&&i| i >= tasks.len()) {
+                return Err(AssignError::InvalidInput(format!(
+                    "fractional cluster {c} (station {:?}) references task index {bad}, \
+                     but only {} tasks were supplied",
+                    cluster.station,
+                    tasks.len()
+                )));
+            }
+        }
         let mut assignment = Assignment::new(vec![Decision::Cancelled; tasks.len()]);
         let mut report = LpHtaReport {
             lp_objective: fractional.lp_objective,
@@ -388,7 +411,7 @@ impl LpHta {
             // Step 4: deadline repair.
             for (k, &idx) in idxs.iter().enumerate() {
                 let deadline = tasks[idx].deadline;
-                let site = sites[k].expect("just rounded");
+                let Some(site) = sites[k] else { continue };
                 if costs.feasible(idx, site, deadline) {
                     continue;
                 }
@@ -568,6 +591,30 @@ fn repair_capacity(
         }
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(RoundingRule { ArgMax, Randomized { seed: u64 } });
+djson::impl_json_struct!(LpHtaReport {
+    lp_objective,
+    rounded_energy,
+    final_energy,
+    delta,
+    theorem2_bound,
+    corollary1_bound,
+    ratio_bound,
+    cancelled,
+    lp_iterations,
+});
+djson::impl_json_struct!(ClusterFractions {
+    station,
+    task_indices,
+    x
+});
+djson::impl_json_struct!(FractionalSolution {
+    clusters,
+    lp_objective,
+    lp_iterations
+});
 
 #[cfg(test)]
 mod tests {
@@ -773,6 +820,38 @@ mod tests {
         let fa = a.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
         let fb = b.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn round_with_rejects_row_count_mismatch() {
+        let s = ScenarioConfig::paper_defaults(11).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let algo = LpHta::paper().without_fast_path();
+        let mut frac = algo.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+        frac.clusters[0].x.pop();
+        let err = algo
+            .round_with(&s.system, &s.tasks, &costs, &frac)
+            .unwrap_err();
+        match err {
+            AssignError::InvalidInput(msg) => assert!(msg.contains("matrix rows"), "{msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_with_rejects_out_of_range_task_index() {
+        let s = ScenarioConfig::paper_defaults(12).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let algo = LpHta::paper().without_fast_path();
+        let mut frac = algo.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+        frac.clusters[0].task_indices[0] = s.tasks.len();
+        let err = algo
+            .round_with(&s.system, &s.tasks, &costs, &frac)
+            .unwrap_err();
+        match err {
+            AssignError::InvalidInput(msg) => assert!(msg.contains("task index"), "{msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -26,10 +26,9 @@ use mec_sim::task::HolisticTask;
 use mec_sim::topology::MecSystem;
 use mec_sim::transfer;
 use mec_sim::units::{Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// The optimal fractional split of one task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartialSplit {
     /// Fraction of computation (and input data) processed locally.
     pub phi: f64,
@@ -40,7 +39,7 @@ pub struct PartialSplit {
 }
 
 /// Outcome of splitting a whole task list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartialPlan {
     /// Per-task splits; `None` where no feasible split exists (the task
     /// would be cancelled).
@@ -172,6 +171,10 @@ pub fn partial_offload_plan(
         .collect::<Result<Vec<_>, _>>()?;
     Ok(PartialPlan { splits })
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(PartialSplit { phi, time, energy });
+djson::impl_json_struct!(PartialPlan { splits });
 
 #[cfg(test)]
 mod tests {

@@ -9,10 +9,9 @@ use crate::error::AssignError;
 use mec_sim::task::{ExecutionSite, HolisticTask};
 use mec_sim::topology::MecSystem;
 use mec_sim::units::{Bytes, Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate quality of one assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// Total system energy over the assigned tasks (the paper's
     /// objective `Σ E_ijl x_ijl`).
@@ -30,7 +29,7 @@ pub struct Metrics {
 }
 
 /// Capacity usage of an assignment against the C2/C3 limits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapacityUsage {
     /// `Σ_j C_ij x_ij1` per device, parallel to `system.devices()`.
     pub device_usage: Vec<Bytes>,
@@ -154,6 +153,19 @@ pub fn capacity_usage(
         station_usage,
     })
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(Metrics {
+    total_energy,
+    mean_latency,
+    unsatisfied_rate,
+    cancelled,
+    site_counts,
+});
+djson::impl_json_struct!(CapacityUsage {
+    device_usage,
+    station_usage
+});
 
 #[cfg(test)]
 mod tests {

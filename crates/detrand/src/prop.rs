@@ -1,0 +1,202 @@
+//! A seeded property-test harness.
+//!
+//! Replaces the `proptest` dependency for this workspace's needs: run a
+//! closure over many independently seeded [`ChaCha8Rng`]s, draw inputs
+//! inside the closure with `gen_range`/`gen_bool`/[`SliceRandom`], and
+//! report the first failure with the exact seed that reproduces it.
+//!
+//! ```
+//! use detrand::prop::{self, CaseResult};
+//!
+//! prop::run_cases("addition_commutes", 32, |rng| {
+//!     let a = rng.gen_range(0..1000u64);
+//!     let b = rng.gen_range(0..1000u64);
+//!     detrand::prop_assert_eq!(a + b, b + a);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Unlike `proptest` there is no shrinking: cases are cheap and seeds
+//! are printed, so a failing case re-runs under a debugger with
+//! `DSMEC_PROP_SEED=<seed>` (which also lets CI re-explore a different
+//! region of the input space without touching code).
+//!
+//! [`SliceRandom`]: crate::SliceRandom
+
+use crate::ChaCha8Rng;
+
+/// A property either holds (`Ok`) or reports why it does not.
+pub type CaseResult = Result<(), String>;
+
+/// FNV-1a, used to fold the property name into the base seed so
+/// different properties explore different input regions by default.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The base seed for a property: `DSMEC_PROP_SEED` when set (same
+/// override for every property), otherwise an FNV-1a fold of the
+/// property name.
+#[must_use]
+pub fn base_seed(name: &str) -> u64 {
+    match std::env::var("DSMEC_PROP_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("DSMEC_PROP_SEED must be a u64, got {v:?}")),
+        Err(_) => fnv1a(name.as_bytes()),
+    }
+}
+
+/// Runs `cases` independently seeded executions of `property`, panicking
+/// on the first failure with the property name, case index, and the
+/// per-case seed that reproduces it via [`run_seed`].
+///
+/// # Panics
+///
+/// Panics when any case returns `Err`, with a reproduction message.
+pub fn run_cases(name: &str, cases: u64, mut property: impl FnMut(&mut ChaCha8Rng) -> CaseResult) {
+    let base = base_seed(name);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if let Err(message) = property(&mut ChaCha8Rng::seed_from_u64(seed)) {
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed}): {message}\n\
+                 reproduce with detrand::prop::run_seed(\"{name}\", {seed}, ...)"
+            );
+        }
+    }
+}
+
+/// Re-runs a single case of a property with an explicit seed (the one a
+/// [`run_cases`] failure printed).
+///
+/// # Panics
+///
+/// Panics when the case fails.
+pub fn run_seed(name: &str, seed: u64, mut property: impl FnMut(&mut ChaCha8Rng) -> CaseResult) {
+    if let Err(message) = property(&mut ChaCha8Rng::seed_from_u64(seed)) {
+        panic!("property `{name}` failed for seed {seed}: {message}");
+    }
+}
+
+/// Fails the enclosing property case unless the condition holds.
+///
+/// Must be used inside a closure returning [`CaseResult`]; expands to an
+/// early `return Err(..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless both sides are equal.
+///
+/// Must be used inside a closure returning [`CaseResult`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): left {:?}, right {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): left {:?}, right {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        run_cases("always_holds", 17, |rng| {
+            ran += 1;
+            let x = rng.gen_range(0..100u64);
+            prop_assert!(x < 100);
+            Ok(())
+        });
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn failing_property_names_seed_and_case() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases("always_fails", 5, |_| {
+                prop_assert!(false, "intentional");
+                Ok(())
+            });
+        })
+        .unwrap_err();
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("always_fails"), "{message}");
+        assert!(message.contains("case 0/5"), "{message}");
+        assert!(message.contains("seed "), "{message}");
+        assert!(message.contains("intentional"), "{message}");
+    }
+
+    #[test]
+    fn base_seed_differs_per_property() {
+        if std::env::var("DSMEC_PROP_SEED").is_ok() {
+            return; // override active: all properties share the seed
+        }
+        assert_ne!(base_seed("a"), base_seed("b"));
+    }
+
+    #[test]
+    fn prop_assert_eq_reports_values() {
+        let result: CaseResult = (|| {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        })();
+        let message = result.unwrap_err();
+        assert!(message.contains("left 2, right 3"), "{message}");
+    }
+}

@@ -1,0 +1,669 @@
+//! Codec traits, primitive implementations, the strict object reader,
+//! and the `macro_rules!` codecs that replace serde derives.
+
+use crate::value::{Json, JsonError, Number};
+
+/// Encodes a value as a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Decodes a value from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Decodes `value`, or explains why it does not match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] carrying a field path on any mismatch.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+
+    /// The value to use when an object field is absent. `None` means
+    /// "required" (the default); `Option<T>` overrides this so missing
+    /// optional fields decode as `None`, matching serde's behavior.
+    fn if_absent() -> Option<Self> {
+        None
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::expected("bool", other)),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        // Non-finite floats have no JSON token; emit null (serde_json's
+        // behavior). They do not round-trip — decoding null as f64 errors.
+        Number::from_f64(*self).map_or(Json::Null, Json::Num)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Num(n) => n
+                .as_f64()
+                .ok_or_else(|| JsonError::msg(format!("number {n} overflows f64"))),
+            other => Err(JsonError::expected("number", other)),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        f64::from(*self).to_json()
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        f64::from_json(value).map(|v| v as f32)
+    }
+}
+
+macro_rules! unsigned_codec {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(Number::from_u64(u64::from(*self)))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::Num(n) => n
+                        .as_u64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            JsonError::msg(format!(
+                                "number {n} is not a valid {}",
+                                stringify!($ty)
+                            ))
+                        }),
+                    other => Err(JsonError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )+};
+}
+
+unsigned_codec!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(Number::from_u64(*self as u64))
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        u64::from_json(value).and_then(|v| {
+            usize::try_from(v).map_err(|_| JsonError::msg(format!("number {v} overflows usize")))
+        })
+    }
+}
+
+macro_rules! signed_codec {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(Number::from_i64(i64::from(*self)))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::Num(n) => n
+                        .as_i64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            JsonError::msg(format!(
+                                "number {n} is not a valid {}",
+                                stringify!($ty)
+                            ))
+                        }),
+                    other => Err(JsonError::expected("integer", other)),
+                }
+            }
+        }
+    )+};
+}
+
+signed_codec!(i8, i16, i32, i64);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::expected("string", other)),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.at(format!("[{i}]"))))
+                .collect(),
+            other => Err(JsonError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let items = Vec::<T>::from_json(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::msg(format!("expected array of {N}, got {len}")))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn if_absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! tuple_codec {
+    ($n:literal; $($idx:tt : $name:ident),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::Arr(items) if items.len() == $n => Ok((
+                        $($name::from_json(&items[$idx]).map_err(|e| e.at(format!("[{}]", $idx)))?,)+
+                    )),
+                    Json::Arr(items) => Err(JsonError::msg(format!(
+                        "expected array of {}, got {}", $n, items.len()
+                    ))),
+                    other => Err(JsonError::expected("array", other)),
+                }
+            }
+        }
+    };
+}
+
+tuple_codec!(2; 0: A, 1: B);
+tuple_codec!(3; 0: A, 1: B, 2: C);
+
+/// Strict object decoder used by [`impl_json_struct!`]: every field is
+/// taken exactly once, missing required fields and unknown fields are
+/// errors, and every error is prefixed with `Type.field`.
+///
+/// [`impl_json_struct!`]: crate::impl_json_struct
+#[derive(Debug)]
+pub struct ObjReader<'a> {
+    type_name: &'static str,
+    entries: &'a [(String, Json)],
+    taken: Vec<bool>,
+}
+
+impl<'a> ObjReader<'a> {
+    /// Starts decoding `value` as an object of type `type_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] unless `value` is an object.
+    pub fn new(value: &'a Json, type_name: &'static str) -> Result<Self, JsonError> {
+        match value {
+            Json::Obj(entries) => Ok(ObjReader {
+                type_name,
+                entries,
+                taken: vec![false; entries.len()],
+            }),
+            other => Err(JsonError::expected("object", other).at(type_name)),
+        }
+    }
+
+    /// Decodes field `name`, consuming it. Absent fields decode via
+    /// [`FromJson::if_absent`] (an error for required types).
+    ///
+    /// # Errors
+    ///
+    /// Returns a path-prefixed [`JsonError`] if the field is missing or
+    /// its value mismatches.
+    pub fn field<T: FromJson>(&mut self, name: &str) -> Result<T, JsonError> {
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            if key == name && !self.taken[i] {
+                self.taken[i] = true;
+                return T::from_json(value).map_err(|e| e.at(format!("{}.{name}", self.type_name)));
+            }
+        }
+        T::if_absent()
+            .ok_or_else(|| JsonError::msg(format!("missing field `{name}`")).at(self.type_name))
+    }
+
+    /// Finishes decoding; any field not consumed is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the first unknown field.
+    pub fn finish(self) -> Result<(), JsonError> {
+        for (i, (key, _)) in self.entries.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(JsonError::msg(format!("unknown field `{key}`")).at(self.type_name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The payload of an externally-tagged enum variant: `value` must be an
+/// object with exactly one key equal to `variant`. Used by
+/// [`impl_json_enum!`](crate::impl_json_enum).
+#[must_use]
+pub fn variant_payload<'a>(value: &'a Json, variant: &str) -> Option<&'a Json> {
+    match value {
+        Json::Obj(entries) if entries.len() == 1 && entries[0].0 == variant => Some(&entries[0].1),
+        _ => None,
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields,
+/// mirroring a serde derive: an object keyed by field name, strict
+/// about missing/unknown/duplicate fields on decode.
+///
+/// Invoke in the module that owns the type (private fields are fine):
+///
+/// ```
+/// use djson::impl_json_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f64, y: f64 }
+/// impl_json_struct!(Point { x, y });
+///
+/// let p: Point = djson::from_str("{\"x\":1.0,\"y\":2.5}").unwrap();
+/// assert_eq!(p, Point { x: 1.0, y: 2.5 });
+/// assert_eq!(djson::to_string(&p), "{\"x\":1,\"y\":2.5}");
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let mut reader = $crate::ObjReader::new(value, stringify!($ty))?;
+                let decoded = $ty {
+                    $($field: reader.field(stringify!($field))?,)+
+                };
+                reader.finish()?;
+                Ok(decoded)
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a transparent newtype: the
+/// wrapper encodes exactly as its inner value (serde's
+/// `#[serde(transparent)]`).
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($ty:ident($inner:ty)) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                <$inner as $crate::FromJson>::from_json(value)
+                    .map($ty)
+                    .map_err(|e| e.at(stringify!($ty)))
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum with serde's external
+/// tagging: unit variants are bare strings, single-payload variants are
+/// `{"Variant": <payload>}`, struct variants are
+/// `{"Variant": {"field": ...}}`.
+///
+/// ```
+/// use djson::impl_json_enum;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Rule { ArgMax, Randomized { seed: u64 }, Scaled(f64) }
+/// impl_json_enum!(Rule { ArgMax, Randomized { seed: u64 }, Scaled(f64) });
+///
+/// assert_eq!(djson::to_string(&Rule::ArgMax), "\"ArgMax\"");
+/// assert_eq!(
+///     djson::to_string(&Rule::Randomized { seed: 5 }),
+///     "{\"Randomized\":{\"seed\":5}}"
+/// );
+/// assert_eq!(djson::from_str::<Rule>("{\"Scaled\":1.5}").unwrap(), Rule::Scaled(1.5));
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($body:tt)* }) => {
+        $crate::__json_enum_munch!($ty, [] $($body)*);
+    };
+}
+
+/// Normalizes the variant list into `{unit V}` / `{tuple V ty}` /
+/// `{strct V {f: ty, ...}}` tokens, then emits the impls. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_enum_munch {
+    // Struct variant.
+    ($ty:ident, [$($acc:tt)*] $v:ident { $($f:ident : $ft:ty),+ $(,)? } , $($rest:tt)*) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {strct $v {$($f: $ft),+}}] $($rest)*);
+    };
+    ($ty:ident, [$($acc:tt)*] $v:ident { $($f:ident : $ft:ty),+ $(,)? }) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {strct $v {$($f: $ft),+}}]);
+    };
+    // Single-payload tuple variant.
+    ($ty:ident, [$($acc:tt)*] $v:ident ( $inner:ty ) , $($rest:tt)*) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {tuple $v $inner}] $($rest)*);
+    };
+    ($ty:ident, [$($acc:tt)*] $v:ident ( $inner:ty )) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {tuple $v $inner}]);
+    };
+    // Unit variant.
+    ($ty:ident, [$($acc:tt)*] $v:ident , $($rest:tt)*) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {unit $v}] $($rest)*);
+    };
+    ($ty:ident, [$($acc:tt)*] $v:ident) => {
+        $crate::__json_enum_munch!($ty, [$($acc)* {unit $v}]);
+    };
+    // Done: emit.
+    ($ty:ident, [$($variant:tt)*]) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $($crate::__json_enum_to_arm!($ty, self, $variant);)*
+                unreachable!("all variants covered")
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $($crate::__json_enum_from_arm!($ty, value, $variant);)*
+                Err($crate::JsonError::msg(format!(
+                    "unrecognized {} variant (got {})",
+                    stringify!($ty),
+                    value.kind()
+                )))
+            }
+        }
+    };
+}
+
+/// One encode step per variant shape. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_enum_to_arm {
+    ($ty:ident, $slf:ident, {unit $v:ident}) => {
+        if let $ty::$v = $slf {
+            return $crate::Json::Str(stringify!($v).to_string());
+        }
+    };
+    ($ty:ident, $slf:ident, {tuple $v:ident $inner:ty}) => {
+        if let $ty::$v(payload) = $slf {
+            return $crate::Json::Obj(vec![(
+                stringify!($v).to_string(),
+                $crate::ToJson::to_json(payload),
+            )]);
+        }
+    };
+    ($ty:ident, $slf:ident, {strct $v:ident {$($f:ident : $ft:ty),+}}) => {
+        if let $ty::$v { $($f),+ } = $slf {
+            return $crate::Json::Obj(vec![(
+                stringify!($v).to_string(),
+                $crate::Json::Obj(vec![
+                    $((stringify!($f).to_string(), $crate::ToJson::to_json($f)),)+
+                ]),
+            )]);
+        }
+    };
+}
+
+/// One decode step per variant shape. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_enum_from_arm {
+    ($ty:ident, $value:ident, {unit $v:ident}) => {
+        if let $crate::Json::Str(name) = $value {
+            if name == stringify!($v) {
+                return Ok($ty::$v);
+            }
+        }
+    };
+    ($ty:ident, $value:ident, {tuple $v:ident $inner:ty}) => {
+        if let Some(payload) = $crate::variant_payload($value, stringify!($v)) {
+            return <$inner as $crate::FromJson>::from_json(payload)
+                .map($ty::$v)
+                .map_err(|e| e.at(format!("{}::{}", stringify!($ty), stringify!($v))));
+        }
+    };
+    ($ty:ident, $value:ident, {strct $v:ident {$($f:ident : $ft:ty),+}}) => {
+        if let Some(payload) = $crate::variant_payload($value, stringify!($v)) {
+            let decode = || -> Result<$ty, $crate::JsonError> {
+                let mut reader = $crate::ObjReader::new(payload, stringify!($v))?;
+                let decoded = $ty::$v {
+                    $($f: reader.field(stringify!($f))?,)+
+                };
+                reader.finish()?;
+                Ok(decoded)
+            };
+            return decode()
+                .map_err(|e| e.at(format!("{}::{}", stringify!($ty), stringify!($v))));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as djson;
+    use crate::{from_str, to_string};
+
+    #[derive(Debug, PartialEq)]
+    struct Inner {
+        id: usize,
+        label: String,
+    }
+    djson::impl_json_struct!(Inner { id, label });
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        inner: Inner,
+        values: Vec<f64>,
+        flag: Option<bool>,
+    }
+    djson::impl_json_struct!(Outer {
+        inner,
+        values,
+        flag
+    });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapped(f64);
+    djson::impl_json_newtype!(Wrapped(f64));
+
+    #[derive(Debug, PartialEq)]
+    enum Mixed {
+        Plain,
+        Weighted(f64),
+        Seeded { seed: u64, strict: bool },
+    }
+    djson::impl_json_enum!(Mixed {
+        Plain,
+        Weighted(f64),
+        Seeded { seed: u64, strict: bool },
+    });
+
+    #[test]
+    fn struct_round_trip_and_field_order() {
+        let v = Outer {
+            inner: Inner {
+                id: 7,
+                label: "a".into(),
+            },
+            values: vec![1.5, -2.0],
+            flag: None,
+        };
+        let text = to_string(&v);
+        assert_eq!(
+            text,
+            "{\"inner\":{\"id\":7,\"label\":\"a\"},\"values\":[1.5,-2],\"flag\":null}"
+        );
+        assert_eq!(from_str::<Outer>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_optional_field_decodes_as_none() {
+        let v: Outer = from_str("{\"inner\":{\"id\":1,\"label\":\"x\"},\"values\":[]}").unwrap();
+        assert_eq!(v.flag, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_a_pathed_error() {
+        let err = from_str::<Outer>("{\"values\":[],\"flag\":true}").unwrap_err();
+        assert_eq!(err.to_string(), "Outer: missing field `inner`");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_with_its_name() {
+        let err = from_str::<Inner>("{\"id\":1,\"label\":\"x\",\"bogus\":0}").unwrap_err();
+        assert_eq!(err.to_string(), "Inner: unknown field `bogus`");
+    }
+
+    #[test]
+    fn wrong_type_error_names_the_path() {
+        let err = from_str::<Outer>(
+            "{\"inner\":{\"id\":\"one\",\"label\":\"x\"},\"values\":[],\"flag\":null}",
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("Outer.inner") && text.contains("Inner.id"),
+            "{text}"
+        );
+        assert!(text.contains("expected unsigned integer"), "{text}");
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapped(2.5)), "2.5");
+        assert_eq!(from_str::<Wrapped>("2.5").unwrap(), Wrapped(2.5));
+    }
+
+    #[test]
+    fn enum_shapes_match_serde_external_tagging() {
+        assert_eq!(to_string(&Mixed::Plain), "\"Plain\"");
+        assert_eq!(to_string(&Mixed::Weighted(0.5)), "{\"Weighted\":0.5}");
+        assert_eq!(
+            to_string(&Mixed::Seeded {
+                seed: 9,
+                strict: true
+            }),
+            "{\"Seeded\":{\"seed\":9,\"strict\":true}}"
+        );
+        for v in [
+            Mixed::Plain,
+            Mixed::Weighted(-1.25),
+            Mixed::Seeded {
+                seed: u64::MAX,
+                strict: false,
+            },
+        ] {
+            assert_eq!(from_str::<Mixed>(&to_string(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn enum_rejects_unknown_variant_readably() {
+        let err = from_str::<Mixed>("\"Nope\"").unwrap_err();
+        assert!(
+            err.to_string().contains("unrecognized Mixed variant"),
+            "{err}"
+        );
+        let err = from_str::<Mixed>("{\"Seeded\":{\"seed\":1}}").unwrap_err();
+        assert!(err.to_string().contains("missing field `strict`"), "{err}");
+    }
+
+    #[test]
+    fn integer_strictness() {
+        assert!(from_str::<u64>("1.5").is_err());
+        assert!(from_str::<u64>("-1").is_err());
+        assert!(from_str::<usize>("18446744073709551616").is_err());
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+    }
+}

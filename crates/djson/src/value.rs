@@ -1,0 +1,205 @@
+//! The JSON value tree, exact-number representation, and error type.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects are insertion-ordered `(key, value)` vectors, not hash maps:
+/// encoding a struct always yields the same byte sequence, which the
+/// experiment caches rely on for stable config hashing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its exact source token.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A short name for the value's type, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// The member `name` of an object, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value — compact, or 2-space pretty when `pretty`.
+    #[must_use]
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        crate::write::write_value(self, pretty, 0, &mut out);
+        out
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(Number::from_u64(v))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Number::from_f64(v).map_or(Json::Null, Json::Num)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+/// A JSON number, stored as its exact decimal token.
+///
+/// Keeping the token (rather than an `f64`) makes `u64` round trips
+/// lossless — bitset words use the full 64 bits, beyond `f64`'s 53-bit
+/// mantissa — and makes encoding deterministic: the bytes written are
+/// the bytes stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(String);
+
+impl Number {
+    /// Wraps an already-validated JSON number token (parser use).
+    pub(crate) fn from_token(token: String) -> Self {
+        Number(token)
+    }
+
+    /// A number from a `u64`, exactly.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        Number(v.to_string())
+    }
+
+    /// A number from an `i64`, exactly.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        Number(v.to_string())
+    }
+
+    /// A number from a finite `f64` via Rust's shortest-round-trip
+    /// `Display`; `None` for NaN/infinities (JSON has no token for
+    /// them — callers encode `null`, matching `serde_json`).
+    #[must_use]
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if v.is_finite() {
+            Some(Number(format!("{v}")))
+        } else {
+            None
+        }
+    }
+
+    /// The exact token.
+    #[must_use]
+    pub fn as_token(&self) -> &str {
+        &self.0
+    }
+
+    /// The token as an `f64` (correctly rounded). `None` when the value
+    /// overflows to an infinity (e.g. `1e999`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        self.0.parse::<f64>().ok().filter(|v| v.is_finite())
+    }
+
+    /// The token as a `u64`, only if it is exactly a non-negative
+    /// integer in range (no fraction, no exponent, no overflow).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.parse::<u64>().ok()
+    }
+
+    /// The token as an `i64`, only if it is exactly an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.parse::<i64>().ok()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A JSON syntax or decode error.
+///
+/// Syntax errors carry the line/column of the offending byte; decode
+/// errors accumulate a field path as they unwind (`Scenario.system:
+/// devices[3]: expected number, got string`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    path: Vec<String>,
+    message: String,
+}
+
+impl JsonError {
+    /// A new error with a bare message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// The standard type-mismatch message.
+    #[must_use]
+    pub fn expected(what: &str, got: &Json) -> Self {
+        JsonError::msg(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefixes a path segment (outermost first as the error unwinds).
+    #[must_use]
+    pub fn at(mut self, segment: impl Into<String>) -> Self {
+        self.path.insert(0, segment.into());
+        self
+    }
+
+    /// The accumulated field path, outermost first.
+    #[must_use]
+    pub fn path(&self) -> &[String] {
+        &self.path
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "{}: {}", self.path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}

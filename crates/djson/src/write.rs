@@ -1,0 +1,116 @@
+//! Compact and pretty JSON writers.
+//!
+//! Output is deterministic — objects keep insertion order and numbers
+//! are emitted as their stored tokens — so equal values always produce
+//! equal bytes (the property the experiment caches hash against).
+
+use crate::value::Json;
+
+/// Appends `value` to `out`; `pretty` selects 2-space indentation.
+pub(crate) fn write_value(value: &Json, pretty: bool, indent: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => out.push_str(n.as_token()),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(indent + 1, out);
+                }
+                write_value(item, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline_indent(indent, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(indent + 1, out);
+                }
+                write_string(key, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(item, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline_indent(indent, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::value::{Json, Number};
+
+    #[test]
+    fn compact_and_pretty_agree_semantically() {
+        let v = Json::Obj(vec![
+            ("x".into(), Json::Num(Number::from_u64(1))),
+            (
+                "y".into(),
+                Json::Arr(vec![Json::Str("a\"b".into()), Json::Null]),
+            ),
+        ]);
+        let compact = v.render(false);
+        assert_eq!(compact, "{\"x\":1,\"y\":[\"a\\\"b\",null]}");
+        assert_eq!(crate::parse(&compact).unwrap(), v);
+        assert_eq!(crate::parse(&v.render(true)).unwrap(), v);
+    }
+
+    #[test]
+    fn control_characters_escape_as_hex() {
+        let v = Json::Str("\u{1}\u{1f}".into());
+        assert_eq!(v.render(false), "\"\\u0001\\u001f\"");
+    }
+}

@@ -114,7 +114,7 @@ unsafe impl Sync for SharedRows<'_> {}
 impl<'a> SharedRows<'a> {
     /// Wraps `data`, interpreted as rows of `row_len` entries.
     pub(crate) fn new(data: &'a mut [f64], row_len: usize) -> Self {
-        debug_assert!(row_len > 0 && data.len() % row_len == 0);
+        debug_assert!(row_len > 0 && data.len().is_multiple_of(row_len));
         SharedRows {
             ptr: data.as_mut_ptr(),
             len: data.len(),

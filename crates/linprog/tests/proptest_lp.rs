@@ -1,9 +1,13 @@
 //! Property-based tests: on randomly generated feasible bounded LPs the two
 //! backends must agree, produce feasible points, and respect basic
 //! invariances of linear programming.
+//!
+//! Runs on the in-repo seeded harness ([`detrand::prop`]); failures print
+//! the seed to replay via the `DSMEC_PROP_SEED` environment variable.
 
+use detrand::prop::run_cases;
+use detrand::{prop_assert, prop_assert_eq, ChaCha8Rng};
 use linprog::{solve, ConstraintSense, LpProblem, LpStatus, Solver};
-use proptest::prelude::*;
 
 /// A random LP that is feasible (the origin satisfies every row) and
 /// bounded (every variable lives in `[0, 1]`).
@@ -30,20 +34,38 @@ impl RandomLp {
     }
 }
 
-fn random_lp() -> impl Strategy<Value = RandomLp> {
-    (2usize..8, 1usize..5).prop_flat_map(|(n, m)| {
-        let obj = proptest::collection::vec(-2.0..2.0f64, n);
-        let rows =
-            proptest::collection::vec((proptest::collection::vec(-2.0..2.0f64, n), 0.5..6.0f64), m);
-        (obj, rows).prop_map(|(objective, rows)| RandomLp { objective, rows })
-    })
+fn random_lp(rng: &mut ChaCha8Rng) -> RandomLp {
+    let n = rng.gen_range(2usize..8);
+    let m = rng.gen_range(1usize..5);
+    let objective = (0..n).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
+    let rows = (0..m)
+        .map(|_| {
+            let coeffs = (0..n).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
+            (coeffs, rng.gen_range(0.5..6.0f64))
+        })
+        .collect();
+    RandomLp { objective, rows }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Like [`random_lp`], but with strictly positive costs (then negated) so
+/// the `≤` rows actually bind at the optimum and duals are informative.
+fn random_lp_for_duals(rng: &mut ChaCha8Rng) -> RandomLp {
+    let n = rng.gen_range(2usize..6);
+    let m = rng.gen_range(1usize..4);
+    let objective = (0..n).map(|_| -rng.gen_range(0.1..2.0f64)).collect();
+    let rows = (0..m)
+        .map(|_| {
+            let coeffs = (0..n).map(|_| rng.gen_range(0.1..2.0f64)).collect();
+            (coeffs, rng.gen_range(0.5..4.0f64))
+        })
+        .collect();
+    RandomLp { objective, rows }
+}
 
-    #[test]
-    fn backends_agree_and_are_feasible(rlp in random_lp()) {
+#[test]
+fn backends_agree_and_are_feasible() {
+    run_cases("backends_agree_and_are_feasible", 64, |rng| {
+        let rlp = random_lp(rng);
         let lp = rlp.build();
         let spx = solve(&lp, Solver::Simplex).unwrap();
         let ipm = solve(&lp, Solver::InteriorPoint).unwrap();
@@ -52,14 +74,21 @@ proptest! {
         let scale = 1.0 + spx.objective.abs();
         prop_assert!(
             (spx.objective - ipm.objective).abs() < 1e-5 * scale,
-            "simplex {} vs ipm {}", spx.objective, ipm.objective
+            "simplex {} vs ipm {}",
+            spx.objective,
+            ipm.objective
         );
         prop_assert!(lp.max_violation(&spx.x) < 1e-6);
         prop_assert!(lp.max_violation(&ipm.x) < 1e-6);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn objective_scaling_scales_optimum(rlp in random_lp(), k in 0.1..10.0f64) {
+#[test]
+fn objective_scaling_scales_optimum() {
+    run_cases("objective_scaling_scales_optimum", 64, |rng| {
+        let rlp = random_lp(rng);
+        let k = rng.gen_range(0.1..10.0f64);
         let lp = rlp.build();
         let base = solve(&lp, Solver::Simplex).unwrap();
 
@@ -71,12 +100,18 @@ proptest! {
         let tol = 1e-6 * (1.0 + base.objective.abs()) * k.max(1.0);
         prop_assert!(
             (scaled_sol.objective - k * base.objective).abs() < tol,
-            "scaling by {k}: {} vs {}", scaled_sol.objective, k * base.objective
+            "scaling by {k}: {} vs {}",
+            scaled_sol.objective,
+            k * base.objective
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn redundant_constraint_changes_nothing(rlp in random_lp()) {
+#[test]
+fn redundant_constraint_changes_nothing() {
+    run_cases("redundant_constraint_changes_nothing", 64, |rng| {
+        let rlp = random_lp(rng);
         let lp = rlp.build();
         let base = solve(&lp, Solver::Simplex).unwrap();
 
@@ -88,30 +123,34 @@ proptest! {
             (0..n).map(|j| (j, 1.0)).collect(),
             ConstraintSense::Le,
             n as f64 + 1.0,
-        ).unwrap();
+        )
+        .unwrap();
         let with_redundant = solve(&lp2, Solver::Simplex).unwrap();
         prop_assert!(
-            (base.objective - with_redundant.objective).abs()
-                < 1e-7 * (1.0 + base.objective.abs())
+            (base.objective - with_redundant.objective).abs() < 1e-7 * (1.0 + base.objective.abs())
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn optimum_never_exceeds_any_feasible_point(rlp in random_lp()) {
+#[test]
+fn optimum_never_exceeds_any_feasible_point() {
+    run_cases("optimum_never_exceeds_any_feasible_point", 64, |rng| {
+        let rlp = random_lp(rng);
         let lp = rlp.build();
         let sol = solve(&lp, Solver::Simplex).unwrap();
         // The origin is always feasible here, so optimum <= c·0 = 0.
         prop_assert!(sol.objective <= 1e-9);
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Dual values really are rhs sensitivities: perturbing a binding
-    /// row's rhs by ε moves the optimum by ≈ yᵢ·ε.
-    #[test]
-    fn duals_are_rhs_sensitivities(rlp in random_lp_for_duals()) {
+/// Dual values really are rhs sensitivities: perturbing a binding
+/// row's rhs by ε moves the optimum by ≈ yᵢ·ε.
+#[test]
+fn duals_are_rhs_sensitivities() {
+    run_cases("duals_are_rhs_sensitivities", 32, |rng| {
+        let rlp = random_lp_for_duals(rng);
         let lp = rlp.build();
         let base = solve(&lp, Solver::Simplex).unwrap();
         prop_assert_eq!(base.status, LpStatus::Optimal);
@@ -130,29 +169,13 @@ proptest! {
             // well-behaved rows.
             prop_assert!(
                 (sol.objective - predicted).abs() < 1e-2 * (1.0 + base.objective.abs()),
-                "row {i}: predicted {predicted}, got {}", sol.objective
+                "row {i}: predicted {predicted}, got {}",
+                sol.objective
             );
             // A <= row in a minimization can only have a nonpositive
             // shadow price: relaxing it cannot hurt.
             prop_assert!(duals[i] <= 1e-7, "dual {} positive", duals[i]);
         }
-    }
-}
-
-/// Like `random_lp`, but with strictly positive objective so the LP is
-/// bounded without box constraints and duals are informative.
-fn random_lp_for_duals() -> impl Strategy<Value = RandomLp> {
-    (2usize..6, 1usize..4).prop_flat_map(|(n, m)| {
-        let obj = proptest::collection::vec(0.1..2.0f64, n);
-        let rows =
-            proptest::collection::vec((proptest::collection::vec(0.1..2.0f64, n), 0.5..4.0f64), m);
-        (obj, rows).prop_map(|(objective, rows)| {
-            // Negate the (positive) costs so the `≤` rows actually bind at
-            // the optimum and carry nonzero shadow prices.
-            RandomLp {
-                objective: objective.into_iter().map(|c| -c).collect(),
-                rows,
-            }
-        })
-    })
+        Ok(())
+    });
 }

@@ -7,10 +7,8 @@
 //! carries the mergeable intermediate state, so partial results (not raw
 //! data) are what travels through the MEC system.
 
-use serde::{Deserialize, Serialize};
-
 /// A decomposable aggregation operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateOp {
     /// Sum of all values.
     Sum,
@@ -70,7 +68,7 @@ impl std::fmt::Display for AggregateOp {
 }
 
 /// Mergeable intermediate state of one operator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Partial {
     /// Running sum.
     Sum(f64),
@@ -152,6 +150,22 @@ impl Partial {
         }
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(AggregateOp {
+    Sum,
+    Count,
+    Mean,
+    Max,
+    Min
+});
+djson::impl_json_enum!(Partial {
+    Sum(f64),
+    Count(u64),
+    Mean { sum: f64, count: u64 },
+    Max(Option<f64>),
+    Min(Option<f64>),
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,11 +9,10 @@
 //! preserving those orderings.
 
 use crate::units::{Bytes, BytesPerSecond, Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// One wired link: fixed latency plus size-proportional serialization time
 /// and energy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackhaulLink {
     /// Fixed one-way latency.
     pub latency: Seconds,
@@ -58,7 +57,7 @@ impl BackhaulLink {
 
 /// The backhaul of a whole MEC deployment: one station-to-station link
 /// model and one station-to-cloud link model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Backhaul {
     /// Link between any two base stations (`t_{B,B}`, `e_{B,B}`).
     pub station_to_station: BackhaulLink,
@@ -91,6 +90,17 @@ impl Default for Backhaul {
         Backhaul::paper_defaults()
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(BackhaulLink {
+    latency,
+    bandwidth,
+    energy_per_byte
+});
+djson::impl_json_struct!(Backhaul {
+    station_to_station,
+    station_to_cloud
+});
 
 #[cfg(test)]
 mod tests {

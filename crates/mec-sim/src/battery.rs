@@ -13,10 +13,9 @@ use crate::task::{ExecutionSite, HolisticTask};
 use crate::topology::{DeviceId, MecSystem};
 use crate::transfer;
 use crate::units::Joules;
-use serde::{Deserialize, Serialize};
 
 /// Energy one device spends on one task execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceShare {
     /// The paying device.
     pub device: DeviceId,
@@ -84,7 +83,7 @@ pub fn attribute_energy(
 }
 
 /// A fleet of device batteries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatteryFleet {
     capacity: Vec<Joules>,
     remaining: Vec<Joules>,
@@ -201,6 +200,13 @@ pub fn rounds_until_first_depletion(
     }
     Ok(max_rounds)
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(DeviceShare { device, energy });
+djson::impl_json_struct!(BatteryFleet {
+    capacity,
+    remaining
+});
 
 #[cfg(test)]
 mod tests {

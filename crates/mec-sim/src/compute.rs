@@ -9,7 +9,6 @@
 //! heterogeneous operators remain expressible.
 
 use crate::units::{Bytes, Cycles, Hertz, Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// The paper's Section V.A constant: cycles needed per input byte.
 pub const LAMBDA_CYCLES_PER_BYTE: f64 = 330.0;
@@ -19,7 +18,7 @@ pub const LAMBDA_CYCLES_PER_BYTE: f64 = 330.0;
 pub const KAPPA: f64 = 1e-27;
 
 /// Cycle-demand model `λ(y) = base_rate · complexity · y`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleModel {
     /// Cycles per byte for a unit-complexity operator.
     pub cycles_per_byte: f64,
@@ -70,6 +69,9 @@ impl Default for CycleModel {
         CycleModel::paper_default()
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(CycleModel { cycles_per_byte });
 
 #[cfg(test)]
 mod tests {

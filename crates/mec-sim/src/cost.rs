@@ -18,10 +18,9 @@ use crate::task::{ExecutionSite, HolisticTask};
 use crate::topology::MecSystem;
 use crate::transfer;
 use crate::units::{Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// Delay and energy of running one task at one site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiteCost {
     /// Total delay `t_ijl = t^(C) + t^(R)`.
     pub time: Seconds,
@@ -30,7 +29,7 @@ pub struct SiteCost {
 }
 
 /// Costs of one task across all three candidate sites.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskCosts {
     per_site: [SiteCost; 3],
 }
@@ -205,6 +204,10 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
         per_site: [device_cost, station_cost, cloud_cost],
     })
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(SiteCost { time, energy });
+djson::impl_json_struct!(TaskCosts { per_site });
 
 #[cfg(test)]
 mod tests {

@@ -11,11 +11,10 @@
 use crate::error::MecError;
 use crate::topology::DeviceId;
 use crate::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one data item: an index into the universe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataItemId(pub usize);
 
 impl fmt::Display for DataItemId {
@@ -42,7 +41,7 @@ impl fmt::Display for DataItemId {
 /// assert_eq!(a.intersection(&b).len(), 1);
 /// assert!(b.is_subset_of(&a));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ItemSet {
     capacity: usize,
     words: Vec<u64>,
@@ -314,7 +313,7 @@ impl FromIterator<DataItemId> for ItemSet {
 }
 
 /// The shared data universe `D` plus every device's holdings `D_i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataUniverse {
     item_sizes: Vec<Bytes>,
     holdings: Vec<ItemSet>,
@@ -419,6 +418,14 @@ impl DataUniverse {
             .collect()
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_newtype!(DataItemId(usize));
+djson::impl_json_struct!(ItemSet { capacity, words });
+djson::impl_json_struct!(DataUniverse {
+    item_sizes,
+    holdings
+});
 
 #[cfg(test)]
 mod tests {

@@ -13,12 +13,10 @@ use crate::error::MecError;
 use crate::task::HolisticTask;
 use crate::topology::{Cloud, MecSystem, StationId};
 use crate::workload::{Scenario, ScenarioConfig};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use detrand::ChaCha8Rng;
 
 /// Configuration of a dynamic (multi-epoch) scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MobilityConfig {
     /// Epoch-0 topology and task workload.
     pub base: ScenarioConfig,
@@ -85,7 +83,7 @@ impl MobilityConfig {
 }
 
 /// A topology drifting over epochs with a fixed task workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicScenario {
     /// The system at each epoch; index 0 is the generation-time topology.
     pub epochs: Vec<MecSystem>,
@@ -149,6 +147,14 @@ fn perturb_associations(
     }
     b.build()
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(MobilityConfig {
+    base,
+    epochs,
+    move_prob
+});
+djson::impl_json_struct!(DynamicScenario { epochs, tasks });
 
 #[cfg(test)]
 mod tests {

@@ -7,11 +7,11 @@
 //! from bandwidth, channel gain, transmit power and noise exactly as the
 //! formulas in Section II.B prescribe.
 
+use crate::error::MecError;
 use crate::units::{BytesPerSecond, Hertz, Watts};
-use serde::{Deserialize, Serialize};
 
 /// The two wireless technologies of the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkProfile {
     /// Cellular: 13.76 Mbps down / 5.85 Mbps up, 7.32 W transmit,
     /// 1.6 W receive.
@@ -61,7 +61,7 @@ impl std::fmt::Display for NetworkProfile {
 
 /// Concrete uplink/downlink parameters of one device's radio link
 /// (`r_i^(U)`, `r_i^(D)`, `P_i^(T)`, `P_i^(R)` in the paper's notation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioLink {
     /// Downlink rate `r_i^(D)`.
     pub download: BytesPerSecond,
@@ -110,9 +110,12 @@ impl RadioLink {
 /// * `power` — transmit power `P` (W);
 /// * `noise` — white-noise power `ϖ₀` (W).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `noise` is not strictly positive.
+/// Returns [`MecError::InvalidParameter`] when the noise power is zero,
+/// negative, or non-finite, when the bandwidth, gain, or power is
+/// negative or non-finite, or when the resulting SNR overflows — a NaN
+/// here would otherwise poison every downstream cost-table entry.
 ///
 /// # Examples
 ///
@@ -121,15 +124,63 @@ impl RadioLink {
 /// use mec_sim::units::{Hertz, Watts};
 ///
 /// // 10 MHz channel, SNR of 3 (i.e. log2(4) = 2 bits/s/Hz) → 20 Mbit/s.
-/// let r = shannon_rate(Hertz::new(10e6), 3.0, Watts::new(1.0), Watts::new(1.0));
+/// let r = shannon_rate(Hertz::new(10e6), 3.0, Watts::new(1.0), Watts::new(1.0))?;
 /// assert!((r.as_mbps() - 20.0).abs() < 1e-9);
+///
+/// // Zero noise power is a typed error, not a NaN.
+/// assert!(shannon_rate(Hertz::new(10e6), 3.0, Watts::new(1.0), Watts::new(0.0)).is_err());
+/// # Ok::<(), mec_sim::MecError>(())
 /// ```
-pub fn shannon_rate(bandwidth: Hertz, gain: f64, power: Watts, noise: Watts) -> BytesPerSecond {
-    assert!(noise.value() > 0.0, "noise power must be positive");
+pub fn shannon_rate(
+    bandwidth: Hertz,
+    gain: f64,
+    power: Watts,
+    noise: Watts,
+) -> Result<BytesPerSecond, MecError> {
+    let invalid = |name: &'static str, reason: String| MecError::InvalidParameter { name, reason };
+    if !(noise.value() > 0.0) || !noise.is_finite() {
+        return Err(invalid(
+            "noise",
+            format!("noise power must be positive and finite, got {noise}"),
+        ));
+    }
+    if !bandwidth.is_finite() || bandwidth.value() < 0.0 {
+        return Err(invalid(
+            "bandwidth",
+            format!("bandwidth must be finite and nonnegative, got {bandwidth}"),
+        ));
+    }
+    if !gain.is_finite() || gain < 0.0 {
+        return Err(invalid(
+            "gain",
+            format!("channel gain must be finite and nonnegative, got {gain}"),
+        ));
+    }
+    if !power.is_finite() || power.value() < 0.0 {
+        return Err(invalid(
+            "power",
+            format!("transmit power must be finite and nonnegative, got {power}"),
+        ));
+    }
     let snr = gain * power.value() / noise.value();
+    if !snr.is_finite() {
+        return Err(invalid(
+            "snr",
+            format!("SNR {snr} is not finite (gain {gain}, power {power}, noise {noise})"),
+        ));
+    }
     let bits_per_second = bandwidth.value() * (1.0 + snr).log2();
-    BytesPerSecond(bits_per_second / 8.0)
+    Ok(BytesPerSecond(bits_per_second / 8.0))
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(NetworkProfile { FourG, WiFi });
+djson::impl_json_struct!(RadioLink {
+    download,
+    upload,
+    tx_power,
+    rx_power
+});
 
 #[cfg(test)]
 mod tests {
@@ -161,13 +212,65 @@ mod tests {
 
     #[test]
     fn shannon_rate_grows_with_everything_good() {
-        let base = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(1.0), Watts::new(0.5));
-        let more_bw = shannon_rate(Hertz::new(10e6), 1.0, Watts::new(1.0), Watts::new(0.5));
-        let more_pwr = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(4.0), Watts::new(0.5));
-        let more_noise = shannon_rate(Hertz::new(5e6), 1.0, Watts::new(1.0), Watts::new(2.0));
+        let rate = |bw, gain, pwr, noise| {
+            shannon_rate(Hertz::new(bw), gain, Watts::new(pwr), Watts::new(noise)).unwrap()
+        };
+        let base = rate(5e6, 1.0, 1.0, 0.5);
+        let more_bw = rate(10e6, 1.0, 1.0, 0.5);
+        let more_pwr = rate(5e6, 1.0, 4.0, 0.5);
+        let more_noise = rate(5e6, 1.0, 1.0, 2.0);
         assert!(more_bw > base);
         assert!(more_pwr > base);
         assert!(more_noise < base);
+    }
+
+    #[test]
+    fn shannon_rate_rejects_bad_noise() {
+        for noise in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err =
+                shannon_rate(Hertz::new(1e6), 1.0, Watts::new(1.0), Watts::new(noise)).unwrap_err();
+            match err {
+                MecError::InvalidParameter { name, .. } => assert_eq!(name, "noise"),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shannon_rate_rejects_non_finite_inputs() {
+        let name_of = |e: MecError| match e {
+            MecError::InvalidParameter { name, .. } => name,
+            other => panic!("unexpected error {other:?}"),
+        };
+        let err = shannon_rate(Hertz::new(f64::NAN), 1.0, Watts::new(1.0), Watts::new(1.0));
+        assert_eq!(name_of(err.unwrap_err()), "bandwidth");
+        let err = shannon_rate(
+            Hertz::new(1e6),
+            f64::INFINITY,
+            Watts::new(1.0),
+            Watts::new(1.0),
+        );
+        assert_eq!(name_of(err.unwrap_err()), "gain");
+        let err = shannon_rate(Hertz::new(1e6), -0.5, Watts::new(1.0), Watts::new(1.0));
+        assert_eq!(name_of(err.unwrap_err()), "gain");
+        let err = shannon_rate(Hertz::new(1e6), 1.0, Watts::new(f64::NAN), Watts::new(1.0));
+        assert_eq!(name_of(err.unwrap_err()), "power");
+    }
+
+    #[test]
+    fn shannon_rate_rejects_overflowing_snr() {
+        // gain * power overflows to +inf even though both are finite.
+        let err = shannon_rate(
+            Hertz::new(1e6),
+            f64::MAX,
+            Watts::new(f64::MAX),
+            Watts::new(1.0),
+        )
+        .unwrap_err();
+        match err {
+            MecError::InvalidParameter { name, .. } => assert_eq!(name, "snr"),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

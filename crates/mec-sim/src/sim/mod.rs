@@ -16,12 +16,11 @@ use crate::task::{ExecutionSite, HolisticTask, TaskId};
 use crate::topology::MecSystem;
 use crate::units::{Joules, Seconds};
 use plan::{build_plan, Plan, PlanStep, Resource, Stage};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Resource-contention regime of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Contention {
     /// Unlimited capacity everywhere; matches the paper's analytic model.
     #[default]
@@ -31,7 +30,7 @@ pub enum Contention {
 }
 
 /// Outcome of one task in a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskSimResult {
     /// Task identifier.
     pub id: TaskId,
@@ -51,7 +50,7 @@ pub struct TaskSimResult {
 }
 
 /// Aggregate outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Per-task outcomes in input order.
     pub results: Vec<TaskSimResult>,
@@ -396,6 +395,19 @@ impl<'a> Engine<'a> {
         }
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(Contention { None, Exclusive });
+djson::impl_json_struct!(TaskSimResult {
+    id,
+    site,
+    arrival,
+    completion,
+    sojourn,
+    energy,
+    met_deadline,
+});
+djson::impl_json_struct!(SimReport { results });
 
 #[cfg(test)]
 mod tests {

@@ -12,10 +12,9 @@ use crate::task::{ExecutionSite, HolisticTask};
 use crate::topology::{DeviceId, MecSystem, StationId};
 use crate::transfer;
 use crate::units::{Joules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// A schedulable resource in the MEC system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
     /// A device's radio uplink.
     DeviceUp(DeviceId),
@@ -43,7 +42,7 @@ impl Resource {
 }
 
 /// One timed stage on one resource.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stage {
     /// Resource the stage occupies.
     pub resource: Resource,
@@ -54,7 +53,7 @@ pub struct Stage {
 }
 
 /// One step of a plan: a single stage or parallel branches that join.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PlanStep {
     /// Run one stage.
     Single(Stage),
@@ -64,7 +63,7 @@ pub enum PlanStep {
 }
 
 /// The full series-parallel plan of one task at one site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Steps executed in order.
     pub steps: Vec<PlanStep>,
@@ -225,6 +224,24 @@ pub fn build_plan(
     }
     Ok(Plan { steps })
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_enum!(Resource {
+    DeviceUp(DeviceId),
+    DeviceDown(DeviceId),
+    DeviceCpu(DeviceId),
+    StationCpu(StationId),
+    StationBackhaul,
+    CloudBackhaul,
+    CloudCpu,
+});
+djson::impl_json_struct!(Stage {
+    resource,
+    duration,
+    energy
+});
+djson::impl_json_enum!(PlanStep { Single(Stage), Parallel(Vec<Vec<Stage>>) });
+djson::impl_json_struct!(Plan { steps });
 
 #[cfg(test)]
 mod tests {

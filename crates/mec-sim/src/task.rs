@@ -12,12 +12,11 @@ use crate::data::ItemSet;
 use crate::error::MecError;
 use crate::topology::DeviceId;
 use crate::units::{Bytes, Seconds};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a task: the `j`-th task raised by user `i` (paper
 /// `T_ij`). Users are identified with their mobile device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId {
     /// The raising user/device index `i`.
     pub user: usize,
@@ -32,7 +31,7 @@ impl fmt::Display for TaskId {
 }
 
 /// The subsystem a holistic task runs on (the paper's `l ∈ {1,2,3}`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExecutionSite {
     /// `l = 1`: the raising user's own mobile device.
     Device,
@@ -78,7 +77,7 @@ impl fmt::Display for ExecutionSite {
 
 /// A holistic computation task: all input data must be gathered at one
 /// subsystem before processing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HolisticTask {
     /// Task identifier.
     pub id: TaskId,
@@ -160,7 +159,7 @@ impl HolisticTask {
 
 /// A divisible computation task: an aggregation over a set of data items
 /// that may be scattered over many devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DivisibleTask {
     /// Task identifier.
     pub id: TaskId,
@@ -207,6 +206,33 @@ impl DivisibleTask {
         Ok(())
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(TaskId { user, index });
+djson::impl_json_enum!(ExecutionSite {
+    Device,
+    Station,
+    Cloud
+});
+djson::impl_json_struct!(HolisticTask {
+    id,
+    owner,
+    local_size,
+    external_size,
+    external_source,
+    complexity,
+    resource,
+    deadline,
+});
+djson::impl_json_struct!(DivisibleTask {
+    id,
+    owner,
+    op,
+    items,
+    complexity,
+    resource,
+    deadline
+});
 
 #[cfg(test)]
 mod tests {

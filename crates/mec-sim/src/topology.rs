@@ -12,11 +12,10 @@ use crate::compute::CycleModel;
 use crate::error::MecError;
 use crate::radio::RadioLink;
 use crate::units::{Bytes, Hertz};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a mobile device (index into [`MecSystem::devices`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 impl fmt::Display for DeviceId {
@@ -26,7 +25,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Identifier of a base station (index into [`MecSystem::stations`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StationId(pub usize);
 
 impl fmt::Display for StationId {
@@ -36,7 +35,7 @@ impl fmt::Display for StationId {
 }
 
 /// One mobile device (first level).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Device {
     /// The device's id.
     pub id: DeviceId,
@@ -52,7 +51,7 @@ pub struct Device {
 }
 
 /// One base station with its small-scale cloud (second level).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BaseStation {
     /// The station's id.
     pub id: StationId,
@@ -64,7 +63,7 @@ pub struct BaseStation {
 
 /// The remote cloud (third level). Its resources are unconstrained in the
 /// paper's model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cloud {
     /// CPU frequency `f_c`.
     pub cpu: Hertz,
@@ -72,7 +71,7 @@ pub struct Cloud {
 
 /// How large a task's result is relative to its input (the paper's
 /// `η(y)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ResultModel {
     /// `η(y) = ratio · y`; the paper's default uses `ratio = 0.2`.
     Proportional(f64),
@@ -103,7 +102,7 @@ impl Default for ResultModel {
 }
 
 /// A complete three-level MEC system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MecSystem {
     devices: Vec<Device>,
     stations: Vec<BaseStation>,
@@ -321,6 +320,33 @@ impl MecSystemBuilder {
         })
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_newtype!(DeviceId(usize));
+djson::impl_json_newtype!(StationId(usize));
+djson::impl_json_struct!(Device {
+    id,
+    station,
+    cpu,
+    link,
+    max_resource
+});
+djson::impl_json_struct!(BaseStation {
+    id,
+    cpu,
+    max_resource
+});
+djson::impl_json_struct!(Cloud { cpu });
+djson::impl_json_enum!(ResultModel { Proportional(f64), Constant(Bytes) });
+djson::impl_json_struct!(MecSystem {
+    devices,
+    stations,
+    cloud,
+    clusters,
+    backhaul,
+    cycle_model,
+    result_model,
+});
 
 #[cfg(test)]
 mod tests {

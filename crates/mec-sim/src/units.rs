@@ -5,7 +5,6 @@
 //! time (`Bytes / BytesPerSecond = Seconds`, `Watts * Seconds = Joules`,
 //! `Cycles / Hertz = Seconds`, …) so a unit bug becomes a type error.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -13,11 +12,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 macro_rules! quantity {
     ($(#[$doc:meta])* $name:ident, $unit:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(pub f64);
+
+        // Transparent on the wire: a quantity is just its number.
+        ::djson::impl_json_newtype!($name(f64));
 
         impl $name {
             /// The zero quantity.

@@ -20,12 +20,10 @@ use crate::radio::NetworkProfile;
 use crate::task::{DivisibleTask, HolisticTask, TaskId};
 use crate::topology::{Cloud, DeviceId, MecSystem, ResultModel};
 use crate::units::{Bytes, Hertz, Seconds};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use detrand::{ChaCha8Rng, SliceRandom};
 
 /// Configuration of a holistic-task scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// RNG seed; equal configs generate equal scenarios.
     pub seed: u64,
@@ -242,7 +240,7 @@ impl ScenarioConfig {
 }
 
 /// A generated holistic-task scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// The MEC system.
     pub system: MecSystem,
@@ -253,7 +251,7 @@ pub struct Scenario {
 /// Configuration of a divisible-task scenario (Section IV): a shared data
 /// universe with overlapping per-device holdings, and aggregation tasks
 /// over random item subsets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DivisibleScenarioConfig {
     /// Topology and physics come from the holistic config.
     pub base: ScenarioConfig,
@@ -418,7 +416,7 @@ impl DivisibleScenarioConfig {
 }
 
 /// A generated divisible-task scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DivisibleScenario {
     /// The MEC system.
     pub system: MecSystem,
@@ -438,6 +436,42 @@ impl DivisibleScenario {
         d
     }
 }
+
+// JSON codecs (wire-compatible with the former serde derives).
+djson::impl_json_struct!(ScenarioConfig {
+    seed,
+    num_stations,
+    devices_per_station,
+    tasks_total,
+    max_input_kb,
+    min_input_frac,
+    external_frac_range,
+    deadline_factor_range,
+    device_cpu_ghz_range,
+    station_cpu_ghz,
+    cloud_cpu_ghz,
+    device_resource_mb,
+    station_resource_mb,
+    resource_factor,
+    wifi_prob,
+    result_model,
+    complexity_range,
+});
+djson::impl_json_struct!(Scenario { system, tasks });
+djson::impl_json_struct!(DivisibleScenarioConfig {
+    base,
+    num_items,
+    item_kb,
+    region_width,
+    tasks_total,
+    items_per_task,
+    deadline_slack,
+});
+djson::impl_json_struct!(DivisibleScenario {
+    system,
+    universe,
+    tasks
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,26 +1,35 @@
 //! Property-based tests over the MEC substrate: bitset algebra laws, cost
 //! model monotonicity, and analytic-vs-simulated equivalence.
+//!
+//! Runs on the in-repo seeded harness ([`detrand::prop`]); failures print
+//! the seed to replay via the `DSMEC_PROP_SEED` environment variable.
 
+use detrand::prop::run_cases;
+use detrand::{prop_assert, prop_assert_eq, ChaCha8Rng};
 use mec_sim::cost::evaluate;
 use mec_sim::data::{DataItemId, ItemSet};
 use mec_sim::sim::{simulate, Contention};
 use mec_sim::task::ExecutionSite;
 use mec_sim::units::Bytes;
 use mec_sim::workload::ScenarioConfig;
-use proptest::prelude::*;
 
-fn item_set(capacity: usize) -> impl Strategy<Value = ItemSet> {
-    proptest::collection::vec(0..capacity, 0..capacity)
-        .prop_map(move |ids| ItemSet::from_ids(capacity, ids.into_iter().map(DataItemId)))
+fn item_set(rng: &mut ChaCha8Rng, capacity: usize) -> ItemSet {
+    let len = rng.gen_range(0..capacity);
+    let ids = (0..len).map(|_| DataItemId(rng.gen_range(0..capacity)));
+    ItemSet::from_ids(capacity, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn itemset_algebra_laws(a in item_set(160), b in item_set(160), c in item_set(160)) {
+#[test]
+fn itemset_algebra_laws() {
+    run_cases("itemset_algebra_laws", 64, |rng| {
+        let a = item_set(rng, 160);
+        let b = item_set(rng, 160);
+        let c = item_set(rng, 160);
         // Inclusion–exclusion.
-        prop_assert_eq!(a.union(&b).len() + a.intersection(&b).len(), a.len() + b.len());
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
         // De Morgan via difference: a \ (b ∪ c) = (a \ b) ∩ (a \ c).
         let lhs = a.difference(&b.union(&c));
         let rhs = a.difference(&b).intersection(&a.difference(&c));
@@ -34,10 +43,14 @@ proptest! {
         prop_assert!(a.intersection(&b).is_subset_of(&a));
         prop_assert!(a.is_subset_of(&a.union(&b)));
         prop_assert!(a.difference(&b).is_disjoint(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn itemset_iter_roundtrip(a in item_set(200)) {
+#[test]
+fn itemset_iter_roundtrip() {
+    run_cases("itemset_iter_roundtrip", 64, |rng| {
+        let a = item_set(rng, 200);
         let rebuilt = ItemSet::from_ids(200, a.iter());
         prop_assert_eq!(&rebuilt, &a);
         let ids: Vec<usize> = a.iter().map(|d| d.0).collect();
@@ -45,10 +58,15 @@ proptest! {
         sorted.sort_unstable();
         sorted.dedup();
         prop_assert_eq!(ids, sorted, "iteration is sorted and duplicate-free");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cost_is_monotone_in_input_size(seed in 0u64..1000, grow in 1.05..3.0f64) {
+#[test]
+fn cost_is_monotone_in_input_size() {
+    run_cases("cost_is_monotone_in_input_size", 64, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let grow = rng.gen_range(1.05..3.0f64);
         let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
         let mut task = s.tasks[0];
         let base = evaluate(&s.system, &task).unwrap();
@@ -58,13 +76,17 @@ proptest! {
             prop_assert!(bigger.at(site).time >= base.at(site).time, "{site}");
             prop_assert!(bigger.at(site).energy >= base.at(site).energy, "{site}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn energy_ordering_holds_for_generated_tasks(seed in 0u64..200) {
+#[test]
+fn energy_ordering_holds_for_generated_tasks() {
+    run_cases("energy_ordering_holds_for_generated_tasks", 64, |rng| {
         // The paper argues E_ij1 < E_ij2 < E_ij3 whenever transmission
         // dominates computation; the Section V.A parameters are in that
         // regime, so generated tasks must obey the ordering.
+        let seed = rng.gen_range(0u64..200);
         let s = ScenarioConfig::paper_defaults(seed).generate().unwrap();
         for task in s.tasks.iter().take(10) {
             let c = evaluate(&s.system, task).unwrap();
@@ -74,15 +96,21 @@ proptest! {
             prop_assert!(e1 < e2, "{}: {e1} !< {e2}", task.id);
             prop_assert!(e2 < e3, "{}: {e2} !< {e3}", task.id);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn simulation_agrees_with_cost_model(seed in 0u64..100) {
-        let mut cfg = ScenarioConfig::paper_defaults(seed);
+#[test]
+fn simulation_agrees_with_cost_model() {
+    run_cases("simulation_agrees_with_cost_model", 64, |rng| {
+        let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0u64..100));
         cfg.tasks_total = 12;
         let s = cfg.generate().unwrap();
         // Mixed assignment: rotate through the sites.
-        let assignment: Vec<_> = s.tasks.iter().enumerate()
+        let assignment: Vec<_> = s
+            .tasks
+            .iter()
+            .enumerate()
             .map(|(k, t)| (*t, ExecutionSite::ALL[k % 3]))
             .collect();
         let report = simulate(&s.system, &assignment, Contention::None).unwrap();
@@ -91,10 +119,14 @@ proptest! {
             let dt = (result.completion.value() - expect.time.value()).abs();
             prop_assert!(dt < 1e-9 * (1.0 + expect.time.value()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deadline_scales_with_factor_range(seed in 0u64..100) {
+#[test]
+fn deadline_scales_with_factor_range() {
+    run_cases("deadline_scales_with_factor_range", 64, |rng| {
+        let seed = rng.gen_range(0u64..100);
         let mut tight = ScenarioConfig::paper_defaults(seed);
         tight.deadline_factor_range = (1.0, 1.0);
         let mut loose = ScenarioConfig::paper_defaults(seed);
@@ -104,5 +136,6 @@ proptest! {
         for (ta, tb) in a.tasks.iter().zip(b.tasks.iter()) {
             prop_assert!(tb.deadline.value() >= ta.deadline.value() * 4.999);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,6 +1,11 @@
 //! Cross-crate property tests: randomized scenario parameters, with the
 //! paper's invariants asserted end to end.
+//!
+//! Runs on the in-workspace seeded harness ([`detrand::prop`]); set
+//! `DSMEC_PROP_SEED` to replay a failing case stream.
 
+use detrand::prop::run_cases;
+use detrand::{prop_assert, prop_assert_eq, ChaCha8Rng};
 use dsmec_core::costs::CostTable;
 use dsmec_core::dta::{divide_balanced, divide_min_devices};
 use dsmec_core::hta::{Hgos, HtaAlgorithm, LpHta};
@@ -8,39 +13,28 @@ use dsmec_core::metrics::{capacity_usage, evaluate_assignment};
 use mec_sim::sim::{simulate, Contention};
 use mec_sim::units::Bytes;
 use mec_sim::workload::{DivisibleScenarioConfig, ScenarioConfig};
-use proptest::prelude::*;
 
-fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
-    (
-        0u64..10_000,     // seed
-        1usize..5,        // stations
-        2usize..8,        // devices per station
-        10usize..60,      // tasks
-        500.0..4000.0f64, // max input kB
-        1.0f64..3.0,      // deadline lo
-        2.0f64..16.0,     // device MB
-        20.0f64..300.0,   // station MB
-    )
-        .prop_map(|(seed, k, dps, tasks, kb, dl_lo, dev_mb, st_mb)| {
-            let mut cfg = ScenarioConfig::paper_defaults(seed);
-            cfg.num_stations = k;
-            cfg.devices_per_station = dps;
-            cfg.tasks_total = tasks;
-            cfg.max_input_kb = kb;
-            cfg.deadline_factor_range = (dl_lo, dl_lo + 1.0);
-            cfg.device_resource_mb = dev_mb;
-            cfg.station_resource_mb = st_mb;
-            cfg
-        })
+/// Draws a scenario configuration from the same parameter ranges the old
+/// proptest strategy used.
+fn arb_config(rng: &mut ChaCha8Rng) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0..10_000u64));
+    cfg.num_stations = rng.gen_range(1..5usize);
+    cfg.devices_per_station = rng.gen_range(2..8usize);
+    cfg.tasks_total = rng.gen_range(10..60usize);
+    cfg.max_input_kb = rng.gen_range(500.0..4000.0);
+    let dl_lo = rng.gen_range(1.0..3.0);
+    cfg.deadline_factor_range = (dl_lo, dl_lo + 1.0);
+    cfg.device_resource_mb = rng.gen_range(2.0..16.0);
+    cfg.station_resource_mb = rng.gen_range(20.0..300.0);
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// LP-HTA output is always feasible: deadlines for assigned tasks,
-    /// capacities everywhere, one decision per task.
-    #[test]
-    fn lp_hta_is_always_feasible(cfg in arb_config()) {
+/// LP-HTA output is always feasible: deadlines for assigned tasks,
+/// capacities everywhere, one decision per task.
+#[test]
+fn lp_hta_is_always_feasible() {
+    run_cases("lp_hta_is_always_feasible", 24, |rng| {
+        let cfg = arb_config(rng);
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
         let a = LpHta::paper().assign(&s.system, &s.tasks, &costs).unwrap();
@@ -52,12 +46,16 @@ proptest! {
         }
         let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
         prop_assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
-    }
+        Ok(())
+    });
+}
 
-    /// The certified ratio bound is finite and at least 1 whenever tasks
-    /// were assigned, and the final energy respects the Lemma-1 chain.
-    #[test]
-    fn lp_hta_certificate_sanity(cfg in arb_config()) {
+/// The certified ratio bound is finite and at least 1 whenever tasks
+/// were assigned, and the final energy respects the Lemma-1 chain.
+#[test]
+fn lp_hta_certificate_sanity() {
+    run_cases("lp_hta_certificate_sanity", 24, |rng| {
+        let cfg = arb_config(rng);
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
         let (a, r) = LpHta::paper()
@@ -69,12 +67,16 @@ proptest! {
         prop_assert!(r.theorem2_bound >= 3.0);
         prop_assert!(r.delta >= 0.0);
         prop_assert_eq!(a.cancelled().len(), r.cancelled.len());
-    }
+        Ok(())
+    });
+}
 
-    /// Analytic metrics equal discrete-event execution for any algorithm
-    /// output (unlimited resources).
-    #[test]
-    fn sim_cross_check(cfg in arb_config()) {
+/// Analytic metrics equal discrete-event execution for any algorithm
+/// output (unlimited resources).
+#[test]
+fn sim_cross_check() {
+    run_cases("sim_cross_check", 24, |rng| {
+        let cfg = arb_config(rng);
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
         let a = Hgos::default().assign(&s.system, &s.tasks, &costs).unwrap();
@@ -83,15 +85,19 @@ proptest! {
         let report = simulate(&s.system, &exec, Contention::None).unwrap();
         let sim_e = report.total_energy().value();
         prop_assert!((m.total_energy.value() - sim_e).abs() < 1e-6 * (1.0 + sim_e));
-    }
+        Ok(())
+    });
+}
 
-    /// Division invariants on random divisible scenarios: validity plus
-    /// the two optimization directions.
-    #[test]
-    fn division_invariants(seed in 0u64..5000, items in 50usize..400, tasks in 5usize..40) {
-        let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
+/// Division invariants on random divisible scenarios: validity plus
+/// the two optimization directions.
+#[test]
+fn division_invariants() {
+    run_cases("division_invariants", 24, |rng| {
+        let items = rng.gen_range(50..400usize);
+        let mut cfg = DivisibleScenarioConfig::paper_defaults(rng.gen_range(0..5000u64));
         cfg.num_items = items;
-        cfg.tasks_total = tasks;
+        cfg.tasks_total = rng.gen_range(5..40usize);
         cfg.items_per_task = (2, 10.min(items));
         let s = cfg.generate().unwrap();
         let required = s.required_universe();
@@ -101,38 +107,44 @@ proptest! {
         prop_assert!(n.validate(&s.universe, &required).is_ok());
         prop_assert!(n.involved_devices() <= w.involved_devices());
         prop_assert!(w.max_share_len() <= n.max_share_len());
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Battery attribution: summed device shares never exceed the system
-    /// energy for any task/site, and a fleet's lifetime shrinks when the
-    /// per-round drain grows.
-    #[test]
-    fn battery_attribution_is_bounded_by_system_energy(seed in 0u64..2000) {
-        use mec_sim::battery::attribute_energy;
-        use mec_sim::cost::evaluate;
-        use mec_sim::task::ExecutionSite;
-        let mut cfg = ScenarioConfig::paper_defaults(seed);
-        cfg.tasks_total = 12;
-        let s = cfg.generate().unwrap();
-        for task in &s.tasks {
-            let costs = evaluate(&s.system, task).unwrap();
-            for site in ExecutionSite::ALL {
-                let shares = attribute_energy(&s.system, task, site).unwrap();
-                let paid: f64 = shares.iter().map(|sh| sh.energy.value()).sum();
-                prop_assert!(paid <= costs.at(site).energy.value() + 1e-9);
+/// Battery attribution: summed device shares never exceed the system
+/// energy for any task/site.
+#[test]
+fn battery_attribution_is_bounded_by_system_energy() {
+    use mec_sim::battery::attribute_energy;
+    use mec_sim::cost::evaluate;
+    use mec_sim::task::ExecutionSite;
+    run_cases(
+        "battery_attribution_is_bounded_by_system_energy",
+        16,
+        |rng| {
+            let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0..2000u64));
+            cfg.tasks_total = 12;
+            let s = cfg.generate().unwrap();
+            for task in &s.tasks {
+                let costs = evaluate(&s.system, task).unwrap();
+                for site in ExecutionSite::ALL {
+                    let shares = attribute_energy(&s.system, task, site).unwrap();
+                    let paid: f64 = shares.iter().map(|sh| sh.energy.value()).sum();
+                    prop_assert!(paid <= costs.at(site).energy.value() + 1e-9);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Mobility churn is monotone in the move probability (in
-    /// expectation; checked with a margin) and epoch 0 never churns.
-    #[test]
-    fn mobility_churn_scales_with_probability(seed in 0u64..500) {
-        use mec_sim::mobility::MobilityConfig;
+/// Mobility churn is monotone in the move probability (in
+/// expectation; checked with a margin) and epoch 0 never churns.
+#[test]
+fn mobility_churn_scales_with_probability() {
+    use mec_sim::mobility::MobilityConfig;
+    run_cases("mobility_churn_scales_with_probability", 16, |rng| {
+        let seed = rng.gen_range(0..500u64);
         let mut low = MobilityConfig::paper_defaults(seed);
         low.move_prob = 0.05;
         low.epochs = 2;
@@ -143,20 +155,26 @@ proptest! {
         let b = high.generate().unwrap();
         prop_assert_eq!(a.churn(0, 0).unwrap(), 0.0);
         prop_assert!(b.churn(0, 1).unwrap() >= a.churn(0, 1).unwrap());
-    }
+        Ok(())
+    });
+}
 
-    /// The online controllers never violate capacities or deadlines, for
-    /// any policy and pressure level.
-    #[test]
-    fn online_is_always_feasible(seed in 0u64..1000, dev_mb in 2.0..12.0f64, reserve in 0.0..0.5f64) {
-        use dsmec_core::hta::{OnlineHta, OnlinePolicy};
-        let mut cfg = ScenarioConfig::paper_defaults(seed);
+/// The online controllers never violate capacities or deadlines, for
+/// any policy and pressure level.
+#[test]
+fn online_is_always_feasible() {
+    use dsmec_core::hta::{OnlineHta, OnlinePolicy};
+    run_cases("online_is_always_feasible", 16, |rng| {
+        let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0..1000u64));
         cfg.tasks_total = 40;
-        cfg.device_resource_mb = dev_mb;
+        cfg.device_resource_mb = rng.gen_range(2.0..12.0);
+        let reserve = rng.gen_range(0.0..0.5);
         let s = cfg.generate().unwrap();
         let costs = CostTable::build(&s.system, &s.tasks).unwrap();
         for policy in [OnlinePolicy::Greedy, OnlinePolicy::Reserve { reserve }] {
-            let a = OnlineHta { policy }.assign(&s.system, &s.tasks, &costs).unwrap();
+            let a = OnlineHta { policy }
+                .assign(&s.system, &s.tasks, &costs)
+                .unwrap();
             for (idx, task) in s.tasks.iter().enumerate() {
                 if let Some(site) = a.decision(idx).site() {
                     prop_assert!(costs.feasible(idx, site, task.deadline));
@@ -165,14 +183,16 @@ proptest! {
             let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
             prop_assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Station shadow prices are nonpositive and vanish when capacity is
-    /// abundant.
-    #[test]
-    fn shadow_prices_sane(seed in 0u64..300) {
-        use dsmec_core::hta::station_capacity_prices;
-        let mut cfg = ScenarioConfig::paper_defaults(seed);
+/// Station shadow prices vanish when capacity is abundant.
+#[test]
+fn shadow_prices_sane() {
+    use dsmec_core::hta::station_capacity_prices;
+    run_cases("shadow_prices_sane", 16, |rng| {
+        let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0..300u64));
         cfg.tasks_total = 30;
         cfg.station_resource_mb = 1_000_000.0;
         let s = cfg.generate().unwrap();
@@ -181,5 +201,6 @@ proptest! {
         for (_, p) in prices {
             prop_assert!(p.abs() < 1e-9, "slack stations price at zero, got {p}");
         }
-    }
+        Ok(())
+    });
 }
