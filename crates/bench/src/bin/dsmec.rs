@@ -53,7 +53,23 @@ fn run() -> Result<(), String> {
     if let Some(spec) = flags.get("threads") {
         mec_bench::cli::apply_threads(spec)?;
     }
+    // Tracing: --trace PATH or DSMEC_TRACE=PATH enables mec-obs and
+    // writes the snapshot after the command completes.
+    let trace_path = mec_bench::cli::init_trace(flags.get("trace").map(String::as_str));
 
+    let outcome = dispatch(&command, &flags, &switches);
+    if let Some(path) = &trace_path {
+        mec_bench::cli::write_trace(path)?;
+        println!("wrote trace {path}");
+    }
+    outcome
+}
+
+fn dispatch(
+    command: &str,
+    flags: &HashMap<String, String>,
+    switches: &[String],
+) -> Result<(), String> {
     let get_u64 =
         |flags: &HashMap<String, String>, name: &str, default: u64| -> Result<u64, String> {
             flags
@@ -75,12 +91,12 @@ fn run() -> Result<(), String> {
                 .unwrap_or(Ok(default))
         };
 
-    match command.as_str() {
+    match command {
         "generate" => {
-            let seed = get_u64(&flags, "seed", 42)?;
-            let stations = get_usize(&flags, "stations", 5)?;
-            let devices = get_usize(&flags, "devices-per-station", 10)?;
-            let tasks = get_usize(&flags, "tasks", 100)?;
+            let seed = get_u64(flags, "seed", 42)?;
+            let stations = get_usize(flags, "stations", 5)?;
+            let devices = get_usize(flags, "devices-per-station", 10)?;
+            let tasks = get_usize(flags, "tasks", 100)?;
             let kb: f64 = flags
                 .get("max-input-kb")
                 .map(|v| {
@@ -109,7 +125,7 @@ fn run() -> Result<(), String> {
                 .unwrap_or("lp-hta");
             let algorithm = AlgorithmName::parse(name)
                 .ok_or_else(|| format!("unknown algorithm `{name}` (try lp-hta, hgos, nash, …)"))?;
-            let seed = get_u64(&flags, "seed", 42)?;
+            let seed = get_u64(flags, "seed", 42)?;
             let file = assign_scenario(&scenario, algorithm, seed).map_err(|e| e.to_string())?;
             let out = flags
                 .get("out")
@@ -141,9 +157,9 @@ fn run() -> Result<(), String> {
         "divisible" => {
             use dsmec_core::dta::{run_dta, DtaConfig};
             use mec_sim::workload::DivisibleScenarioConfig;
-            let seed = get_u64(&flags, "seed", 42)?;
-            let tasks = get_usize(&flags, "tasks", 100)?;
-            let items = get_usize(&flags, "items", 1000)?;
+            let seed = get_u64(flags, "seed", 42)?;
+            let tasks = get_usize(flags, "tasks", 100)?;
+            let items = get_usize(flags, "items", 1000)?;
             let mut cfg = DivisibleScenarioConfig::paper_defaults(seed);
             cfg.tasks_total = tasks;
             cfg.num_items = items;
@@ -169,7 +185,7 @@ fn run() -> Result<(), String> {
         "compare" => {
             let scenario: Scenario =
                 read_json(flags.get("scenario").ok_or("--scenario required")?)?;
-            let seed = get_u64(&flags, "seed", 42)?;
+            let seed = get_u64(flags, "seed", 42)?;
             println!(
                 "{:<12} {:>12} {:>12} {:>12}",
                 "algorithm", "energy (J)", "latency (s)", "unsatisfied"
@@ -199,6 +215,7 @@ fn run() -> Result<(), String> {
             eprintln!("  divisible --seed N --tasks T --items M");
             eprintln!("global flags:");
             eprintln!("  --threads N  worker threads for the LP kernels (0 = auto)");
+            eprintln!("  --trace P    write an mec-obs trace JSON (also DSMEC_TRACE=P)");
             eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
             Ok(())
         }

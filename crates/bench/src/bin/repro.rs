@@ -9,6 +9,9 @@
 //!   repro --perf          time a serial pass vs a parallel pass and write
 //!                         the speedup report
 //!   repro --bench-out P   speedup report path (default BENCH_parallel.json)
+//!   repro --trace P       write an mec-obs trace (spans/counters/histograms
+//!                         as JSON, schema in DESIGN.md §7); DSMEC_TRACE=P
+//!                         is the environment equivalent
 //!
 //! With `--perf` (or `--quick`) every selected experiment runs twice from a
 //! cold cache — once on one thread, once on the configured thread count —
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("target/experiments");
     let mut bench_out = PathBuf::from("BENCH_parallel.json");
     let mut perf = false;
+    let mut trace_flag: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -107,6 +111,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_flag = Some(path),
+                None => {
+                    eprintln!("--trace requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--threads" => match args.next().map(|s| cli::apply_threads(&s)) {
                 Some(Ok(_)) => {}
                 Some(Err(e)) => {
@@ -121,7 +132,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--perf] [--threads N] [--out DIR] \
-                     [--bench-out PATH] [EXPERIMENT...]"
+                     [--bench-out PATH] [--trace PATH] [EXPERIMENT...]"
                 );
                 eprintln!("experiments:");
                 for (id, _) in registry() {
@@ -146,6 +157,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Tracing: an explicit --trace/DSMEC_TRACE path, and --perf on its own
+    // so the span summary can land in BENCH_parallel.json.
+    let trace_path = cli::init_trace(trace_flag.as_deref());
+    if perf {
+        mec_obs::set_enabled(true);
+    }
+
     let threads = par::threads();
     // Optional reference pass on one thread, cold cache, for the speedup
     // report and the serial-vs-parallel identity check.
@@ -159,9 +177,13 @@ fn main() -> ExitCode {
         None
     };
 
+    // The trace mirrors the cache counters' scope: the timed (parallel)
+    // pass only, not the serial reference.
+    mec_obs::reset();
     cache::clear();
     let parallel = run_pass(&runners, &opts);
     let cache_stats = cache::stats();
+    let trace = mec_obs::snapshot();
 
     for (id, fig) in &parallel.figures {
         println!("{}", fig.render_table());
@@ -182,6 +204,20 @@ fn main() -> ExitCode {
     }
     for (id, e) in &parallel.failures {
         eprintln!("{id} FAILED: {e}");
+    }
+
+    if let Some(path) = &trace_path {
+        match cli::write_trace(path) {
+            Ok(()) => println!(
+                "trace: {} spans, {} counters -> {path}",
+                trace.spans.len(),
+                trace.counters.len()
+            ),
+            Err(e) => {
+                eprintln!("ERROR: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(serial) = &serial {
@@ -227,6 +263,7 @@ fn main() -> ExitCode {
             ),
             ("identical", Json::from(all_identical)),
             ("cache", cache_stats.to_json()),
+            ("trace", trace.to_json()),
         ]);
         let json = djson::to_string_pretty(&report);
         if let Err(e) = std::fs::write(&bench_out, json + "\n") {

@@ -133,9 +133,11 @@ pub fn scenario_with_costs(cfg: &ScenarioConfig) -> Result<Arc<CachedScenario>, 
     let map = SCENARIOS.get_or_init(Default::default);
     if let Some(hit) = lock(map).get(&key) {
         SCENARIO_HITS.fetch_add(1, Ordering::Relaxed);
+        mec_obs::counter_add("cache/scenario/hits", 1);
         return Ok(Arc::clone(hit));
     }
     SCENARIO_MISSES.fetch_add(1, Ordering::Relaxed);
+    mec_obs::counter_add("cache/scenario/misses", 1);
     // Build outside the lock; concurrent builders of the same key produce
     // identical values (generation is seed-deterministic), first insert wins.
     let scenario = cfg.generate()?;
@@ -176,9 +178,11 @@ pub fn lp_relaxation(
     let map = RELAXATIONS.get_or_init(Default::default);
     if let Some(hit) = lock(map).get(&key) {
         LP_HITS.fetch_add(1, Ordering::Relaxed);
+        mec_obs::counter_add("cache/lp/hits", 1);
         return Ok(Arc::clone(hit));
     }
     LP_MISSES.fetch_add(1, Ordering::Relaxed);
+    mec_obs::counter_add("cache/lp/misses", 1);
     let solved = Arc::new(algo.solve_relaxation(
         &cached.scenario.system,
         &cached.scenario.tasks,

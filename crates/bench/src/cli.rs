@@ -112,6 +112,32 @@ pub fn apply_threads(spec: &str) -> Result<usize, String> {
     Ok(crate::par::threads())
 }
 
+/// Resolves the trace output path shared by both binaries — an explicit
+/// `--trace PATH` wins, otherwise the `DSMEC_TRACE` environment variable
+/// — and enables `mec-obs` recording when one is configured. Returns the
+/// path the caller should later pass to [`write_trace`].
+pub fn init_trace(flag: Option<&str>) -> Option<String> {
+    let path = flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("DSMEC_TRACE").ok())
+        .filter(|p| !p.is_empty());
+    if path.is_some() {
+        mec_obs::set_enabled(true);
+    }
+    path
+}
+
+/// Writes the current [`mec_obs::snapshot`] (flushing the calling thread
+/// first) as pretty JSON to `path`. The schema is documented in
+/// DESIGN.md §7.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the file cannot be written.
+pub fn write_trace(path: &str) -> Result<(), String> {
+    write_json(path, &mec_obs::snapshot())
+}
+
 /// On-disk bundle tying an assignment to the scenario it was made for.
 #[derive(Debug, Clone)]
 pub struct AssignmentFile {

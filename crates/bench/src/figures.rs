@@ -539,7 +539,7 @@ pub fn ablate_rebalance(opts: &ExperimentOptions) -> FigResult {
         let s = cfg.generate()?;
         let required = s.required_universe();
         let greedy = divide_balanced(&s.universe, &required)?;
-        let refined = rebalance(&s.universe, &greedy);
+        let refined = rebalance(&s.universe, &greedy)?;
         let exact = exact_min_max(&s.universe, &required, 16)?;
         Ok(vec![
             greedy.max_share_len() as f64,

@@ -164,7 +164,12 @@ pub fn sweep_seed_averaged<P: Sync>(
     let pairs: Vec<(usize, u64)> = (0..points.len())
         .flat_map(|pi| seeds.iter().map(move |&s| (pi, s)))
         .collect();
-    let rows = par_map_result(&pairs, |&(pi, seed)| eval(&points[pi], seed))?;
+    let rows = par_map_result(&pairs, |&(pi, seed)| {
+        // Per-(point, seed) wall time; workers stage locally and flush
+        // into the global registry when the sweep's thread scope joins.
+        let _timer = mec_obs::span("sweep/point");
+        eval(&points[pi], seed)
+    })?;
 
     let per_point = seeds.len();
     let mut out = Vec::with_capacity(points.len());

@@ -69,13 +69,19 @@ impl Harness {
         let mut min_ns = f64::INFINITY;
         let mut total = 0.0;
         let mut iters = 0u32;
-        while total < self.budget_ns && iters < 100_000 {
+        // At least one warm iteration always runs: a budget smaller than
+        // a single iteration (e.g. `DSMEC_BENCH_MS=0`) must still produce
+        // a real measurement, not a zero-sample NaN row.
+        loop {
             let t = Instant::now();
             black_box(f());
             let ns = t.elapsed().as_secs_f64() * 1e9;
             min_ns = min_ns.min(ns);
             total += ns;
             iters += 1;
+            if total >= self.budget_ns || iters >= 100_000 {
+                break;
+            }
         }
         let m = Measurement {
             name: name.to_string(),
@@ -138,6 +144,24 @@ mod tests {
         assert_eq!(out[0].name, "keep/fast");
         assert!(out[0].iters >= 1);
         assert!(out[0].min_ns <= out[0].mean_ns);
+    }
+
+    #[test]
+    fn zero_budget_still_records_one_iteration() {
+        // Regression: a budget below one iteration's cost used to skip
+        // the timing loop entirely, reporting 0 iters and a NaN mean.
+        let mut h = Harness {
+            filter: None,
+            budget_ns: 0.0,
+            printed_header: false,
+            results: Vec::new(),
+        };
+        h.bench("tiny/budget", || std::hint::black_box(2 + 2));
+        let out = h.finish();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].iters >= 1);
+        assert!(out[0].mean_ns.is_finite());
+        assert!(out[0].min_ns.is_finite());
     }
 
     #[test]

@@ -55,22 +55,40 @@ enum Selection {
     LargestFirst,
 }
 
+/// Rejects item sets built for a different universe before any bitset
+/// operation can hit a capacity-mismatch assertion.
+fn check_universe(
+    algorithm: &'static str,
+    universe: &DataUniverse,
+    set: &ItemSet,
+) -> Result<(), AssignError> {
+    if set.capacity() != universe.num_items() {
+        return Err(AssignError::UniverseMismatch {
+            algorithm,
+            expected: universe.num_items(),
+            found: set.capacity(),
+        });
+    }
+    Ok(())
+}
+
 fn divide_greedy(
     universe: &DataUniverse,
     required: &ItemSet,
     selection: Selection,
 ) -> Result<Coverage, AssignError> {
+    check_universe("data division", universe, required)?;
+    let _timer = mec_obs::span("dta/division");
     let n = universe.num_devices();
     let mut residual = required.clone();
     let mut shares = vec![ItemSet::new(required.capacity()); n];
 
     while !residual.is_empty() {
+        mec_obs::counter_add("dta/greedy/rounds", 1);
+        mec_obs::observe("dta/greedy/residual_items", residual.len() as f64);
         let mut chosen: Option<(usize, usize)> = None; // (device, usable size)
         for i in 0..n {
-            let usable = universe
-                .holdings(DeviceId(i))
-                .expect("device within universe")
-                .intersection_len(&residual);
+            let usable = universe.holdings(DeviceId(i))?.intersection_len(&residual);
             if usable == 0 {
                 continue;
             }
@@ -89,10 +107,7 @@ fn divide_greedy(
                 reason: format!("{} required items are owned by no device", residual.len()),
             });
         };
-        let grab = universe
-            .holdings(DeviceId(device))
-            .expect("device within universe")
-            .intersection(&residual);
+        let grab = universe.holdings(DeviceId(device))?.intersection(&residual);
         shares[device].union_with(&grab);
         residual.subtract(&grab);
     }
@@ -103,17 +118,36 @@ fn divide_greedy(
 /// not part of the paper's algorithm): repeatedly move one item from the
 /// currently largest share to another owner whose share is at least two
 /// items smaller, until no such move exists. Preserves validity.
-pub fn rebalance(universe: &DataUniverse, coverage: &Coverage) -> Coverage {
+///
+/// # Errors
+///
+/// Returns [`AssignError::CoverageMismatch`] when the coverage's share
+/// count differs from the universe's device count (including the empty
+/// coverage), and [`AssignError::UniverseMismatch`] when a share was
+/// built for a different item capacity.
+pub fn rebalance(universe: &DataUniverse, coverage: &Coverage) -> Result<Coverage, AssignError> {
+    if coverage.shares().len() != universe.num_devices() {
+        return Err(AssignError::CoverageMismatch {
+            devices: universe.num_devices(),
+            shares: coverage.shares().len(),
+        });
+    }
+    for share in coverage.shares() {
+        check_universe("rebalance", universe, share)?;
+    }
+    let _timer = mec_obs::span("dta/rebalance");
     let mut shares: Vec<ItemSet> = coverage.shares().to_vec();
     loop {
-        let (max_dev, max_len) = shares
+        let Some((max_dev, max_len)) = shares
             .iter()
             .enumerate()
             .map(|(i, s)| (i, s.len()))
             .max_by_key(|&(_, l)| l)
-            .expect("at least one device");
+        else {
+            return Ok(Coverage::new(shares));
+        };
         if max_len <= 1 {
-            return Coverage::new(shares);
+            return Ok(Coverage::new(shares));
         }
         // Find an item of the largest share that another (smaller) owner
         // could take.
@@ -135,8 +169,9 @@ pub fn rebalance(universe: &DataUniverse, coverage: &Coverage) -> Coverage {
             Some((item, to)) => {
                 shares[max_dev].remove(item);
                 shares[to].insert(item);
+                mec_obs::counter_add("dta/rebalance/moves", 1);
             }
-            None => return Coverage::new(shares),
+            None => return Ok(Coverage::new(shares)),
         }
     }
 }
@@ -153,6 +188,7 @@ pub fn exact_min_max(
     required: &ItemSet,
     max_items: usize,
 ) -> Result<Coverage, AssignError> {
+    check_universe("exact_min_max", universe, required)?;
     let items: Vec<_> = required.iter().collect();
     if items.len() > max_items {
         return Err(AssignError::Unsupported {
@@ -239,6 +275,7 @@ pub fn exact_min_devices(
     required: &ItemSet,
     max_devices: usize,
 ) -> Result<Coverage, AssignError> {
+    check_universe("exact_min_devices", universe, required)?;
     let n = universe.num_devices();
     if n > max_devices {
         return Err(AssignError::Unsupported {
@@ -247,14 +284,10 @@ pub fn exact_min_devices(
         });
     }
     // Usable sets per device.
-    let usable: Vec<ItemSet> = (0..n)
-        .map(|i| {
-            universe
-                .holdings(DeviceId(i))
-                .expect("device within universe")
-                .intersection(required)
-        })
-        .collect();
+    let mut usable: Vec<ItemSet> = Vec::with_capacity(n);
+    for i in 0..n {
+        usable.push(universe.holdings(DeviceId(i))?.intersection(required));
+    }
 
     for size in 1..=n {
         if let Some(subset) = find_cover(&usable, required, size) {
@@ -369,7 +402,7 @@ mod tests {
         let s = scenario(62);
         let required = s.required_universe();
         let base = divide_balanced(&s.universe, &required).unwrap();
-        let refined = rebalance(&s.universe, &base);
+        let refined = rebalance(&s.universe, &base).unwrap();
         refined.validate(&s.universe, &required).unwrap();
         assert!(refined.max_share_len() <= base.max_share_len());
     }
@@ -457,6 +490,63 @@ mod tests {
         // restricted universe by building new holdings.
         let ok = divide_balanced(&u, &too_much);
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn out_of_universe_required_set_is_a_typed_error() {
+        // A required set built for a different (larger) universe must be
+        // rejected with `UniverseMismatch`, not an `ItemSet` capacity
+        // assertion panic.
+        let (u, _) = handmade(); // 6 items
+        let foreign = ItemSet::full(9);
+        for result in [
+            divide_balanced(&u, &foreign),
+            divide_min_devices(&u, &foreign),
+            exact_min_max(&u, &foreign, 16),
+            exact_min_devices(&u, &foreign, 16),
+        ] {
+            assert!(matches!(
+                result,
+                Err(AssignError::UniverseMismatch {
+                    expected: 6,
+                    found: 9,
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn rebalance_rejects_malformed_coverages() {
+        let (u, _) = handmade(); // 3 devices, 6 items
+                                 // Empty coverage: previously a `max_by_key` panic.
+        let empty = Coverage::new(vec![]);
+        assert!(matches!(
+            rebalance(&u, &empty),
+            Err(AssignError::CoverageMismatch {
+                devices: 3,
+                shares: 0,
+            })
+        ));
+        // Wrong share count.
+        let short = Coverage::new(vec![ItemSet::new(6); 2]);
+        assert!(matches!(
+            rebalance(&u, &short),
+            Err(AssignError::CoverageMismatch {
+                devices: 3,
+                shares: 2,
+            })
+        ));
+        // Shares built for a different universe.
+        let foreign = Coverage::new(vec![ItemSet::new(9); 3]);
+        assert!(matches!(
+            rebalance(&u, &foreign),
+            Err(AssignError::UniverseMismatch {
+                expected: 6,
+                found: 9,
+                ..
+            })
+        ));
     }
 
     #[test]

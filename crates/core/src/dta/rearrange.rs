@@ -139,6 +139,7 @@ pub fn run_dta_with_coverage(
     coverage: Coverage,
 ) -> Result<DtaReport, AssignError> {
     let system = &scenario.system;
+    let _timer = mec_obs::span("dta/rearrange");
 
     // Rearrangement: a piece per (task, device with intersecting share).
     let mut pieces = Vec::new();
@@ -177,6 +178,8 @@ pub fn run_dta_with_coverage(
             });
         }
     }
+
+    mec_obs::counter_add("dta/rearrange/pieces", pieces.len() as u64);
 
     // Schedule the pieces with LP-HTA (Section IV.C: "the LP-HTA algorithm
     // in Section III is applied to schedule these new tasks").
@@ -250,18 +253,23 @@ pub fn divisible_as_holistic(
         let source = if missing.is_empty() {
             None
         } else {
-            // The device holding the largest part of the missing data.
+            // The device holding the largest part of the missing data
+            // (ties keep the highest index, matching `max_by_key`).
             let n = scenario.universe.num_devices();
-            (0..n)
-                .filter(|&i| DeviceId(i) != task.owner)
-                .max_by_key(|&i| {
-                    scenario
-                        .universe
-                        .holdings(DeviceId(i))
-                        .expect("device within universe")
-                        .intersection_len(&missing)
-                })
-                .map(DeviceId)
+            let mut best: Option<(usize, usize)> = None;
+            for i in 0..n {
+                if DeviceId(i) == task.owner {
+                    continue;
+                }
+                let overlap = scenario
+                    .universe
+                    .holdings(DeviceId(i))?
+                    .intersection_len(&missing);
+                if best.is_none_or(|(_, b)| overlap >= b) {
+                    best = Some((i, overlap));
+                }
+            }
+            best.map(|(i, _)| DeviceId(i))
         };
         out.push(HolisticTask {
             id: task.id,

@@ -25,6 +25,27 @@ pub enum AssignError {
         /// Number of entries in the other input.
         other: usize,
     },
+    /// An item set handed to a division algorithm was built for a
+    /// different universe: its item capacity disagrees with the
+    /// universe's item count, so set operations against device holdings
+    /// would be meaningless (previously an `ItemSet` assertion panic).
+    UniverseMismatch {
+        /// Which algorithm rejected the input.
+        algorithm: &'static str,
+        /// The universe's item count.
+        expected: usize,
+        /// The capacity of the offending set.
+        found: usize,
+    },
+    /// A coverage's share count disagrees with the universe's device
+    /// count — including the empty coverage, which previously made
+    /// `rebalance` panic on `max_by_key`.
+    CoverageMismatch {
+        /// Devices in the universe.
+        devices: usize,
+        /// Shares in the coverage.
+        shares: usize,
+    },
     /// A parallel worker panicked; carries the panic payload's message so
     /// the failure surfaces as an error instead of poisoning the run.
     Worker(String),
@@ -44,6 +65,19 @@ impl fmt::Display for AssignError {
             AssignError::LengthMismatch { tasks, other } => {
                 write!(f, "length mismatch: {tasks} tasks vs {other} entries")
             }
+            AssignError::UniverseMismatch {
+                algorithm,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{algorithm}: item set capacity {found} does not match the \
+                 universe's {expected} items"
+            ),
+            AssignError::CoverageMismatch { devices, shares } => write!(
+                f,
+                "coverage has {shares} shares for a universe of {devices} devices"
+            ),
             AssignError::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
             AssignError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
@@ -87,6 +121,17 @@ mod tests {
             reason: "too many tasks".into(),
         };
         assert!(e.to_string().contains("exact"));
+        let e = AssignError::UniverseMismatch {
+            algorithm: "data division",
+            expected: 12,
+            found: 6,
+        };
+        assert!(e.to_string().contains("does not match"));
+        let e = AssignError::CoverageMismatch {
+            devices: 5,
+            shares: 0,
+        };
+        assert!(e.to_string().contains("0 shares"));
         let e = AssignError::Worker("index out of bounds".into());
         assert!(e.to_string().contains("worker panicked"));
         let e = AssignError::InvalidInput("empty seed list".into());

@@ -238,6 +238,7 @@ impl LpHta {
         }
         if self.fast_path {
             if let Some(result) = self.try_fast_path(system, tasks, costs)? {
+                mec_obs::counter_add("lp_hta/fast_path/hits", 1);
                 return Ok(result);
             }
         }
@@ -267,6 +268,7 @@ impl LpHta {
                 other: costs.len(),
             });
         }
+        let _timer = mec_obs::span("lp_hta/relaxation");
         let mut fractional = FractionalSolution {
             clusters: Vec::new(),
             lp_objective: 0.0,
@@ -277,6 +279,7 @@ impl LpHta {
                 continue;
             }
             let x: Vec<[f64; 3]> = if idxs.len() > self.lp_cluster_limit {
+                mec_obs::counter_add("lp_hta/relaxation/greedy_seeded", 1);
                 // Scalability guard: greedy cheapest-feasible indicator
                 // seed; the true LP optimum is lower-bounded by the sum
                 // of per-task minima, which keeps the certificate valid.
@@ -318,6 +321,7 @@ impl LpHta {
                     fractional.lp_objective += sol.objective;
                     rel.fractional_matrix(&sol.x)
                 } else {
+                    mec_obs::counter_add("lp_hta/relaxation/non_optimal", 1);
                     fractional.lp_objective += idxs
                         .iter()
                         .map(|&i| costs.at(i, ExecutionSite::Cloud).energy.value())
@@ -325,6 +329,14 @@ impl LpHta {
                     idxs.iter().map(|_| [0.0, 0.0, 1.0]).collect()
                 }
             };
+            if mec_obs::enabled() {
+                let fractional_vars = x
+                    .iter()
+                    .flatten()
+                    .filter(|&&v| v > 1e-9 && v < 1.0 - 1e-9)
+                    .count();
+                mec_obs::counter_add("lp_hta/relaxation/fractional_vars", fractional_vars as u64);
+            }
             fractional.clusters.push(ClusterFractions {
                 station,
                 task_indices: idxs,
@@ -371,6 +383,7 @@ impl LpHta {
                 )));
             }
         }
+        let _timer = mec_obs::span("lp_hta/rounding");
         let mut assignment = Assignment::new(vec![Decision::Cancelled; tasks.len()]);
         let mut report = LpHtaReport {
             lp_objective: fractional.lp_objective,
@@ -408,6 +421,13 @@ impl LpHta {
                 }
             }
 
+            mec_obs::counter_add("lp_hta/rounding/clusters", 1);
+
+            // Steps 4–6 are the repair phase; its wall time and move
+            // counters separate "how long we round" from "how long we
+            // fix what rounding broke".
+            let _repair_timer = mec_obs::span("lp_hta/repair");
+
             // Step 4: deadline repair.
             for (k, &idx) in idxs.iter().enumerate() {
                 let deadline = tasks[idx].deadline;
@@ -420,6 +440,7 @@ impl LpHta {
                     .filter(|&&s| costs.feasible(idx, s, deadline))
                     .max_by(|&&a, &&b| x[k][a.index()].total_cmp(&x[k][b.index()]))
                     .copied();
+                mec_obs::counter_add("lp_hta/repair/deadline_moves", 1);
                 sites[k] = fallback; // None ⇒ cancelled
             }
 
@@ -571,6 +592,7 @@ fn repair_capacity(
             .map(|(k, _)| k);
         if let Some(k) = movable {
             sites[k] = Some(to);
+            mec_obs::counter_add("lp_hta/repair/migrations", 1);
             continue;
         }
         // Nothing movable: cancel the largest remaining occupant.
@@ -586,7 +608,10 @@ fn repair_capacity(
             })
             .map(|(k, _)| k);
         match victim {
-            Some(k) => sites[k] = None,
+            Some(k) => {
+                sites[k] = None;
+                mec_obs::counter_add("lp_hta/repair/cancellations", 1);
+            }
             None => break, // no occupants left; capacity must now hold
         }
     }

@@ -71,6 +71,20 @@ pub fn solve_interior_point(lp: &LpProblem) -> Result<LpSolution, LpError> {
 ///
 /// See [`solve_interior_point`].
 pub fn solve_interior_point_with(lp: &LpProblem, opts: IpmOptions) -> Result<LpSolution, LpError> {
+    let _timer = mec_obs::span("linprog/interior/solve");
+    let sol = solve_inner(lp, opts)?;
+    mec_obs::counter_add("linprog/interior/solves", 1);
+    mec_obs::counter_add("linprog/interior/iterations", sol.iterations as u64);
+    if sol.status == LpStatus::IterationLimit {
+        mec_obs::counter_add("linprog/interior/iteration_limit", 1);
+    }
+    if mec_obs::enabled() {
+        mec_obs::observe("linprog/interior/residual", lp.max_violation(&sol.x));
+    }
+    Ok(sol)
+}
+
+fn solve_inner(lp: &LpProblem, opts: IpmOptions) -> Result<LpSolution, LpError> {
     let sf = StandardForm::from_problem(lp);
 
     // Presolve: columns fixed at zero (upper bound ~ 0 after the lower-bound
@@ -527,6 +541,36 @@ mod tests {
         };
         let sol = solve_interior_point_with(&lp, opts).unwrap();
         assert_eq!(sol.status, LpStatus::IterationLimit);
+    }
+
+    #[test]
+    fn iteration_limit_is_recorded_as_an_obs_counter() {
+        let _guard = mec_obs::TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mec_obs::reset();
+        mec_obs::set_enabled(true);
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![1.0, 1.0]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Ge, 1.0)
+            .unwrap();
+        let opts = IpmOptions {
+            max_iterations: 1,
+            ..IpmOptions::default()
+        };
+        let sol = solve_interior_point_with(&lp, opts).unwrap();
+        mec_obs::set_enabled(false);
+        let snap = mec_obs::snapshot();
+        assert_eq!(sol.status, LpStatus::IterationLimit);
+        // Other tests may record concurrently while tracing is on, so the
+        // counters are lower-bounded rather than matched exactly.
+        assert!(
+            snap.counter("linprog/interior/iteration_limit")
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(snap.counter("linprog/interior/solves").unwrap_or(0) >= 1);
+        assert!(snap.counter("linprog/interior/iterations").unwrap_or(0) >= 1);
     }
 
     #[test]

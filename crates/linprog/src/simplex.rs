@@ -51,9 +51,20 @@ enum VarState {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve_simplex(lp: &LpProblem) -> Result<LpSolution, LpError> {
+    let _timer = mec_obs::span("linprog/simplex/solve");
     let sf = StandardForm::from_problem(lp);
     let mut state = SimplexState::new(&sf);
-    state.run(&sf)
+    let sol = state.run(&sf)?;
+    mec_obs::counter_add("linprog/simplex/solves", 1);
+    mec_obs::counter_add("linprog/simplex/iterations", sol.iterations as u64);
+    mec_obs::counter_add("linprog/simplex/pivots", state.pivots as u64);
+    if sol.status == LpStatus::IterationLimit {
+        mec_obs::counter_add("linprog/simplex/iteration_limit", 1);
+    }
+    if mec_obs::enabled() {
+        mec_obs::observe("linprog/simplex/residual", lp.max_violation(&sol.x));
+    }
+    Ok(sol)
 }
 
 struct SimplexState {
@@ -79,6 +90,9 @@ struct SimplexState {
     pivots_since_refactor: usize,
     degenerate_streak: usize,
     iterations: usize,
+    /// Basis changes applied across both phases (ratio-test iterations
+    /// that only flip a bound are not pivots).
+    pivots: usize,
 }
 
 impl SimplexState {
@@ -134,6 +148,7 @@ impl SimplexState {
             pivots_since_refactor: 0,
             degenerate_streak: 0,
             iterations: 0,
+            pivots: 0,
         }
     }
 
@@ -344,6 +359,7 @@ impl SimplexState {
     ) {
         let dir = if from_lower { 1.0 } else { -1.0 };
         let leaving_col = self.basis[row];
+        self.pivots += 1;
 
         // New basic values.
         for i in 0..self.m {

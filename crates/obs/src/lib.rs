@@ -1,0 +1,442 @@
+//! # mec-obs — zero-dependency tracing and metrics
+//!
+//! The observability substrate for the workspace: span timers, monotonic
+//! counters, and value histograms, aggregated per metric name and
+//! exportable as deterministic JSON (via `djson`). std-only, consistent
+//! with the hermetic workspace — no crate registry required.
+//!
+//! ## Design
+//!
+//! Recording must be cheap enough to sit inside the LP pivot loop and the
+//! DTA greedy rounds, and must not serialize the sweep engine's worker
+//! threads. Three mechanisms deliver that:
+//!
+//! * a process-global **enabled flag** ([`set_enabled`]) read with one
+//!   relaxed atomic load — when tracing is off (the default), every
+//!   recording call is a branch and nothing else;
+//! * **thread-local staging**: [`span`], [`counter_add`], and [`observe`]
+//!   write into an uncontended per-thread store, so `par_map` workers
+//!   never touch a shared lock on the hot path;
+//! * a **global registry** guarded by one mutex that staging stores merge
+//!   into when their thread exits (the sweep engine's scoped workers die
+//!   before the sweep returns) or when [`flush`] is called explicitly.
+//!
+//! [`snapshot`] flushes the calling thread and returns the merged
+//! [`TraceSnapshot`], whose JSON shape is documented in DESIGN.md §7 and
+//! covered by a schema round-trip test.
+//!
+//! ## Naming convention
+//!
+//! Metric names are static, `/`-separated paths: `layer/component/metric`
+//! (e.g. `linprog/simplex/pivots`, `lp_hta/relaxation`,
+//! `dta/greedy/rounds`). Snapshots sort by name, so related metrics list
+//! together and output is deterministic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod snapshot;
+
+pub use snapshot::{CounterStat, HistogramStat, SpanStat, TraceSnapshot, SCHEMA_VERSION};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-global switch; recording calls are no-ops while it is false.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The global registry every staging store merges into.
+static GLOBAL: Mutex<Store> = Mutex::new(Store::new());
+
+/// Turns recording on or off process-wide. Off (the default) makes every
+/// recording call a single relaxed load; already-recorded data is kept
+/// until [`reset`].
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-span aggregate while recording (not yet exported).
+#[derive(Debug, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanAgg {
+    fn one(ns: u64) -> Self {
+        SpanAgg {
+            count: 1,
+            total_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+        }
+    }
+
+    fn merge(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Per-histogram aggregate while recording.
+#[derive(Debug, Clone, Copy)]
+struct HistAgg {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistAgg {
+    fn one(value: f64) -> Self {
+        HistAgg {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn merge(&mut self, other: &HistAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One store of aggregated metrics — used both per-thread (staging) and
+/// globally (registry). Keys are `&'static str` so the hot path never
+/// allocates for a name.
+#[derive(Debug)]
+struct Store {
+    spans: BTreeMap<&'static str, SpanAgg>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, HistAgg>,
+}
+
+impl Store {
+    const fn new() -> Self {
+        Store {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    fn record_span(&mut self, name: &'static str, ns: u64) {
+        match self.spans.get_mut(name) {
+            Some(agg) => agg.merge(&SpanAgg::one(ns)),
+            None => {
+                self.spans.insert(name, SpanAgg::one(ns));
+            }
+        }
+    }
+
+    fn record_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn record_hist(&mut self, name: &'static str, value: f64) {
+        match self.hists.get_mut(name) {
+            Some(agg) => agg.merge(&HistAgg::one(value)),
+            None => {
+                self.hists.insert(name, HistAgg::one(value));
+            }
+        }
+    }
+
+    /// Merges `other` into `self`, leaving `other` empty.
+    fn absorb(&mut self, other: &mut Store) {
+        for (name, agg) in std::mem::take(&mut other.spans) {
+            match self.spans.get_mut(name) {
+                Some(mine) => mine.merge(&agg),
+                None => {
+                    self.spans.insert(name, agg);
+                }
+            }
+        }
+        for (name, delta) in std::mem::take(&mut other.counters) {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, agg) in std::mem::take(&mut other.hists) {
+            match self.hists.get_mut(name) {
+                Some(mine) => mine.merge(&agg),
+                None => {
+                    self.hists.insert(name, agg);
+                }
+            }
+        }
+    }
+}
+
+/// Thread-local staging store; its `Drop` flushes whatever the thread
+/// recorded into the global registry, so short-lived `par_map` workers
+/// contribute without ever locking mid-sweep.
+struct Staging(RefCell<Store>);
+
+impl Drop for Staging {
+    fn drop(&mut self) {
+        let store = self.0.get_mut();
+        if !store.is_empty() {
+            lock_global().absorb(store);
+        }
+    }
+}
+
+thread_local! {
+    static STAGING: Staging = const { Staging(RefCell::new(Store::new())) };
+}
+
+/// Locks the registry ignoring poisoning: aggregates stay consistent
+/// because every write is a complete merge.
+fn lock_global() -> std::sync::MutexGuard<'static, Store> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn with_staging(f: impl FnOnce(&mut Store)) {
+    // Access during thread teardown (after the staging store was dropped
+    // and flushed) falls through to the global registry directly.
+    let mut f = Some(f);
+    let done = STAGING.try_with(|s| {
+        (f.take().expect("first call"))(&mut s.0.borrow_mut());
+    });
+    if done.is_err() {
+        if let Some(f) = f.take() {
+            f(&mut lock_global());
+        }
+    }
+}
+
+/// Times a region: records elapsed wall time under `name` when the
+/// returned guard drops. Inert (no clock read) while recording is
+/// disabled at entry.
+///
+/// ```
+/// let _g = mec_obs::span("lp_hta/relaxation");
+/// // ... timed work ...
+/// ```
+#[must_use = "the span measures until the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Live span timer returned by [`span`]; see there.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Ends the span now instead of at scope end.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            with_staging(|s| s.record_span(self.name, ns));
+        }
+    }
+}
+
+/// Adds `delta` to the monotonic counter `name` (no-op while disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() && delta > 0 {
+        with_staging(|s| s.record_counter(name, delta));
+    }
+}
+
+/// Records one observation of `value` in the histogram `name` (no-op
+/// while disabled). Non-finite values are dropped — the JSON export
+/// could not represent them anyway.
+pub fn observe(name: &'static str, value: f64) {
+    if enabled() && value.is_finite() {
+        with_staging(|s| s.record_hist(name, value));
+    }
+}
+
+/// Merges the calling thread's staged metrics into the global registry.
+/// Worker threads flush automatically on exit; long-lived threads call
+/// this (or [`snapshot`], which flushes first) before reading results.
+pub fn flush() {
+    with_staging(|staged| {
+        if !staged.is_empty() {
+            lock_global().absorb(staged);
+        }
+    });
+}
+
+/// Clears the global registry and the calling thread's staging store.
+/// Metrics still staged on *other* live threads survive and merge on
+/// their next flush.
+pub fn reset() {
+    with_staging(|staged| {
+        *staged = Store::new();
+        *lock_global() = Store::new();
+    });
+}
+
+/// Flushes the calling thread and returns the merged aggregates, sorted
+/// by metric name (deterministic output for caching and tests).
+#[must_use]
+pub fn snapshot() -> TraceSnapshot {
+    flush();
+    let global = lock_global();
+    TraceSnapshot {
+        version: SCHEMA_VERSION,
+        spans: global
+            .spans
+            .iter()
+            .map(|(&name, agg)| SpanStat {
+                name: name.to_string(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+                min_ns: agg.min_ns,
+                max_ns: agg.max_ns,
+            })
+            .collect(),
+        counters: global
+            .counters
+            .iter()
+            .map(|(&name, &value)| CounterStat {
+                name: name.to_string(),
+                value,
+            })
+            .collect(),
+        histograms: global
+            .hists
+            .iter()
+            .map(|(&name, agg)| HistogramStat {
+                name: name.to_string(),
+                count: agg.count,
+                sum: agg.sum,
+                min: agg.min,
+                max: agg.max,
+            })
+            .collect(),
+    }
+}
+
+/// Serializes tests that toggle the process-global registry. Exposed so
+/// downstream crates' tests can share the same exclusion.
+pub static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        reset();
+        set_enabled(true);
+        guard
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _x = exclusive();
+        set_enabled(false);
+        let g = span("test/span");
+        drop(g);
+        counter_add("test/counter", 5);
+        observe("test/hist", 1.0);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn spans_counters_histograms_aggregate() {
+        let _x = exclusive();
+        for _ in 0..3 {
+            let _g = span("test/phase");
+        }
+        counter_add("test/items", 2);
+        counter_add("test/items", 3);
+        counter_add("test/zero", 0); // dropped: delta 0 records nothing
+        observe("test/size", 4.0);
+        observe("test/size", 6.0);
+        observe("test/nan", f64::NAN); // dropped: non-finite
+
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!((s.name.as_str(), s.count), ("test/phase", 3));
+        assert!(s.min_ns <= s.max_ns && s.total_ns >= s.max_ns);
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 5);
+        assert_eq!(snap.counter("test/items"), Some(5));
+        assert_eq!(snap.counter("test/zero"), None);
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 10.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _x = exclusive();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                scope.spawn(move || {
+                    counter_add("test/worker", i + 1);
+                    let _g = span("test/worker_span");
+                });
+            }
+        });
+        // No explicit flush by the workers: their staging stores flushed
+        // when the threads exited.
+        let snap = snapshot();
+        assert_eq!(snap.counter("test/worker"), Some(1 + 2 + 3 + 4));
+        assert_eq!(snap.span("test/worker_span").map(|s| s.count), Some(4));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _x = exclusive();
+        counter_add("test/c", 1);
+        let _ = span("test/s");
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let _x = exclusive();
+        counter_add("test/b", 1);
+        counter_add("test/a", 1);
+        counter_add("test/c", 1);
+        let names: Vec<String> = snapshot().counters.into_iter().map(|c| c.name).collect();
+        assert_eq!(names, ["test/a", "test/b", "test/c"]);
+    }
+}

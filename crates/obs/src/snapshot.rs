@@ -1,0 +1,177 @@
+//! The exported trace shape: stable, versioned, documented in DESIGN.md
+//! §7. Everything here round-trips through `djson` (schema test below).
+
+use djson::impl_json_struct;
+
+/// Version of the trace JSON schema emitted by [`TraceSnapshot`].
+/// Incremented on any backwards-incompatible shape change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated statistics of one named span (timed region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Metric path, e.g. `lp_hta/relaxation`.
+    pub name: String,
+    /// Number of times the span ran.
+    pub count: u64,
+    /// Total wall time across all runs, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single run, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single run, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl_json_struct!(SpanStat {
+    name,
+    count,
+    total_ns,
+    min_ns,
+    max_ns
+});
+
+/// Final value of one monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Metric path, e.g. `linprog/simplex/pivots`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+impl_json_struct!(CounterStat { name, value });
+
+/// Aggregated statistics of one value histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStat {
+    /// Metric path, e.g. `dta/greedy/residual_items`.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (mean = `sum / count`).
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl_json_struct!(HistogramStat {
+    name,
+    count,
+    sum,
+    min,
+    max
+});
+
+/// One merged, name-sorted export of everything recorded since the last
+/// reset. This is the JSON written by `repro --trace` / `dsmec --trace`
+/// and embedded by `repro --perf` in `BENCH_parallel.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Span aggregates, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Histogram aggregates, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+}
+
+impl_json_struct!(TraceSnapshot {
+    version,
+    spans,
+    counters,
+    histograms
+});
+
+impl TraceSnapshot {
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a span aggregate by exact name.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a counter value by exact name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram aggregate by exact name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schema round-trip the ISSUE asks for: emit → parse with djson
+    /// → assert span/counter shape.
+    #[test]
+    fn snapshot_round_trips_through_djson() {
+        let snap = TraceSnapshot {
+            version: SCHEMA_VERSION,
+            spans: vec![SpanStat {
+                name: "lp_hta/relaxation".into(),
+                count: 3,
+                total_ns: 1_500,
+                min_ns: 400,
+                max_ns: 700,
+            }],
+            counters: vec![CounterStat {
+                name: "linprog/simplex/pivots".into(),
+                value: 42,
+            }],
+            histograms: vec![HistogramStat {
+                name: "dta/greedy/residual_items".into(),
+                count: 2,
+                sum: 9.0,
+                min: 3.0,
+                max: 6.0,
+            }],
+        };
+        let text = djson::to_string_pretty(&snap);
+        let back: TraceSnapshot = djson::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+
+        // The documented top-level shape, checked structurally too.
+        let value = djson::parse(&text).unwrap();
+        let djson::Json::Obj(fields) = &value else {
+            panic!("snapshot must serialize as an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["version", "spans", "counters", "histograms"]);
+    }
+
+    #[test]
+    fn lookup_helpers_find_by_name() {
+        let snap = TraceSnapshot {
+            version: SCHEMA_VERSION,
+            spans: vec![],
+            counters: vec![CounterStat {
+                name: "cache/scenario/hits".into(),
+                value: 7,
+            }],
+            histograms: vec![],
+        };
+        assert_eq!(snap.counter("cache/scenario/hits"), Some(7));
+        assert_eq!(snap.counter("cache/scenario/misses"), None);
+        assert!(snap.span("nope").is_none());
+        assert!(snap.histogram("nope").is_none());
+        assert!(!snap.is_empty());
+    }
+}

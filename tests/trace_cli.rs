@@ -1,0 +1,75 @@
+//! End-to-end check of the `--trace` plumbing: run `repro` on a small
+//! selection of experiments, then parse the emitted trace with `djson`
+//! and assert the documented schema (DESIGN.md §7) actually comes out.
+
+use mec_obs::{TraceSnapshot, SCHEMA_VERSION};
+use std::process::Command;
+
+#[test]
+fn repro_trace_emits_the_documented_schema() {
+    let dir = std::env::temp_dir().join("dsmec_trace_cli");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path = dir.join("trace.json");
+
+    // fig2a exercises the LP-HTA pipeline (relaxation → rounding → repair
+    // plus the LP kernels); fig6b exercises the DTA greedy division.
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "fig2a",
+            "fig6b",
+            "--trace",
+            trace_path.to_str().expect("utf-8 path"),
+            "--out",
+            dir.join("csv").to_str().expect("utf-8 path"),
+            "--bench-out",
+            dir.join("bench.json").to_str().expect("utf-8 path"),
+        ])
+        .env_remove("DSMEC_TRACE")
+        .output()
+        .expect("run repro");
+    assert!(
+        output.status.success(),
+        "repro failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let trace: TraceSnapshot = djson::from_str(&text).expect("trace parses as a snapshot");
+    assert_eq!(trace.version, SCHEMA_VERSION);
+
+    let span_names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "lp_hta/relaxation",
+        "lp_hta/rounding",
+        "lp_hta/repair",
+        "dta/division",
+        "sweep/point",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "missing span {expected:?} in {span_names:?}"
+        );
+    }
+    for span in &trace.spans {
+        assert!(span.count >= 1, "span {} has no samples", span.name);
+        assert!(
+            span.total_ns >= span.max_ns,
+            "span {} misaggregated",
+            span.name
+        );
+    }
+
+    // The LP kernel in use must report its iteration count, whichever
+    // backend the paper configuration selects.
+    assert!(
+        trace.counters.iter().any(|c| c.name.starts_with("linprog/")
+            && c.name.ends_with("/iterations")
+            && c.value > 0),
+        "no LP kernel iteration counter in {:?}",
+        trace.counters
+    );
+    assert!(trace.counter("dta/greedy/rounds").unwrap_or(0) > 0);
+    // Cold cache + distinct figures: every sweep point is a miss.
+    assert!(trace.counter("cache/scenario/misses").unwrap_or(0) > 0);
+}
