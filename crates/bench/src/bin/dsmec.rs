@@ -6,6 +6,8 @@
 //! dsmec simulate --scenario scenario.json --assignment assignment.json --contention
 //! dsmec report   --scenario scenario.json --assignment assignment.json
 //! dsmec compare  --scenario scenario.json
+//! dsmec trace    trace.json --folded stacks.txt
+//! dsmec trace    new.json --baseline old.json --gate 1.15
 //! ```
 
 use mec_bench::cli::{
@@ -32,6 +34,7 @@ fn run() -> Result<(), String> {
     let command = args.next().unwrap_or_else(|| "--help".to_string());
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut switches: Vec<String> = Vec::new();
+    let mut positionals: Vec<String> = Vec::new();
     let mut pending: Option<String> = None;
     for arg in args {
         if let Some(name) = pending.take() {
@@ -43,6 +46,10 @@ fn run() -> Result<(), String> {
                 "contention" | "quick" => switches.push(name.to_string()),
                 _ => pending = Some(name.to_string()),
             }
+        } else if command == "trace" {
+            // Only `trace` takes positional operands (its input files);
+            // everywhere else a stray word is still a usage error.
+            positionals.push(arg);
         } else {
             return Err(format!("unexpected positional argument `{arg}`"));
         }
@@ -52,6 +59,10 @@ fn run() -> Result<(), String> {
     }
     if let Some(spec) = flags.get("threads") {
         mec_bench::cli::apply_threads(spec)?;
+    }
+    if command == "trace" {
+        // Offline analysis of an existing trace: never records one.
+        return run_trace(&flags, &positionals);
     }
     // Tracing: --trace PATH or DSMEC_TRACE=PATH enables mec-obs and
     // writes the snapshot after the command completes.
@@ -63,6 +74,45 @@ fn run() -> Result<(), String> {
         println!("wrote trace {path}");
     }
     outcome
+}
+
+/// `dsmec trace <FILE>` / `dsmec trace --baseline OLD NEW --gate R`.
+fn run_trace(flags: &HashMap<String, String>, positionals: &[String]) -> Result<(), String> {
+    let mut args = mec_bench::trace_report::TraceArgs {
+        file: positionals
+            .first()
+            .cloned()
+            .ok_or("trace needs a FILE operand (see --help)")?,
+        folded: flags.get("folded").cloned(),
+        baseline: flags.get("baseline").cloned(),
+        ..Default::default()
+    };
+    if positionals.len() > 1 {
+        return Err(format!("trace takes one FILE operand, got {positionals:?}"));
+    }
+    if let Some(gate) = flags.get("gate") {
+        let ratio: f64 = gate
+            .parse()
+            .map_err(|_| "--gate must be a ratio like 1.15".to_string())?;
+        if !(ratio.is_finite() && ratio >= 1.0) {
+            return Err("--gate must be a finite ratio >= 1.0".to_string());
+        }
+        if args.baseline.is_none() {
+            return Err("--gate requires --baseline OLD.json".to_string());
+        }
+        args.gate = Some(ratio);
+    }
+    if let Some(floor) = flags.get("min-total-ms") {
+        args.min_total_ms = floor
+            .parse()
+            .map_err(|_| "--min-total-ms must be a number".to_string())?;
+    }
+    if let Some(top) = flags.get("top") {
+        args.top = top
+            .parse()
+            .map_err(|_| "--top must be an integer".to_string())?;
+    }
+    mec_bench::trace_report::trace_command(&args)
 }
 
 fn dispatch(
@@ -213,9 +263,21 @@ fn dispatch(
             eprintln!("  report    --scenario F --assignment F");
             eprintln!("  compare   --scenario F");
             eprintln!("  divisible --seed N --tasks T --items M");
+            eprintln!("  trace     FILE [--folded OUT.txt] [--top N]");
+            eprintln!("            analyze a trace JSON: self-time table, critical path,");
+            eprintln!("            flamegraph folded stacks");
+            eprintln!("  trace     NEW.json --baseline OLD.json [--gate RATIO] \\");
+            eprintln!("            [--min-total-ms MS]");
+            eprintln!("            diff two traces; with --gate, exit nonzero when any");
+            eprintln!("            span's total time regressed past RATIO");
             eprintln!("global flags:");
             eprintln!("  --threads N  worker threads for the LP kernels (0 = auto)");
-            eprintln!("  --trace P    write an mec-obs trace JSON (also DSMEC_TRACE=P)");
+            eprintln!("  --trace P    write an mec-obs trace JSON with flight-recorder");
+            eprintln!("               events (schema v2, DESIGN.md §7)");
+            eprintln!("environment:");
+            eprintln!("  DSMEC_THREADS=N       worker threads when --threads is not given");
+            eprintln!("  DSMEC_TRACE=P         trace output path when --trace is not given");
+            eprintln!("  DSMEC_TRACE_EVENTS=0  record aggregates only (no span events)");
             eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
             Ok(())
         }

@@ -9,9 +9,11 @@
 //!   repro --perf          time a serial pass vs a parallel pass and write
 //!                         the speedup report
 //!   repro --bench-out P   speedup report path (default BENCH_parallel.json)
-//!   repro --trace P       write an mec-obs trace (spans/counters/histograms
-//!                         as JSON, schema in DESIGN.md §7); DSMEC_TRACE=P
-//!                         is the environment equivalent
+//!   repro --trace P       write an mec-obs trace (aggregates + flight-
+//!                         recorder span events, schema v2 in DESIGN.md §7,
+//!                         analyzable with `dsmec trace`); DSMEC_TRACE=P is
+//!                         the environment equivalent, DSMEC_TRACE_EVENTS=0
+//!                         records aggregates only
 //!
 //! With `--perf` (or `--quick`) every selected experiment runs twice from a
 //! cold cache — once on one thread, once on the configured thread count —
@@ -47,12 +49,17 @@ struct Pass {
 }
 
 fn run_pass(runners: &[(&'static str, Runner)], opts: &ExperimentOptions) -> Pass {
+    // Root of the flight-recorder chain: sweep → experiment/<id> →
+    // sweep/point (on workers, linked via the explicit parent id) →
+    // lp_hta/* / dta/* / linprog/*.
+    let _pass_span = mec_obs::span("sweep");
     let mut pass = Pass {
         figures: Vec::new(),
         times_ms: Vec::new(),
         failures: Vec::new(),
     };
     for &(id, run) in runners {
+        let _exp_span = mec_obs::span(mec_bench::figures::experiment_span(id));
         let start = std::time::Instant::now();
         match run(opts) {
             Ok(fig) => {
@@ -134,6 +141,10 @@ fn main() -> ExitCode {
                     "usage: repro [--quick] [--perf] [--threads N] [--out DIR] \
                      [--bench-out PATH] [--trace PATH] [EXPERIMENT...]"
                 );
+                eprintln!("environment:");
+                eprintln!("  DSMEC_THREADS=N       worker threads when --threads is not given");
+                eprintln!("  DSMEC_TRACE=P         trace output path when --trace is not given");
+                eprintln!("  DSMEC_TRACE_EVENTS=0  record aggregates only (no span events)");
                 eprintln!("experiments:");
                 for (id, _) in registry() {
                     eprintln!("  {id}");
@@ -229,24 +240,49 @@ fn main() -> ExitCode {
             let Some((_, ser_ms)) = serial.times_ms.iter().find(|(i, _)| i == id) else {
                 continue;
             };
-            let identical = match (
+            let figs = (
                 serial.figures.iter().find(|(i, _)| i == id),
                 parallel.figures.iter().find(|(i, _)| i == id),
-            ) {
+            );
+            let identical = match figs {
                 (Some((_, a)), Some((_, b))) => figures_identical(a, b),
                 _ => false,
             };
             all_identical &= identical;
             serial_total += ser_ms;
             parallel_total += par_ms;
-            per_figure.push(obj(vec![
+            let mut fields = vec![
                 ("id", Json::from(*id)),
                 ("serial_ms", Json::from(*ser_ms)),
                 ("parallel_ms", Json::from(*par_ms)),
                 ("speedup", Json::from(ser_ms / par_ms.max(1e-9))),
                 ("identical", Json::from(identical)),
-            ]));
+            ];
+            // Figures with wall-clock series (name containing "time ms",
+            // e.g. the LP backend ablation) get distribution statistics
+            // over those measurements; nearest-rank percentiles are
+            // NaN-free even for a single sample.
+            if let (_, Some((_, fig))) = figs {
+                let samples: Vec<f64> = fig
+                    .series
+                    .iter()
+                    .filter(|s| s.name.contains("time ms"))
+                    .flat_map(|s| s.values.iter().copied())
+                    .collect();
+                if !samples.is_empty() {
+                    fields.push((
+                        "time_ms_p50",
+                        Json::from(mec_bench::timing::percentile(&samples, 50.0)),
+                    ));
+                    fields.push((
+                        "time_ms_p95",
+                        Json::from(mec_bench::timing::percentile(&samples, 95.0)),
+                    ));
+                }
+            }
+            per_figure.push(obj(fields));
         }
+        let per_figure_times: Vec<f64> = parallel.times_ms.iter().map(|&(_, ms)| ms).collect();
         let report = obj(vec![
             ("threads", Json::from(threads as u64)),
             ("figures", Json::Arr(per_figure)),
@@ -258,6 +294,14 @@ fn main() -> ExitCode {
                     (
                         "speedup",
                         Json::from(serial_total / parallel_total.max(1e-9)),
+                    ),
+                    (
+                        "per_figure_p50_ms",
+                        Json::from(mec_bench::timing::percentile(&per_figure_times, 50.0)),
+                    ),
+                    (
+                        "per_figure_p95_ms",
+                        Json::from(mec_bench::timing::percentile(&per_figure_times, 95.0)),
                     ),
                 ]),
             ),

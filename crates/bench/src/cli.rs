@@ -116,6 +116,12 @@ pub fn apply_threads(spec: &str) -> Result<usize, String> {
 /// `--trace PATH` wins, otherwise the `DSMEC_TRACE` environment variable
 /// — and enables `mec-obs` recording when one is configured. Returns the
 /// path the caller should later pass to [`write_trace`].
+///
+/// Tracing to a file also switches on the flight recorder (per-span
+/// events, trace schema v2), which is what `dsmec trace` analyzes.
+/// `DSMEC_TRACE_EVENTS=0` keeps a run aggregates-only — smaller files,
+/// e.g. for the committed `bench/baseline.json`; any other value (or
+/// unset) records events.
 pub fn init_trace(flag: Option<&str>) -> Option<String> {
     let path = flag
         .map(str::to_string)
@@ -123,6 +129,8 @@ pub fn init_trace(flag: Option<&str>) -> Option<String> {
         .filter(|p| !p.is_empty());
     if path.is_some() {
         mec_obs::set_enabled(true);
+        let events = std::env::var("DSMEC_TRACE_EVENTS").map_or(true, |v| v != "0");
+        mec_obs::set_events(events);
     }
     path
 }

@@ -948,6 +948,38 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
     ]
 }
 
+/// The `experiment/<id>` span name for a registry id — static names so
+/// the flight recorder stays allocation-free on the hot path. The span
+/// wraps one experiment run and parents its `sweep/point` spans, giving
+/// traces the sweep → experiment → point → algorithm chain.
+#[must_use]
+pub fn experiment_span(id: &str) -> &'static str {
+    match id {
+        "table1" => "experiment/table1",
+        "fig2a" => "experiment/fig2a",
+        "fig2b" => "experiment/fig2b",
+        "fig3" => "experiment/fig3",
+        "fig4a" => "experiment/fig4a",
+        "fig4b" => "experiment/fig4b",
+        "fig5a" => "experiment/fig5a",
+        "fig5b" => "experiment/fig5b",
+        "fig6a" => "experiment/fig6a",
+        "fig6b" => "experiment/fig6b",
+        "ratio_check" => "experiment/ratio_check",
+        "ablate_lp_backend" => "experiment/ablate_lp_backend",
+        "ablate_rounding" => "experiment/ablate_rounding",
+        "ablate_rebalance" => "experiment/ablate_rebalance",
+        "ablate_contention" => "experiment/ablate_contention",
+        "ext_nash" => "experiment/ext_nash",
+        "ext_battery" => "experiment/ext_battery",
+        "ext_mobility" => "experiment/ext_mobility",
+        "ext_online" => "experiment/ext_online",
+        "ext_partial" => "experiment/ext_partial",
+        "ext_arrivals" => "experiment/ext_arrivals",
+        _ => "experiment/other",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -963,6 +995,15 @@ mod tests {
             assert_eq!(fig.id, id);
             assert!(!fig.series.is_empty());
         }
+    }
+
+    #[test]
+    fn every_registry_id_has_a_dedicated_span_name() {
+        for (id, _) in registry() {
+            let span = experiment_span(id);
+            assert_eq!(span, format!("experiment/{id}"), "{id}");
+        }
+        assert_eq!(experiment_span("not-a-figure"), "experiment/other");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod par;
 pub mod runner;
 pub mod table;
 pub mod timing;
+pub mod trace_report;
 
 pub use figures::ExperimentOptions;
 pub use par::{set_threads, threads};

@@ -94,14 +94,22 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
     }
     let slots = Slots::new(n);
     let next = AtomicUsize::new(0);
-    let work = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
+    let work = || {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let r = f(&items[i]);
+            // Safety: index `i` was claimed exclusively above.
+            unsafe { slots.fill(i, r) };
         }
-        let r = f(&items[i]);
-        // Safety: index `i` was claimed exclusively above.
-        unsafe { slots.fill(i, r) };
+        // Join-point flush: a scope's implicit join does not wait for TLS
+        // destructors, so the exit-flush backstop can land *after* the
+        // sweep snapshots its metrics. Flushing at the end of the worker
+        // closure (this also runs on the calling thread) makes everything
+        // recorded here visible once the scope returns.
+        mec_obs::flush_current_thread();
     };
     std::thread::scope(|scope| {
         // The borrow is load-bearing: the same closure runs on N threads.
@@ -154,22 +162,28 @@ where
         }
         abort.store(true, Ordering::Relaxed);
     };
-    let work = || loop {
-        if abort.load(Ordering::Relaxed) {
-            break;
+    let work = || {
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                // Safety: index `i` was claimed exclusively above.
+                Ok(Ok(r)) => unsafe { slots.fill(i, r) },
+                Ok(Err(e)) => record(i, e),
+                // `&*payload` reborrows the payload itself: `&payload`
+                // would coerce the Box into `dyn Any` and make every
+                // downcast miss.
+                Err(payload) => record(i, E::from_worker_panic(panic_message(&*payload))),
+            }
         }
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
-        }
-        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
-            // Safety: index `i` was claimed exclusively above.
-            Ok(Ok(r)) => unsafe { slots.fill(i, r) },
-            Ok(Err(e)) => record(i, e),
-            // `&*payload` reborrows the payload itself: `&payload` would
-            // coerce the Box into `dyn Any` and make every downcast miss.
-            Err(payload) => record(i, E::from_worker_panic(panic_message(&*payload))),
-        }
+        // Join-point flush; see `par_map` for why this cannot rely on the
+        // thread-exit backstop.
+        mec_obs::flush_current_thread();
     };
     if workers <= 1 {
         work();
@@ -259,6 +273,58 @@ mod tests {
             Err(AssignError::Worker(msg)) => assert!(msg.contains("worker exploded"), "{msg}"),
             other => panic!("expected Worker error, got {other:?}"),
         }
+    }
+
+    /// The join-point flush contract: metrics and flight-recorder events
+    /// staged on `par_map` workers are visible in a snapshot taken right
+    /// after the call returns, and worker `sweep/point`-style spans link
+    /// to the coordinating thread's span via the explicit parent id.
+    #[test]
+    fn par_map_flushes_worker_metrics_at_the_join_point() {
+        let _t = THREADS_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _o = mec_obs::TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mec_obs::reset();
+        mec_obs::set_enabled(true);
+        mec_obs::set_events(true);
+        set_threads(4);
+
+        let sweep = mec_obs::span("par_test/sweep");
+        let parent = mec_obs::current_span_id();
+        let items: Vec<usize> = (0..16).collect();
+        let out = par_map(&items, |&i| {
+            let _g = mec_obs::span_with_parent("par_test/point", parent);
+            i * 3
+        });
+        sweep.finish();
+        let snap = mec_obs::snapshot();
+
+        set_threads(0);
+        mec_obs::set_events(false);
+        mec_obs::set_enabled(false);
+        mec_obs::reset();
+
+        assert_eq!(out[7], 21);
+        // Every point is visible immediately after the join — no
+        // reliance on the racy thread-exit flush.
+        assert_eq!(snap.span("par_test/point").map(|s| s.count), Some(16));
+        let sweep_ev = snap
+            .events
+            .iter()
+            .find(|e| e.name == "par_test/sweep")
+            .expect("sweep event recorded");
+        let points: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "par_test/point")
+            .collect();
+        assert_eq!(points.len(), 16);
+        assert!(
+            points.iter().all(|p| p.parent == sweep_ev.id),
+            "worker spans link to the coordinator's span"
+        );
+        assert!(snap.counter("obs/flush").unwrap_or(0) >= 1);
     }
 
     #[test]

@@ -164,10 +164,15 @@ pub fn sweep_seed_averaged<P: Sync>(
     let pairs: Vec<(usize, u64)> = (0..points.len())
         .flat_map(|pi| seeds.iter().map(move |&s| (pi, s)))
         .collect();
+    // Flight-recorder linkage: a worker thread has no span context of its
+    // own, so each point span links explicitly to whatever span is open
+    // here on the coordinating thread (e.g. `experiment/fig2a`), giving
+    // traces the full sweep → experiment → point → algorithm chain.
+    let sweep_parent = mec_obs::current_span_id();
     let rows = par_map_result(&pairs, |&(pi, seed)| {
         // Per-(point, seed) wall time; workers stage locally and flush
-        // into the global registry when the sweep's thread scope joins.
-        let _timer = mec_obs::span("sweep/point");
+        // into the global registry at the par_map join point.
+        let _timer = mec_obs::span_with_parent("sweep/point", sweep_parent);
         eval(&points[pi], seed)
     })?;
 

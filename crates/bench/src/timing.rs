@@ -3,7 +3,7 @@
 //! Replaces the criterion dependency with the same `Instant`-based
 //! measurement the `repro --perf` speedup report uses: one warm-up call,
 //! then timed iterations until a per-case budget is spent, reporting the
-//! mean and minimum per iteration.
+//! mean, minimum, median (p50) and tail (p95) per iteration.
 //!
 //! A positional argument filters cases by substring — the CLI shape
 //! `cargo bench -- <filter>` already had under criterion — and flags
@@ -24,6 +24,29 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Fastest iteration, nanoseconds.
     pub min_ns: f64,
+    /// Median iteration, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile iteration, nanoseconds. With one sample this is
+    /// that sample (nearest-rank percentiles are NaN-free for any
+    /// non-empty input).
+    pub p95_ns: f64,
+}
+
+/// Nearest-rank percentile of `samples` (`p` in `[0, 100]`), tolerant of
+/// unsorted input. Every result is an actual sample, so one-sample runs
+/// yield that sample for every percentile — never NaN. An empty slice
+/// returns 0.0 (nothing was measured).
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    // Nearest rank: ceil(p/100 * n), clamped to [1, n], 1-indexed.
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Collects timed cases and prints one aligned row per case.
@@ -66,9 +89,8 @@ impl Harness {
         }
         // Warm-up call, outside the statistics.
         black_box(f());
-        let mut min_ns = f64::INFINITY;
+        let mut samples: Vec<f64> = Vec::new();
         let mut total = 0.0;
-        let mut iters = 0u32;
         // At least one warm iteration always runs: a budget smaller than
         // a single iteration (e.g. `DSMEC_BENCH_MS=0`) must still produce
         // a real measurement, not a zero-sample NaN row.
@@ -76,31 +98,36 @@ impl Harness {
             let t = Instant::now();
             black_box(f());
             let ns = t.elapsed().as_secs_f64() * 1e9;
-            min_ns = min_ns.min(ns);
             total += ns;
-            iters += 1;
-            if total >= self.budget_ns || iters >= 100_000 {
+            samples.push(ns);
+            if total >= self.budget_ns || samples.len() >= 100_000 {
                 break;
             }
         }
+        #[allow(clippy::cast_possible_truncation)]
+        let iters = samples.len() as u32;
         let m = Measurement {
             name: name.to_string(),
             iters,
             mean_ns: total / f64::from(iters),
-            min_ns,
+            min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            p50_ns: percentile(&samples, 50.0),
+            p95_ns: percentile(&samples, 95.0),
         };
         if !self.printed_header {
             println!(
-                "{:<44} {:>12} {:>12} {:>7}",
-                "bench", "mean", "min", "iters"
+                "{:<44} {:>12} {:>12} {:>12} {:>12} {:>7}",
+                "bench", "mean", "min", "p50", "p95", "iters"
             );
             self.printed_header = true;
         }
         println!(
-            "{:<44} {:>12} {:>12} {:>7}",
+            "{:<44} {:>12} {:>12} {:>12} {:>12} {:>7}",
             m.name,
             fmt_ns(m.mean_ns),
             fmt_ns(m.min_ns),
+            fmt_ns(m.p50_ns),
+            fmt_ns(m.p95_ns),
             m.iters
         );
         self.results.push(m);
@@ -144,12 +171,16 @@ mod tests {
         assert_eq!(out[0].name, "keep/fast");
         assert!(out[0].iters >= 1);
         assert!(out[0].min_ns <= out[0].mean_ns);
+        assert!(out[0].min_ns <= out[0].p50_ns);
+        assert!(out[0].p50_ns <= out[0].p95_ns);
     }
 
     #[test]
     fn zero_budget_still_records_one_iteration() {
         // Regression: a budget below one iteration's cost used to skip
         // the timing loop entirely, reporting 0 iters and a NaN mean.
+        // The percentile columns inherit the guarantee: one sample, no
+        // NaN anywhere.
         let mut h = Harness {
             filter: None,
             budget_ns: 0.0,
@@ -162,6 +193,28 @@ mod tests {
         assert!(out[0].iters >= 1);
         assert!(out[0].mean_ns.is_finite());
         assert!(out[0].min_ns.is_finite());
+        assert!(out[0].p50_ns.is_finite());
+        assert!(out[0].p95_ns.is_finite());
+        if out[0].iters == 1 {
+            assert_eq!(out[0].p50_ns, out[0].min_ns);
+            assert_eq!(out[0].p95_ns, out[0].min_ns);
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_and_nan_free() {
+        let one = [7.5];
+        assert_eq!(percentile(&one, 50.0), 7.5);
+        assert_eq!(percentile(&one, 95.0), 7.5);
+        // 10 samples 1..=10: p50 → rank 5 → 5.0; p95 → rank ceil(9.5)=10.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 50.0), 5.0);
+        assert_eq!(percentile(&ten, 95.0), 10.0);
+        assert_eq!(percentile(&ten, 0.0), 1.0);
+        assert_eq!(percentile(&ten, 100.0), 10.0);
+        // Unsorted input is handled; empty input is defined as 0.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
     }
 
     #[test]

@@ -236,6 +236,10 @@ impl LpHta {
                 other: costs.len(),
             });
         }
+        // Umbrella span: relaxation and rounding nest under it, so the
+        // flight recorder shows per-call LP-HTA totals even when the caller
+        // (dsmec assign, a unit test) opens no sweep/point span of its own.
+        let _timer = mec_obs::span("lp_hta/assign");
         if self.fast_path {
             if let Some(result) = self.try_fast_path(system, tasks, costs)? {
                 mec_obs::counter_add("lp_hta/fast_path/hits", 1);

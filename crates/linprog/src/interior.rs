@@ -85,6 +85,9 @@ pub fn solve_interior_point_with(lp: &LpProblem, opts: IpmOptions) -> Result<LpS
 }
 
 fn solve_inner(lp: &LpProblem, opts: IpmOptions) -> Result<LpSolution, LpError> {
+    // Once per solve, so it nests under linprog/interior/solve without
+    // flooding the flight-recorder ring the way a per-iteration span would.
+    let presolve_timer = mec_obs::span("linprog/interior/presolve");
     let sf = StandardForm::from_problem(lp);
 
     // Presolve: columns fixed at zero (upper bound ~ 0 after the lower-bound
@@ -95,9 +98,11 @@ fn solve_inner(lp: &LpProblem, opts: IpmOptions) -> Result<LpSolution, LpError> 
         .filter(|&j| sf.upper[j] > 1e-12)
         .collect();
     if active.len() == sf.num_cols() {
+        drop(presolve_timer);
         let mut ipm = Ipm::new(&sf, opts);
         return ipm.run(&sf);
     }
+    mec_obs::counter_add("linprog/interior/presolve/reduced", 1);
 
     let m = sf.num_rows();
     let mut a = Matrix::zeros(m, active.len().max(1));
@@ -119,6 +124,7 @@ fn solve_inner(lp: &LpProblem, opts: IpmOptions) -> Result<LpSolution, LpError> 
         shift: vec![0.0; active.len().max(1)],
         objective_offset: 0.0,
     };
+    drop(presolve_timer);
     let mut ipm = Ipm::new(&reduced, opts);
     let inner = ipm.run(&reduced)?;
 
@@ -356,13 +362,17 @@ impl Ipm {
                 theta_inv[j] = (1.0 / d).clamp(1e-14, 1e14);
             }
 
-            // Factor A Θ Aᵀ, regularizing on failure.
+            // Factor A Θ Aᵀ, regularizing on failure. Counters, not spans:
+            // this runs every Newton iteration, and per-iteration events
+            // would evict the coarse spans from the flight-recorder ring.
+            mec_obs::counter_add("linprog/interior/factorizations", 1);
             let mut gram = self.a.scaled_gram(&theta_inv);
             let mut reg = 0.0;
             let chol = loop {
                 if let Some(l) = gram.cholesky() {
                     break l;
                 }
+                mec_obs::counter_add("linprog/interior/regularizations", 1);
                 reg = if reg == 0.0 {
                     1e-10 * (1.0 + gram.max_abs())
                 } else {

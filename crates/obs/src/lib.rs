@@ -1,9 +1,10 @@
 //! # mec-obs — zero-dependency tracing and metrics
 //!
 //! The observability substrate for the workspace: span timers, monotonic
-//! counters, and value histograms, aggregated per metric name and
-//! exportable as deterministic JSON (via `djson`). std-only, consistent
-//! with the hermetic workspace — no crate registry required.
+//! counters, value histograms, and an opt-in **flight recorder** of
+//! individual span events, aggregated per metric name and exportable as
+//! deterministic JSON (via `djson`). std-only, consistent with the
+//! hermetic workspace — no crate registry required.
 //!
 //! ## Design
 //!
@@ -18,12 +19,39 @@
 //!   write into an uncontended per-thread store, so `par_map` workers
 //!   never touch a shared lock on the hot path;
 //! * a **global registry** guarded by one mutex that staging stores merge
-//!   into when their thread exits (the sweep engine's scoped workers die
-//!   before the sweep returns) or when [`flush`] is called explicitly.
+//!   into when their thread exits or when [`flush_current_thread`] is
+//!   called explicitly — which the sweep engine's workers do at the end
+//!   of their closure, and [`snapshot`] does before capture, so a
+//!   snapshot taken mid-run from a long-lived thread never silently
+//!   misses that thread's own staged data. Each merge of a non-empty
+//!   store bumps the `obs/flush` counter.
 //!
-//! [`snapshot`] flushes the calling thread and returns the merged
-//! [`TraceSnapshot`], whose JSON shape is documented in DESIGN.md §7 and
-//! covered by a schema round-trip test.
+//! The thread-exit flush is a *backstop*, not a synchronization point:
+//! it runs from a TLS destructor, and `std::thread::scope`'s implicit
+//! join only waits for the spawned closure to return — not for the
+//! thread's TLS destructors — so a snapshot taken right after a scope
+//! can race with a scoped worker's exit flush. Threads joined through
+//! `JoinHandle::join` are safe (the underlying `pthread_join` waits for
+//! full thread termination). Scoped workers that must be visible at the
+//! join point therefore call [`flush_current_thread`] as the last thing
+//! in their closure, which is what `mec_bench::par::par_map` does.
+//!
+//! ## Flight recorder (span events)
+//!
+//! Aggregates say *that* a phase is slow; the flight recorder says *where
+//! the wall-clock goes*. When events are switched on ([`set_events`], off
+//! by default), every span additionally records one timestamped event —
+//! name, span id, parent span id, thread id, start/end nanoseconds on a
+//! shared monotonic epoch — into a **bounded per-thread ring**
+//! ([`set_event_capacity`]); on overflow the oldest events are dropped
+//! and the `obs/events/dropped` counter incremented, while the aggregates
+//! stay exact. Parent linkage comes from a thread-local span stack;
+//! [`span_with_parent`] links a span to an explicit parent on *another*
+//! thread, which is how `sweep/point` spans on `par_map` workers attach
+//! to the experiment span on the coordinating thread. The events land in
+//! the [`TraceSnapshot`] (schema v2, `"events"` key — see DESIGN.md §7)
+//! and feed the offline `dsmec trace` analysis: self-time tables, the
+//! critical path, flamegraph folded stacks, and the regression gate.
 //!
 //! ## Naming convention
 //!
@@ -37,24 +65,50 @@
 
 mod snapshot;
 
-pub use snapshot::{CounterStat, HistogramStat, SpanStat, TraceSnapshot, SCHEMA_VERSION};
+pub use snapshot::{
+    CounterStat, HistogramStat, SpanEvent, SpanStat, TraceSnapshot, SCHEMA_VERSION,
+};
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Process-global switch; recording calls are no-ops while it is false.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Process-global switch for the flight recorder (span events). Only
+/// consulted while [`ENABLED`] is set.
+static EVENTS: AtomicBool = AtomicBool::new(false);
+
+/// Ring capacity for staged span events, per store.
+static EVENT_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_EVENT_CAPACITY);
+
+/// Span ids are process-unique and never reused; 0 means "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense thread ids for the trace (std's `ThreadId` is opaque).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonic epoch all event timestamps are offsets from.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
 /// The global registry every staging store merges into.
 static GLOBAL: Mutex<Store> = Mutex::new(Store::new());
+
+/// Default per-store bound on staged span events (see
+/// [`set_event_capacity`]).
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
 
 /// Turns recording on or off process-wide. Off (the default) makes every
 /// recording call a single relaxed load; already-recorded data is kept
 /// until [`reset`].
 pub fn set_enabled(on: bool) {
+    if on {
+        // Anchor the event epoch before the first timestamp is taken.
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -62,6 +116,65 @@ pub fn set_enabled(on: bool) {
 #[must_use]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the flight recorder (per-span events) on or off. Off by default:
+/// events cost one ring write per span plus ~48 bytes each, so they are
+/// opt-in on top of [`set_enabled`]. Has no effect while recording as a
+/// whole is disabled.
+pub fn set_events(on: bool) {
+    EVENTS.store(on, Ordering::Relaxed);
+}
+
+/// Whether span events are currently being recorded.
+#[must_use]
+pub fn events_enabled() -> bool {
+    enabled() && EVENTS.load(Ordering::Relaxed)
+}
+
+/// Bounds the number of staged span events per store (per thread, and for
+/// the merged global registry). On overflow the oldest events are dropped
+/// and counted under `obs/events/dropped`. A capacity of 0 keeps the
+/// recorder effectively off even when [`set_events`] is on.
+pub fn set_event_capacity(capacity: usize) {
+    EVENT_CAPACITY.store(capacity, Ordering::Relaxed);
+}
+
+/// The current per-store event-ring capacity.
+#[must_use]
+pub fn event_capacity() -> usize {
+    EVENT_CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the process-wide trace epoch.
+fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+thread_local! {
+    /// Dense per-thread id, assigned on first use.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+
+    /// Stack of open span ids on this thread — the parent of a new span
+    /// is the top of this stack (or 0 at top level).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// This thread's dense trace id.
+fn thread_id() -> u64 {
+    THREAD_ID.try_with(|&id| id).unwrap_or(0)
+}
+
+/// The id of the innermost span currently open on this thread, or 0.
+/// Capture this before fanning work out to other threads and pass it to
+/// [`span_with_parent`] so worker spans link back across the thread
+/// boundary.
+#[must_use]
+pub fn current_span_id() -> u64 {
+    SPAN_STACK
+        .try_with(|s| s.borrow().last().copied().unwrap_or(0))
+        .unwrap_or(0)
 }
 
 /// Per-span aggregate while recording (not yet exported).
@@ -118,14 +231,32 @@ impl HistAgg {
     }
 }
 
-/// One store of aggregated metrics — used both per-thread (staging) and
-/// globally (registry). Keys are `&'static str` so the hot path never
-/// allocates for a name.
+/// One flight-recorder record: a finished span occurrence.
+#[derive(Debug, Clone, Copy)]
+struct EventRec {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// One store of aggregated metrics and staged events — used both
+/// per-thread (staging) and globally (registry). Keys are `&'static str`
+/// so the hot path never allocates for a name.
 #[derive(Debug)]
 struct Store {
     spans: BTreeMap<&'static str, SpanAgg>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, HistAgg>,
+    /// Flight-recorder ring: bounded by [`event_capacity`], oldest
+    /// dropped first.
+    events: VecDeque<EventRec>,
+    /// Events evicted from the ring (surfaced as `obs/events/dropped`).
+    events_dropped: u64,
+    /// Explicit non-empty flushes merged in (surfaced as `obs/flush`).
+    flushes: u64,
 }
 
 impl Store {
@@ -134,11 +265,18 @@ impl Store {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             hists: BTreeMap::new(),
+            events: VecDeque::new(),
+            events_dropped: 0,
+            flushes: 0,
         }
     }
 
     fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.events.is_empty()
+            && self.events_dropped == 0
     }
 
     fn record_span(&mut self, name: &'static str, ns: u64) {
@@ -163,7 +301,21 @@ impl Store {
         }
     }
 
-    /// Merges `other` into `self`, leaving `other` empty.
+    /// Pushes one event, evicting the oldest past `cap`.
+    fn record_event(&mut self, rec: EventRec, cap: usize) {
+        if cap == 0 {
+            self.events_dropped += 1;
+            return;
+        }
+        self.events.push_back(rec);
+        while self.events.len() > cap {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Merges `other` into `self`, leaving `other` empty. The merged
+    /// event ring keeps the same bound, evicting earliest-merged first.
     fn absorb(&mut self, other: &mut Store) {
         for (name, agg) in std::mem::take(&mut other.spans) {
             match self.spans.get_mut(name) {
@@ -184,6 +336,14 @@ impl Store {
                 }
             }
         }
+        self.events.append(&mut other.events);
+        self.events_dropped += std::mem::take(&mut other.events_dropped);
+        self.flushes += std::mem::take(&mut other.flushes);
+        let cap = event_capacity();
+        while self.events.len() > cap {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
     }
 }
 
@@ -196,7 +356,11 @@ impl Drop for Staging {
     fn drop(&mut self) {
         let store = self.0.get_mut();
         if !store.is_empty() {
-            lock_global().absorb(store);
+            let mut global = lock_global();
+            global.absorb(store);
+            if enabled() {
+                global.flushes += 1;
+            }
         }
     }
 }
@@ -228,8 +392,9 @@ fn with_staging(f: impl FnOnce(&mut Store)) {
 }
 
 /// Times a region: records elapsed wall time under `name` when the
-/// returned guard drops. Inert (no clock read) while recording is
-/// disabled at entry.
+/// returned guard drops, plus one flight-recorder event when events are
+/// on (parented to the innermost open span on this thread). Inert (no
+/// clock read) while recording is disabled at entry.
 ///
 /// ```
 /// let _g = mec_obs::span("lp_hta/relaxation");
@@ -237,10 +402,54 @@ fn with_staging(f: impl FnOnce(&mut Store)) {
 /// ```
 #[must_use = "the span measures until the guard drops"]
 pub fn span(name: &'static str) -> SpanGuard {
+    open_span(name, None)
+}
+
+/// Like [`span`], but links the event to an explicit `parent` span id
+/// instead of this thread's innermost open span — the cross-thread edge
+/// for fan-out workers. Capture the parent on the coordinating thread
+/// with [`current_span_id`] before spawning. With events off this is
+/// exactly [`span`].
+#[must_use = "the span measures until the guard drops"]
+pub fn span_with_parent(name: &'static str, parent: u64) -> SpanGuard {
+    open_span(name, Some(parent))
+}
+
+fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            start: None,
+            event: None,
+        };
+    }
+    let event = if events_enabled() {
+        let parent = parent.unwrap_or_else(current_span_id);
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let _ = SPAN_STACK.try_with(|s| s.borrow_mut().push(id));
+        Some(OpenEvent {
+            id,
+            parent,
+            thread: thread_id(),
+            start_ns: now_ns(),
+        })
+    } else {
+        None
+    };
     SpanGuard {
         name,
-        start: enabled().then(Instant::now),
+        start: Some(Instant::now()),
+        event,
     }
+}
+
+/// The flight-recorder half of a live span.
+#[derive(Debug)]
+struct OpenEvent {
+    id: u64,
+    parent: u64,
+    thread: u64,
+    start_ns: u64,
 }
 
 /// Live span timer returned by [`span`]; see there.
@@ -248,6 +457,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    event: Option<OpenEvent>,
 }
 
 impl SpanGuard {
@@ -255,13 +465,46 @@ impl SpanGuard {
     pub fn finish(self) {
         drop(self);
     }
+
+    /// The flight-recorder id of this span (0 when events are off).
+    /// Pass to [`span_with_parent`] on another thread to nest under it.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.event.as_ref().map_or(0, |e| e.id)
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            with_staging(|s| s.record_span(self.name, ns));
+            let event = self.event.take();
+            if let Some(ev) = &event {
+                // Unwind this span from the stack; `rposition` tolerates
+                // out-of-order finishes of sibling guards.
+                let _ = SPAN_STACK.try_with(|s| {
+                    let mut stack = s.borrow_mut();
+                    if let Some(pos) = stack.iter().rposition(|&id| id == ev.id) {
+                        stack.remove(pos);
+                    }
+                });
+            }
+            with_staging(|s| {
+                s.record_span(self.name, ns);
+                if let Some(ev) = event {
+                    s.record_event(
+                        EventRec {
+                            name: self.name,
+                            id: ev.id,
+                            parent: ev.parent,
+                            thread: ev.thread,
+                            start_ns: ev.start_ns,
+                            end_ns: ev.start_ns.saturating_add(ns),
+                        },
+                        event_capacity(),
+                    );
+                }
+            });
         }
     }
 }
@@ -282,33 +525,83 @@ pub fn observe(name: &'static str, value: f64) {
     }
 }
 
-/// Merges the calling thread's staged metrics into the global registry.
-/// Worker threads flush automatically on exit; long-lived threads call
-/// this (or [`snapshot`], which flushes first) before reading results.
-pub fn flush() {
-    with_staging(|staged| {
+/// Merges the calling thread's staged metrics and events into the global
+/// registry. Worker threads flush automatically on exit; long-lived
+/// threads — the main thread between sweeps, the `par_map` caller at its
+/// join point — call this (or [`snapshot`], which flushes first) so a
+/// mid-run snapshot does not silently miss their staged data. Each merge
+/// of a non-empty store is counted under `obs/flush`.
+pub fn flush_current_thread() {
+    let _ = STAGING.try_with(|s| {
+        let mut staged = s.0.borrow_mut();
         if !staged.is_empty() {
-            lock_global().absorb(staged);
+            let mut global = lock_global();
+            global.absorb(&mut staged);
+            if enabled() {
+                global.flushes += 1;
+            }
         }
     });
+}
+
+/// Alias of [`flush_current_thread`], kept for existing call sites.
+pub fn flush() {
+    flush_current_thread();
 }
 
 /// Clears the global registry and the calling thread's staging store.
 /// Metrics still staged on *other* live threads survive and merge on
 /// their next flush.
 pub fn reset() {
-    with_staging(|staged| {
-        *staged = Store::new();
-        *lock_global() = Store::new();
+    let _ = STAGING.try_with(|s| {
+        *s.0.borrow_mut() = Store::new();
     });
+    *lock_global() = Store::new();
 }
 
-/// Flushes the calling thread and returns the merged aggregates, sorted
-/// by metric name (deterministic output for caching and tests).
+/// Flushes the calling thread and returns the merged aggregates plus any
+/// flight-recorder events, sorted by metric name / event start time
+/// (deterministic output for caching and tests).
 #[must_use]
 pub fn snapshot() -> TraceSnapshot {
-    flush();
+    flush_current_thread();
     let global = lock_global();
+    let mut counters: Vec<CounterStat> = global
+        .counters
+        .iter()
+        .map(|(&name, &value)| CounterStat {
+            name: name.to_string(),
+            value,
+        })
+        .collect();
+    // Self-diagnostics join the regular counters so drops and flush
+    // activity are visible in every export.
+    if global.events_dropped > 0 {
+        counters.push(CounterStat {
+            name: "obs/events/dropped".to_string(),
+            value: global.events_dropped,
+        });
+    }
+    if global.flushes > 0 {
+        counters.push(CounterStat {
+            name: "obs/flush".to_string(),
+            value: global.flushes,
+        });
+    }
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut events: Vec<SpanEvent> = global
+        .events
+        .iter()
+        .map(|e| SpanEvent {
+            name: e.name.to_string(),
+            id: e.id,
+            parent: e.parent,
+            thread: e.thread,
+            start_ns: e.start_ns,
+            end_ns: e.end_ns,
+        })
+        .collect();
+    events.sort_by_key(|e| (e.start_ns, e.id));
     TraceSnapshot {
         version: SCHEMA_VERSION,
         spans: global
@@ -322,14 +615,7 @@ pub fn snapshot() -> TraceSnapshot {
                 max_ns: agg.max_ns,
             })
             .collect(),
-        counters: global
-            .counters
-            .iter()
-            .map(|(&name, &value)| CounterStat {
-                name: name.to_string(),
-                value,
-            })
-            .collect(),
+        counters,
         histograms: global
             .hists
             .iter()
@@ -341,6 +627,7 @@ pub fn snapshot() -> TraceSnapshot {
                 max: agg.max,
             })
             .collect(),
+        events,
     }
 }
 
@@ -358,7 +645,19 @@ mod tests {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         reset();
         set_enabled(true);
+        set_events(false);
+        set_event_capacity(DEFAULT_EVENT_CAPACITY);
         guard
+    }
+
+    /// Counters recorded by the instrumentation under test, without the
+    /// `obs/*` self-diagnostics.
+    fn user_counters(snap: &TraceSnapshot) -> Vec<(String, u64)> {
+        snap.counters
+            .iter()
+            .filter(|c| !c.name.starts_with("obs/"))
+            .map(|c| (c.name.clone(), c.value))
+            .collect()
     }
 
     #[test]
@@ -373,6 +672,7 @@ mod tests {
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.events.is_empty());
         assert!(snap.is_empty());
     }
 
@@ -394,31 +694,55 @@ mod tests {
         let s = &snap.spans[0];
         assert_eq!((s.name.as_str(), s.count), ("test/phase", 3));
         assert!(s.min_ns <= s.max_ns && s.total_ns >= s.max_ns);
-        assert_eq!(snap.counters.len(), 1);
-        assert_eq!(snap.counters[0].value, 5);
+        assert_eq!(user_counters(&snap), vec![("test/items".to_string(), 5)]);
         assert_eq!(snap.counter("test/items"), Some(5));
         assert_eq!(snap.counter("test/zero"), None);
         assert_eq!(snap.histograms.len(), 1);
         let h = &snap.histograms[0];
         assert_eq!((h.count, h.sum, h.min, h.max), (2, 10.0, 4.0, 6.0));
+        // Events stay off unless opted in.
+        assert!(snap.events.is_empty());
     }
 
     #[test]
     fn worker_threads_flush_on_exit() {
         let _x = exclusive();
-        std::thread::scope(|scope| {
-            for i in 0..4 {
-                scope.spawn(move || {
+        // `thread::spawn` + `join`, not `thread::scope`: only a real
+        // join waits for TLS destructors, which is where the exit flush
+        // runs (see the module docs on the scoped-thread caveat).
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
                     counter_add("test/worker", i + 1);
                     let _g = span("test/worker_span");
-                });
-            }
-        });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
         // No explicit flush by the workers: their staging stores flushed
         // when the threads exited.
         let snap = snapshot();
         assert_eq!(snap.counter("test/worker"), Some(1 + 2 + 3 + 4));
         assert_eq!(snap.span("test/worker_span").map(|s| s.count), Some(4));
+        // Four worker flushes are visible in the diagnostics (plus
+        // possibly this thread's own).
+        assert!(snap.counter("obs/flush").unwrap_or(0) >= 4);
+    }
+
+    #[test]
+    fn flush_current_thread_makes_midrun_data_visible() {
+        let _x = exclusive();
+        counter_add("test/staged", 7);
+        // Peek at the registry *without* snapshot's implicit flush: the
+        // data is still thread-local.
+        assert_eq!(lock_global().counters.get("test/staged"), None);
+        flush_current_thread();
+        assert_eq!(lock_global().counters.get("test/staged"), Some(&7));
+        let snap = snapshot();
+        assert_eq!(snap.counter("test/staged"), Some(7));
+        assert!(snap.counter("obs/flush").unwrap_or(0) >= 1);
     }
 
     #[test]
@@ -426,7 +750,10 @@ mod tests {
         let _x = exclusive();
         counter_add("test/c", 1);
         let _ = span("test/s");
+        set_events(true);
+        drop(span("test/e"));
         reset();
+        set_events(false);
         assert!(snapshot().is_empty());
     }
 
@@ -436,7 +763,116 @@ mod tests {
         counter_add("test/b", 1);
         counter_add("test/a", 1);
         counter_add("test/c", 1);
-        let names: Vec<String> = snapshot().counters.into_iter().map(|c| c.name).collect();
+        let names: Vec<String> = snapshot()
+            .counters
+            .into_iter()
+            .map(|c| c.name)
+            .filter(|n| !n.starts_with("obs/"))
+            .collect();
         assert_eq!(names, ["test/a", "test/b", "test/c"]);
+    }
+
+    #[test]
+    fn events_record_nesting_on_one_thread() {
+        let _x = exclusive();
+        set_events(true);
+        {
+            let outer = span("test/outer");
+            assert_eq!(current_span_id(), outer.id());
+            let inner = span("test/inner");
+            assert_eq!(current_span_id(), inner.id());
+            inner.finish();
+            assert_eq!(current_span_id(), outer.id());
+        }
+        assert_eq!(current_span_id(), 0);
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        let outer = snap.events.iter().find(|e| e.name == "test/outer").unwrap();
+        let inner = snap.events.iter().find(|e| e.name == "test/inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.thread, outer.thread);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns >= inner.start_ns);
+        // Aggregates record the same two spans.
+        assert_eq!(snap.span("test/outer").map(|s| s.count), Some(1));
+        assert_eq!(snap.span("test/inner").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn events_link_across_threads_with_explicit_parent() {
+        let _x = exclusive();
+        set_events(true);
+        let sweep = span("test/sweep");
+        let parent = current_span_id();
+        assert_eq!(parent, sweep.id());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    {
+                        let _point = span_with_parent("test/point", parent);
+                        let _leaf = span("test/leaf"); // nests under point via the stack
+                    }
+                    // Scoped workers flush explicitly — the scope's
+                    // implicit join does not wait for the exit flush.
+                    flush_current_thread();
+                });
+            }
+        });
+        sweep.finish();
+        let snap = snapshot();
+        let sweep_ev = snap.events.iter().find(|e| e.name == "test/sweep").unwrap();
+        let points: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "test/point")
+            .collect();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.parent, sweep_ev.id, "worker span links to coordinator");
+            assert_ne!(p.thread, sweep_ev.thread);
+        }
+        for leaf in snap.events.iter().filter(|e| e.name == "test/leaf") {
+            assert!(
+                points.iter().any(|p| p.id == leaf.parent),
+                "leaf nests under its own thread's point span"
+            );
+        }
+    }
+
+    #[test]
+    fn event_ring_overflow_drops_oldest_but_keeps_aggregates_exact() {
+        let _x = exclusive();
+        set_events(true);
+        set_event_capacity(4);
+        for _ in 0..10 {
+            drop(span("test/ring"));
+        }
+        let snap = snapshot();
+        set_event_capacity(DEFAULT_EVENT_CAPACITY);
+        // The ring kept the newest 4; 6 were evicted and counted.
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.counter("obs/events/dropped"), Some(6));
+        let ids: Vec<u64> = snap.events.iter().map(|e| e.id).collect();
+        let max_id = *ids.iter().max().unwrap();
+        assert!(
+            ids.iter().all(|&id| id > max_id - 4),
+            "oldest events dropped first: {ids:?}"
+        );
+        // Aggregates are exempt from the bound.
+        assert_eq!(snap.span("test/ring").map(|s| s.count), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_drops_every_event() {
+        let _x = exclusive();
+        set_events(true);
+        set_event_capacity(0);
+        drop(span("test/none"));
+        let snap = snapshot();
+        set_event_capacity(DEFAULT_EVENT_CAPACITY);
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.counter("obs/events/dropped"), Some(1));
+        assert_eq!(snap.span("test/none").map(|s| s.count), Some(1));
     }
 }

@@ -1,11 +1,22 @@
 //! The exported trace shape: stable, versioned, documented in DESIGN.md
 //! §7. Everything here round-trips through `djson` (schema test below).
+//!
+//! ## Versioning / compatibility rule
+//!
+//! Schema changes are **additive**: new top-level keys may appear, the
+//! existing ones never change shape, and `version` is bumped to mark the
+//! addition. To keep every released reader working on every future file,
+//! [`TraceSnapshot`] deliberately bypasses `djson`'s strict object
+//! decoder at the top level: unknown top-level keys are ignored and the
+//! `events` array (new in v2) defaults to empty — so a v2 reader parses
+//! v1 files and a v1-shaped reader keeps parsing v2 aggregates. The
+//! nested record types stay strict; their shapes are frozen per version.
 
-use djson::impl_json_struct;
+use djson::{impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Version of the trace JSON schema emitted by [`TraceSnapshot`].
-/// Incremented on any backwards-incompatible shape change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v1: aggregates only. v2: adds the flight-recorder `events` array.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Aggregated statistics of one named span (timed region).
 #[derive(Debug, Clone, PartialEq)]
@@ -64,12 +75,50 @@ impl_json_struct!(HistogramStat {
     max
 });
 
+/// One flight-recorder event: a single finished occurrence of a span,
+/// with identity and parent linkage (schema v2, see DESIGN.md §7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Metric path, same namespace as [`SpanStat::name`].
+    pub name: String,
+    /// Process-unique span id (> 0; ids are never reused).
+    pub id: u64,
+    /// Id of the enclosing span, 0 for a root. Usually the innermost
+    /// open span on the same thread; fan-out workers link across
+    /// threads via `mec_obs::span_with_parent`.
+    pub parent: u64,
+    /// Dense id of the thread the span ran on.
+    pub thread: u64,
+    /// Start time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// End time, same epoch; `end_ns >= start_ns`.
+    pub end_ns: u64,
+}
+
+impl_json_struct!(SpanEvent {
+    name,
+    id,
+    parent,
+    thread,
+    start_ns,
+    end_ns
+});
+
+impl SpanEvent {
+    /// Wall time of this occurrence, nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
 /// One merged, name-sorted export of everything recorded since the last
 /// reset. This is the JSON written by `repro --trace` / `dsmec --trace`
 /// and embedded by `repro --perf` in `BENCH_parallel.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSnapshot {
-    /// Schema version ([`SCHEMA_VERSION`]).
+    /// Schema version ([`SCHEMA_VERSION`]) of the *writer*. Readers
+    /// accept any version (see the module-level compatibility rule).
     pub version: u32,
     /// Span aggregates, sorted by name.
     pub spans: Vec<SpanStat>,
@@ -77,20 +126,68 @@ pub struct TraceSnapshot {
     pub counters: Vec<CounterStat>,
     /// Histogram aggregates, sorted by name.
     pub histograms: Vec<HistogramStat>,
+    /// Flight-recorder events sorted by start time, empty unless events
+    /// were enabled (and in every v1 file). New in schema v2.
+    pub events: Vec<SpanEvent>,
 }
 
-impl_json_struct!(TraceSnapshot {
-    version,
-    spans,
-    counters,
-    histograms
-});
+impl ToJson for TraceSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".to_string(), self.version.to_json()),
+            ("spans".to_string(), self.spans.to_json()),
+            ("counters".to_string(), self.counters.to_json()),
+            ("histograms".to_string(), self.histograms.to_json()),
+            ("events".to_string(), self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceSnapshot {
+    /// Tolerant top-level decode: every section defaults to empty when
+    /// absent (v1 files have no `events`), unknown keys are skipped
+    /// (future versions only add keys), only `version` is required.
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let Json::Obj(entries) = value else {
+            return Err(JsonError::expected("object", value).at("TraceSnapshot"));
+        };
+        let mut snap = TraceSnapshot {
+            version: 0,
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            events: Vec::new(),
+        };
+        let mut saw_version = false;
+        for (key, field) in entries {
+            let pathed = |e: JsonError| e.at(format!("TraceSnapshot.{key}"));
+            match key.as_str() {
+                "version" => {
+                    snap.version = u32::from_json(field).map_err(pathed)?;
+                    saw_version = true;
+                }
+                "spans" => snap.spans = Vec::from_json(field).map_err(pathed)?,
+                "counters" => snap.counters = Vec::from_json(field).map_err(pathed)?,
+                "histograms" => snap.histograms = Vec::from_json(field).map_err(pathed)?,
+                "events" => snap.events = Vec::from_json(field).map_err(pathed)?,
+                _ => {} // forward compatibility: later versions add keys
+            }
+        }
+        if !saw_version {
+            return Err(JsonError::msg("missing field `version`").at("TraceSnapshot"));
+        }
+        Ok(snap)
+    }
+}
 
 impl TraceSnapshot {
     /// True when nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
     }
 
     /// Looks up a span aggregate by exact name.
@@ -119,11 +216,8 @@ impl TraceSnapshot {
 mod tests {
     use super::*;
 
-    /// The schema round-trip the ISSUE asks for: emit → parse with djson
-    /// → assert span/counter shape.
-    #[test]
-    fn snapshot_round_trips_through_djson() {
-        let snap = TraceSnapshot {
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
             version: SCHEMA_VERSION,
             spans: vec![SpanStat {
                 name: "lp_hta/relaxation".into(),
@@ -143,7 +237,32 @@ mod tests {
                 min: 3.0,
                 max: 6.0,
             }],
-        };
+            events: vec![
+                SpanEvent {
+                    name: "sweep/point".into(),
+                    id: 1,
+                    parent: 0,
+                    thread: 1,
+                    start_ns: 10,
+                    end_ns: 900,
+                },
+                SpanEvent {
+                    name: "lp_hta/relaxation".into(),
+                    id: 2,
+                    parent: 1,
+                    thread: 1,
+                    start_ns: 20,
+                    end_ns: 420,
+                },
+            ],
+        }
+    }
+
+    /// The schema round-trip the ISSUE asks for: emit → parse with djson
+    /// → assert span/counter/event shape.
+    #[test]
+    fn snapshot_round_trips_through_djson() {
+        let snap = sample();
         let text = djson::to_string_pretty(&snap);
         let back: TraceSnapshot = djson::from_str(&text).unwrap();
         assert_eq!(back, snap);
@@ -154,7 +273,51 @@ mod tests {
             panic!("snapshot must serialize as an object");
         };
         let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["version", "spans", "counters", "histograms"]);
+        assert_eq!(
+            keys,
+            ["version", "spans", "counters", "histograms", "events"]
+        );
+    }
+
+    /// Compat rule, backward half: a v1 file (no `events` key) still
+    /// decodes, with an empty event list.
+    #[test]
+    fn v1_files_without_events_still_parse() {
+        let v1 = r#"{
+            "version": 1,
+            "spans": [{"name": "a", "count": 1, "total_ns": 5, "min_ns": 5, "max_ns": 5}],
+            "counters": [],
+            "histograms": []
+        }"#;
+        let snap: TraceSnapshot = djson::from_str(v1).unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.spans.len(), 1);
+        assert!(snap.events.is_empty());
+    }
+
+    /// Compat rule, forward half: unknown top-level keys from a future
+    /// version are ignored, so today's reader parses tomorrow's file.
+    #[test]
+    fn unknown_top_level_keys_are_ignored() {
+        let v3 = r#"{"version": 3, "spans": [], "counters": [], "histograms": [],
+                     "events": [], "future_section": [1, 2, 3]}"#;
+        let snap: TraceSnapshot = djson::from_str(v3).unwrap();
+        assert_eq!(snap.version, 3);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn missing_version_is_rejected() {
+        let err = djson::from_str::<TraceSnapshot>("{\"spans\": []}").unwrap_err();
+        assert!(err.to_string().contains("missing field `version`"), "{err}");
+    }
+
+    #[test]
+    fn event_duration_saturates() {
+        let mut e = sample().events[0].clone();
+        assert_eq!(e.duration_ns(), 890);
+        e.end_ns = 0;
+        assert_eq!(e.duration_ns(), 0);
     }
 
     #[test]
@@ -167,6 +330,7 @@ mod tests {
                 value: 7,
             }],
             histograms: vec![],
+            events: vec![],
         };
         assert_eq!(snap.counter("cache/scenario/hits"), Some(7));
         assert_eq!(snap.counter("cache/scenario/misses"), None);
