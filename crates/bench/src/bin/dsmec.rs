@@ -191,17 +191,31 @@ fn dispatch(
                 read_json(flags.get("scenario").ok_or("--scenario required")?)?;
             let file: AssignmentFile =
                 read_json(flags.get("assignment").ok_or("--assignment required")?)?;
+            let contention = if switches.iter().any(|s| s == "contention") {
+                Contention::Exclusive
+            } else {
+                Contention::None
+            };
             let sim = if command == "simulate" {
-                let contention = if switches.iter().any(|s| s == "contention") {
-                    Contention::Exclusive
-                } else {
-                    Contention::None
-                };
                 Some(simulate_assignment(&scenario, &file, contention).map_err(|e| e.to_string())?)
             } else {
                 None
             };
             print!("{}", render_report(&file, sim.as_ref()));
+            // Fault injection: --chaos SEED or DSMEC_CHAOS=SEED replays
+            // the assignment under a seeded fault plan with repair.
+            if command == "simulate" {
+                let chaos = mec_bench::cli::resolve_chaos(flags.get("chaos").map(String::as_str))?;
+                if let Some(seed) = chaos {
+                    let run = mec_bench::cli::chaos_assignment(&scenario, &file, contention, seed)
+                        .map_err(|e| e.to_string())?;
+                    print!("{}", mec_bench::cli::render_chaos_report(&run));
+                    if let Some(out) = flags.get("chaos-out") {
+                        write_json(out, &run)?;
+                        println!("wrote {out}");
+                    }
+                }
+            }
             Ok(())
         }
         "divisible" => {
@@ -259,7 +273,11 @@ fn dispatch(
             eprintln!("  generate  --seed N --stations K --devices-per-station D --tasks T \\");
             eprintln!("            --max-input-kb KB --out scenario.json");
             eprintln!("  assign    --scenario F --algorithm NAME --out assignment.json");
-            eprintln!("  simulate  --scenario F --assignment F [--contention]");
+            eprintln!("  simulate  --scenario F --assignment F [--contention] \\");
+            eprintln!("            [--chaos SEED [--chaos-out chaos.json]]");
+            eprintln!("            --chaos injects a seeded fault plan (device dropouts,");
+            eprintln!("            link outages/degradation, stragglers) and replans");
+            eprintln!("            stranded tasks; the run is deterministic per seed");
             eprintln!("  report    --scenario F --assignment F");
             eprintln!("  compare   --scenario F");
             eprintln!("  divisible --seed N --tasks T --items M");
@@ -278,6 +296,7 @@ fn dispatch(
             eprintln!("  DSMEC_THREADS=N       worker threads when --threads is not given");
             eprintln!("  DSMEC_TRACE=P         trace output path when --trace is not given");
             eprintln!("  DSMEC_TRACE_EVENTS=0  record aggregates only (no span events)");
+            eprintln!("  DSMEC_CHAOS=SEED      chaos seed when --chaos is not given");
             eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
             Ok(())
         }

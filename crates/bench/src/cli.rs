@@ -13,7 +13,10 @@ use dsmec_core::hta::{
     AllOffload, AllToC, Hgos, HtaAlgorithm, LocalFirst, LpHta, NashOffload, RandomAssign,
 };
 use dsmec_core::metrics::{evaluate_assignment, Metrics};
-use mec_sim::sim::{simulate, Contention, SimReport};
+use dsmec_core::repair::{AbandonReason, RepairAction, TaskFate};
+use dsmec_core::{execute_with_repair, ChaosRunReport, RepairPolicy};
+use mec_sim::sim::{simulate, ChaosConfig, Contention, FaultPlan, SimReport};
+use mec_sim::units::Seconds;
 use mec_sim::workload::{Scenario, ScenarioConfig};
 use std::fmt;
 
@@ -237,6 +240,147 @@ pub fn simulate_assignment(
     Ok(simulate(&scenario.system, &exec, contention)?)
 }
 
+/// Resolves the chaos seed shared by both binaries: an explicit
+/// `--chaos SEED` wins, otherwise the `DSMEC_CHAOS` environment
+/// variable; `None` (no fault injection) when neither is set.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the seed is not a `u64`.
+pub fn resolve_chaos(flag: Option<&str>) -> Result<Option<u64>, String> {
+    let spec = flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("DSMEC_CHAOS").ok())
+        .filter(|s| !s.is_empty());
+    match spec {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("invalid chaos seed {s:?}: {e}")),
+    }
+}
+
+/// On-disk bundle of one chaos run: the seed, the generated fault plan
+/// (so a failing run can be replayed or shrunk without regenerating),
+/// and the repair report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRunFile {
+    /// The chaos seed the plan was generated from.
+    pub seed: u64,
+    /// The fault-injection horizon (fault-free makespan, ≥ 1 s).
+    pub horizon: Seconds,
+    /// The injected faults.
+    pub plan: FaultPlan,
+    /// Per-task fates and the ordered fault/repair event log.
+    pub report: ChaosRunReport,
+}
+
+/// Runs the chaos pipeline on an assignment: simulate fault-free to find
+/// the schedule's horizon, generate a seeded [`FaultPlan`] spanning it,
+/// then execute under faults with the default [`RepairPolicy`].
+///
+/// # Errors
+///
+/// Propagates substrate errors; per-task failures land in the report.
+pub fn chaos_assignment(
+    scenario: &Scenario,
+    file: &AssignmentFile,
+    contention: Contention,
+    seed: u64,
+) -> Result<ChaosRunFile, AssignError> {
+    // The horizon must overlap the actual schedule or every generated
+    // window would miss it; the fault-free makespan is exactly that
+    // (clamped up for degenerate zero-length schedules).
+    let baseline = simulate_assignment(scenario, file, contention)?;
+    let horizon = Seconds::new(baseline.makespan().value().max(1.0));
+    let plan = ChaosConfig::from_seed(seed)
+        .generate(&scenario.system, horizon)
+        .map_err(AssignError::Mec)?;
+    let report = execute_with_repair(
+        &scenario.system,
+        &scenario.tasks,
+        &file.assignment,
+        contention,
+        &plan,
+        &RepairPolicy::default(),
+    )?;
+    Ok(ChaosRunFile {
+        seed,
+        horizon,
+        plan,
+        report,
+    })
+}
+
+/// Renders a one-screen summary of a chaos run: fault counts, per-fate
+/// task tallies, repair-action tallies and the head of the event log.
+pub fn render_chaos_report(run: &ChaosRunFile) -> String {
+    use std::fmt::Write as _;
+    let r = &run.report;
+    let mut out = String::new();
+    let _ = writeln!(out, "--- chaos (seed {}) ---", run.seed);
+    let _ = writeln!(
+        out,
+        "faults injected:  {} over {:.4} s horizon",
+        run.plan.faults().len(),
+        run.horizon.value()
+    );
+    let recovered = r
+        .results
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.fate,
+                TaskFate::Completed {
+                    recovered: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    let _ = writeln!(
+        out,
+        "tasks:            {} completed ({recovered} after repair) / {} failed / {} waves",
+        r.completed(),
+        r.failed(),
+        r.waves
+    );
+    let count =
+        |pred: &dyn Fn(&RepairAction) -> bool| r.events.iter().filter(|e| pred(&e.action)).count();
+    let _ = writeln!(
+        out,
+        "repairs:          {} retries / {} re-sourced / {} reassigned / {} abandoned",
+        count(&|a| matches!(a, RepairAction::Retry { .. })),
+        count(&|a| matches!(a, RepairAction::Resourced { .. })),
+        count(&|a| matches!(a, RepairAction::Reassigned { .. })),
+        count(&|a| matches!(
+            a,
+            RepairAction::Abandoned(
+                AbandonReason::RetriesExhausted
+                    | AbandonReason::OwnerLost
+                    | AbandonReason::DataLost
+                    | AbandonReason::NoFeasibleSite
+            )
+        )),
+    );
+    let _ = writeln!(out, "chaos energy:     {:.2} J", r.total_energy().value());
+    const HEAD: usize = 12;
+    for e in r.events.iter().take(HEAD) {
+        let _ = writeln!(
+            out,
+            "  {:>10.4}s  {}  {:?}",
+            e.time.value(),
+            e.task,
+            e.action
+        );
+    }
+    if r.events.len() > HEAD {
+        let _ = writeln!(out, "  … {} more events", r.events.len() - HEAD);
+    }
+    out
+}
+
 /// Renders a one-screen report of assignment metrics (and optionally a
 /// simulation outcome).
 pub fn render_report(file: &AssignmentFile, sim: Option<&SimReport>) -> String {
@@ -282,6 +426,12 @@ djson::impl_json_struct!(AssignmentFile {
     scenario_seed,
     assignment,
     metrics,
+});
+djson::impl_json_struct!(ChaosRunFile {
+    seed,
+    horizon,
+    plan,
+    report,
 });
 
 #[cfg(test)]
@@ -352,6 +502,30 @@ mod tests {
         let err = read_json::<Scenario>(missing.to_str().unwrap()).unwrap_err();
         assert!(err.contains("nope.json"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_chaos_prefers_the_flag_and_validates() {
+        // The env fallback is covered by tests/chaos.rs (process-level),
+        // keeping this test free of env-var races.
+        assert_eq!(resolve_chaos(Some("7")), Ok(Some(7)));
+        assert!(resolve_chaos(Some("not-a-seed")).is_err());
+    }
+
+    #[test]
+    fn chaos_pipeline_is_deterministic_and_round_trips() {
+        let scenario = generate_scenario(9, 1, 4, 12, 1500.0).unwrap();
+        let file = assign_scenario(&scenario, AlgorithmName::LpHta, 9).unwrap();
+        let a = chaos_assignment(&scenario, &file, Contention::Exclusive, 0xC0FFEE).unwrap();
+        let b = chaos_assignment(&scenario, &file, Contention::Exclusive, 0xC0FFEE).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.report.results.len(), scenario.tasks.len());
+        let json = djson::to_string(&a);
+        let back: ChaosRunFile = djson::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        let text = render_chaos_report(&a);
+        assert!(text.contains("chaos (seed 12648430)"), "{text}");
+        assert!(text.contains("tasks:"), "{text}");
     }
 
     #[test]

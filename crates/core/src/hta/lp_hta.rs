@@ -558,8 +558,11 @@ fn sample_site(row: &[f64; 3], rng: &mut ChaCha8Rng) -> ExecutionSite {
 /// Shared logic of Steps 5 and 6: while the tasks at `from` (filtered by
 /// `belongs`) exceed `capacity`, migrate the largest occupation whose
 /// deadline admits `to`; if none is movable, cancel the largest.
+///
+/// Also reused by the chaos [`crate::repair`] layer, which feeds it the
+/// *residual* capacity left by unaffected tasks.
 #[allow(clippy::too_many_arguments)]
-fn repair_capacity(
+pub(crate) fn repair_capacity(
     tasks: &[HolisticTask],
     costs: &CostTable,
     idxs: &[usize],

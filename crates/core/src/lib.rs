@@ -41,9 +41,11 @@ pub mod dta;
 pub mod error;
 pub mod hta;
 pub mod metrics;
+pub mod repair;
 
 pub use assignment::{Assignment, Decision};
 pub use costs::CostTable;
 pub use error::AssignError;
 pub use hta::{HtaAlgorithm, LpHta};
 pub use metrics::{evaluate_assignment, Metrics};
+pub use repair::{execute_with_repair, repair_coverage, ChaosRunReport, RepairPolicy};

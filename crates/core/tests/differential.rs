@@ -1,0 +1,230 @@
+//! Differential oracles: the production algorithms checked against the
+//! exact branch-and-bound references on instances small enough to solve
+//! exactly.
+//!
+//! * LP-HTA vs [`ExactBnB`]: every LP-HTA output must be feasible
+//!   (deadlines, device capacity, station capacity), and on instances
+//!   where LP-HTA cancels nothing its energy can never beat the exact
+//!   optimum — the optimum is a true lower bound.
+//! * `divide_balanced` vs `exact_min_max`, `divide_min_devices` vs
+//!   `exact_min_devices`: the greedy divisions must stay valid covers
+//!   and can never do better than the exact optima they approximate.
+//!
+//! All instances are drawn from the seeded in-repo harness
+//! ([`detrand::prop`]); failures print a `DSMEC_PROP_SEED` replay seed.
+
+use detrand::prop::run_cases;
+use detrand::{prop_assert, ChaCha8Rng};
+use dsmec_core::costs::CostTable;
+use dsmec_core::dta::{
+    divide_balanced, divide_min_devices, exact_min_devices, exact_min_max, Coverage,
+};
+use dsmec_core::hta::{ExactBnB, HtaAlgorithm, LpHta};
+use dsmec_core::{Assignment, Decision};
+use mec_sim::data::{DataItemId, DataUniverse, ItemSet};
+use mec_sim::task::{ExecutionSite, HolisticTask};
+use mec_sim::topology::MecSystem;
+use mec_sim::units::Bytes;
+use mec_sim::workload::{Scenario, ScenarioConfig};
+
+/// A small scenario ExactBnB can afford: ≤ 2 stations, ≤ 10 tasks.
+fn small_scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    let mut cfg = ScenarioConfig::paper_defaults(rng.gen_range(0..1_000_000u64));
+    cfg.num_stations = rng.gen_range(1..3usize);
+    cfg.devices_per_station = rng.gen_range(2..5usize);
+    cfg.tasks_total = rng.gen_range(3..11usize);
+    cfg.max_input_kb = 2000.0;
+    cfg.generate().expect("paper-shaped config generates")
+}
+
+/// Checks the three hard feasibility conditions of the HTA problem for
+/// every non-cancelled task: deadline, owner-device capacity, station
+/// capacity. Cloud capacity is unconstrained by the model.
+fn assert_feasible(
+    label: &str,
+    system: &MecSystem,
+    tasks: &[HolisticTask],
+    costs: &CostTable,
+    assignment: &Assignment,
+) -> Result<(), String> {
+    const TOL: f64 = 1e-9;
+    let mut device_used = vec![0.0f64; system.num_devices()];
+    let mut station_used = vec![0.0f64; system.num_stations()];
+    for (idx, d) in assignment.decisions().iter().enumerate() {
+        let Decision::Assigned(site) = d else {
+            continue;
+        };
+        prop_assert!(
+            costs.feasible(idx, *site, tasks[idx].deadline),
+            "{label}: task {idx} at {site} misses its deadline"
+        );
+        match site {
+            ExecutionSite::Device => device_used[tasks[idx].owner.0] += tasks[idx].resource.value(),
+            ExecutionSite::Station => {
+                let sid = system
+                    .device(tasks[idx].owner)
+                    .map_err(|e| e.to_string())?
+                    .station;
+                station_used[sid.0] += tasks[idx].resource.value();
+            }
+            ExecutionSite::Cloud => {}
+        }
+    }
+    for dev in system.devices() {
+        prop_assert!(
+            device_used[dev.id.0] <= dev.max_resource.value() * (1.0 + TOL),
+            "{label}: device {:?} over capacity ({} > {})",
+            dev.id,
+            device_used[dev.id.0],
+            dev.max_resource.value()
+        );
+    }
+    for st in system.stations() {
+        prop_assert!(
+            station_used[st.id.0] <= st.max_resource.value() * (1.0 + TOL),
+            "{label}: station {:?} over capacity ({} > {})",
+            st.id,
+            station_used[st.id.0],
+            st.max_resource.value()
+        );
+    }
+    Ok(())
+}
+
+/// Energy of the assigned tasks only (cancelled tasks burn nothing).
+fn assigned_energy(costs: &CostTable, assignment: &Assignment) -> f64 {
+    assignment
+        .decisions()
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, d)| match d {
+            Decision::Assigned(site) => Some(costs.at(idx, *site).energy.value()),
+            Decision::Cancelled => None,
+        })
+        .sum()
+}
+
+#[test]
+fn lp_hta_is_feasible_and_never_beats_the_exact_optimum() {
+    let mut exact_solved = 0u32;
+    run_cases("lp_hta_vs_exact", 24, |rng| {
+        let s = small_scenario(rng);
+        let costs = CostTable::build(&s.system, &s.tasks).map_err(|e| e.to_string())?;
+        let lp = LpHta::paper()
+            .assign(&s.system, &s.tasks, &costs)
+            .map_err(|e| e.to_string())?;
+        assert_feasible("lp-hta", &s.system, &s.tasks, &costs, &lp)?;
+
+        let exact = ExactBnB::default()
+            .solve(&s.system, &s.tasks, &costs)
+            .map_err(|e| e.to_string())?;
+        match exact {
+            Some((exact_asg, exact_energy)) => {
+                exact_solved += 1;
+                assert_feasible("exact", &s.system, &s.tasks, &costs, &exact_asg)?;
+                // The recomputed objective matches what the solver reports.
+                let recomputed = assigned_energy(&costs, &exact_asg);
+                prop_assert!(
+                    (recomputed - exact_energy).abs() <= 1e-6 * (1.0 + exact_energy),
+                    "exact objective drifted: {recomputed} vs {exact_energy}"
+                );
+                // On instances LP-HTA solves completely, the exact
+                // optimum is a lower bound on its energy (up to LP
+                // rounding noise).
+                if lp.cancelled().is_empty() {
+                    let lp_energy = assigned_energy(&costs, &lp);
+                    prop_assert!(
+                        exact_energy <= lp_energy * (1.0 + 1e-6) + 1e-9,
+                        "LP-HTA beat the exact optimum: {lp_energy} < {exact_energy}"
+                    );
+                }
+            }
+            None => {
+                // The instance is infeasible with every task assigned;
+                // LP-HTA must have shed load to stay feasible.
+                prop_assert!(
+                    !lp.cancelled().is_empty(),
+                    "exact says infeasible but LP-HTA cancelled nothing"
+                );
+            }
+        }
+        Ok(())
+    });
+    assert!(
+        exact_solved > 0,
+        "the exact reference never solved an instance; the oracle is vacuous"
+    );
+}
+
+/// A random data universe where every item has at least one owner, so
+/// both the greedy and the exact divisions are well-defined.
+fn random_universe(rng: &mut ChaCha8Rng) -> (DataUniverse, ItemSet) {
+    let items = rng.gen_range(3..9usize);
+    let devices = rng.gen_range(2..5usize);
+    let mut holdings = vec![Vec::new(); devices];
+    for item in 0..items {
+        // Guaranteed owner plus random extras.
+        holdings[rng.gen_range(0..devices)].push(item);
+        for extra in holdings.iter_mut() {
+            if rng.gen_bool(0.3) {
+                extra.push(item);
+            }
+        }
+    }
+    let sizes = (0..items)
+        .map(|_| Bytes::from_kb(rng.gen_range(1.0..100.0)))
+        .collect();
+    let holdings = holdings
+        .into_iter()
+        .map(|ids| ItemSet::from_ids(items, ids.into_iter().map(DataItemId)))
+        .collect();
+    let universe = DataUniverse::new(sizes, holdings).expect("every item has an owner");
+    let required = ItemSet::full(items);
+    (universe, required)
+}
+
+#[test]
+fn divide_balanced_never_beats_the_exact_min_max_division() {
+    run_cases("dta_workload_vs_exact", 48, |rng| {
+        let (universe, required) = random_universe(rng);
+        let greedy = divide_balanced(&universe, &required).map_err(|e| e.to_string())?;
+        let exact =
+            exact_min_max(&universe, &required, required.len()).map_err(|e| e.to_string())?;
+        let check = |label: &str, c: &Coverage| {
+            c.validate(&universe, &required)
+                .map_err(|v| format!("{label}: invalid cover: {v}"))
+        };
+        check("greedy", &greedy)?;
+        check("exact", &exact)?;
+        prop_assert!(
+            greedy.max_share_len() >= exact.max_share_len(),
+            "greedy max share {} beat the exact optimum {}",
+            greedy.max_share_len(),
+            exact.max_share_len()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn divide_min_devices_never_beats_the_exact_minimum() {
+    run_cases("dta_number_vs_exact", 48, |rng| {
+        let (universe, required) = random_universe(rng);
+        let greedy = divide_min_devices(&universe, &required).map_err(|e| e.to_string())?;
+        let exact = exact_min_devices(&universe, &required, universe.num_devices())
+            .map_err(|e| e.to_string())?;
+        greedy
+            .validate(&universe, &required)
+            .map_err(|v| v.to_string())?;
+        exact
+            .validate(&universe, &required)
+            .map_err(|v| v.to_string())?;
+        prop_assert!(
+            greedy.involved_devices() >= exact.involved_devices(),
+            "greedy used {} devices, below the exact minimum {}",
+            greedy.involved_devices(),
+            exact.involved_devices()
+        );
+        Ok(())
+    });
+}

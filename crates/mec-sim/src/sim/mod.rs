@@ -9,12 +9,14 @@
 //! analytic times exactly — a strong end-to-end check that the cost model
 //! and the executor agree.
 
+pub mod fault;
 pub mod plan;
 
 use crate::error::MecError;
 use crate::task::{ExecutionSite, HolisticTask, TaskId};
 use crate::topology::MecSystem;
 use crate::units::{Joules, Seconds};
+pub use fault::{ChaosConfig, Fault, FaultHitKind, FaultPlan, Window};
 use plan::{build_plan, Plan, PlanStep, Resource, Stage};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -88,6 +90,195 @@ impl SimReport {
     }
 }
 
+/// One fault striking one task: the time and resource where a stage was
+/// about to start, and why it could not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultHit {
+    /// When the stage would have started.
+    pub time: Seconds,
+    /// The faulted resource the stage needed.
+    pub resource: Resource,
+    /// Permanent (device lost) or transient (link outage).
+    pub kind: FaultHitKind,
+}
+
+/// How one task ended under a fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosOutcome {
+    /// The task ran to completion (possibly stretched by degradation or
+    /// straggler windows).
+    Completed {
+        /// Wall-clock completion time.
+        completion: Seconds,
+        /// `completion − arrival`, checked against the deadline.
+        sojourn: Seconds,
+        /// Whether the sojourn met the task's deadline.
+        met_deadline: bool,
+    },
+    /// A fault killed the task; energy spent before the hit is still
+    /// accounted. Never silently dropped — every input task reports.
+    Failed(FaultHit),
+}
+
+/// Outcome of one task in a chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosTaskResult {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Where it was assigned to run.
+    pub site: ExecutionSite,
+    /// When the task arrived.
+    pub arrival: Seconds,
+    /// System energy spent on the task (up to the fault, if it failed).
+    pub energy: Joules,
+    /// Completion or failure.
+    pub outcome: ChaosOutcome,
+}
+
+/// One fault strike, in chronological order — the replayable event
+/// sequence a chaos seed is documented by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// The task that was struck.
+    pub task: TaskId,
+    /// The strike itself.
+    pub hit: FaultHit,
+}
+
+/// Aggregate outcome of a chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSimReport {
+    /// Per-task outcomes in input order (every input task appears).
+    pub results: Vec<ChaosTaskResult>,
+    /// Fault strikes in the order the executor processed them.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosSimReport {
+    /// Tasks that failed, in input order.
+    pub fn failed(&self) -> impl Iterator<Item = &ChaosTaskResult> {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, ChaosOutcome::Failed(_)))
+    }
+
+    /// Total system energy across completed and failed tasks.
+    pub fn total_energy(&self) -> Joules {
+        self.results.iter().map(|r| r.energy).sum()
+    }
+
+    /// Time the last completed task finishes (zero if none completed).
+    pub fn makespan(&self) -> Seconds {
+        self.results
+            .iter()
+            .filter_map(|r| match r.outcome {
+                ChaosOutcome::Completed { completion, .. } => Some(completion),
+                ChaosOutcome::Failed(_) => None,
+            })
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+}
+
+/// Runs `assignments` through the system under a fault plan. All tasks
+/// arrive at time zero.
+///
+/// # Errors
+///
+/// Propagates plan-building errors (unknown devices, invalid tasks).
+pub fn simulate_chaos(
+    system: &MecSystem,
+    assignments: &[(HolisticTask, ExecutionSite)],
+    contention: Contention,
+    faults: &FaultPlan,
+) -> Result<ChaosSimReport, MecError> {
+    let timed: Vec<(HolisticTask, ExecutionSite, Seconds)> = assignments
+        .iter()
+        .map(|(t, s)| (*t, *s, Seconds::ZERO))
+        .collect();
+    simulate_chaos_with_arrivals(system, &timed, contention, faults)
+}
+
+/// Runs timed `arrivals` through the system under a fault plan.
+///
+/// Faults apply at stage service start (module docs of [`fault`]); a
+/// struck task reports [`ChaosOutcome::Failed`] with the hit, charging
+/// the energy already spent. With an empty plan the completion times,
+/// sojourns and energies are bit-identical to
+/// [`simulate_with_arrivals`] (asserted by `tests/chaos.rs`).
+///
+/// # Errors
+///
+/// Propagates plan-building errors and rejects negative or non-finite
+/// arrival times.
+pub fn simulate_chaos_with_arrivals(
+    system: &MecSystem,
+    arrivals: &[(HolisticTask, ExecutionSite, Seconds)],
+    contention: Contention,
+    faults: &FaultPlan,
+) -> Result<ChaosSimReport, MecError> {
+    let _span = mec_obs::span("sim/chaos");
+    for (task, _, at) in arrivals {
+        if !(at.value() >= 0.0 && at.is_finite()) {
+            return Err(MecError::InvalidParameter {
+                name: "arrival",
+                reason: format!("{} arrives at invalid time {at}", task.id),
+            });
+        }
+    }
+    let plans: Vec<Plan> = arrivals
+        .iter()
+        .map(|(t, s, _)| build_plan(system, t, *s))
+        .collect::<Result<_, _>>()?;
+    let times: Vec<f64> = arrivals.iter().map(|(_, _, at)| at.value()).collect();
+    let mut engine = Engine::new(contention, &plans, Some(faults));
+    let finish = engine.run_with_arrivals(&times);
+    let results = arrivals
+        .iter()
+        .zip(plans.iter())
+        .enumerate()
+        .map(|(i, ((task, site, arrival), plan))| {
+            let (energy, outcome) = match engine.failed[i] {
+                Some(hit) => (Joules::new(engine.energy[i]), ChaosOutcome::Failed(hit)),
+                None => {
+                    let completion = finish[i];
+                    let sojourn = completion - *arrival;
+                    // Untouched tasks report the plan's own energy sum so
+                    // an empty fault plan is bit-identical to `simulate`.
+                    let energy = if engine.touched[i] {
+                        Joules::new(engine.energy[i])
+                    } else {
+                        plan.total_energy()
+                    };
+                    (
+                        energy,
+                        ChaosOutcome::Completed {
+                            completion,
+                            sojourn,
+                            met_deadline: sojourn <= task.deadline,
+                        },
+                    )
+                }
+            };
+            ChaosTaskResult {
+                id: task.id,
+                site: *site,
+                arrival: *arrival,
+                energy,
+                outcome,
+            }
+        })
+        .collect();
+    let events = engine
+        .hits
+        .iter()
+        .map(|&(i, hit)| ChaosEvent {
+            task: arrivals[i].0.id,
+            hit,
+        })
+        .collect();
+    Ok(ChaosSimReport { results, events })
+}
+
 /// Runs `assignments` through the system.
 ///
 /// # Errors
@@ -149,7 +340,7 @@ pub fn simulate_with_arrivals(
         .map(|(t, s, _)| build_plan(system, t, *s))
         .collect::<Result<_, _>>()?;
     let times: Vec<f64> = arrivals.iter().map(|(_, _, at)| at.value()).collect();
-    let mut engine = Engine::new(contention, &plans);
+    let mut engine = Engine::new(contention, &plans, None);
     let finish = engine.run_with_arrivals(&times);
     let results = arrivals
         .iter()
@@ -204,11 +395,12 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Times come from finite durations; ties broken by sequence number
-        // so completion order is deterministic.
+        // Times come from finite durations (build_plan validates every
+        // stage), and total_cmp agrees with the usual order on finite
+        // values; ties broken by sequence number so completion order is
+        // deterministic.
         self.time
-            .partial_cmp(&other.time)
-            .expect("finite event times")
+            .total_cmp(&other.time)
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -228,10 +420,22 @@ struct Engine<'a> {
     /// Remaining unfinished branches per (task, step) for parallel steps.
     open_branches: HashMap<(usize, usize), usize>,
     finish: Vec<f64>,
+    /// Injected faults; `None` keeps the fault-free arithmetic untouched.
+    faults: Option<&'a FaultPlan>,
+    /// First fault hit per task (a struck task never restarts in-sim;
+    /// replanning is the repair layer's job).
+    failed: Vec<Option<FaultHit>>,
+    /// Energy charged at stage service start, per task (raw joules).
+    energy: Vec<f64>,
+    /// Whether any stage of the task was stretched; untouched completed
+    /// tasks report the plan's own energy sum for bit-identity.
+    touched: Vec<bool>,
+    /// Fault strikes in processing order.
+    hits: Vec<(usize, FaultHit)>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(contention: Contention, plans: &'a [Plan]) -> Engine<'a> {
+    fn new(contention: Contention, plans: &'a [Plan], faults: Option<&'a FaultPlan>) -> Engine<'a> {
         Engine {
             contention,
             plans,
@@ -240,6 +444,11 @@ impl<'a> Engine<'a> {
             resources: HashMap::new(),
             open_branches: HashMap::new(),
             finish: vec![0.0; plans.len()],
+            faults,
+            failed: vec![None; plans.len()],
+            energy: vec![0.0; plans.len()],
+            touched: vec![false; plans.len()],
+            hits: Vec::new(),
         }
     }
 
@@ -331,7 +540,30 @@ impl<'a> Engine<'a> {
         self.schedule(sref, stage, now);
     }
 
+    /// Starts service of a stage: the point where faults apply. A fault
+    /// hit fails the whole task; a degradation/straggler window stretches
+    /// the stage (duration and energy alike). With no fault plan the
+    /// arithmetic is exactly `now + duration` — nothing is multiplied.
     fn schedule(&mut self, sref: StageRef, stage: Stage, now: f64) {
+        if let Some(plan) = self.faults {
+            if let Some(kind) = plan.hit(stage.resource, now) {
+                self.fail_task(sref, stage, now, kind);
+                return;
+            }
+            let stretch = plan.stretch(stage.resource, now);
+            if stretch != 1.0 {
+                self.touched[sref.task] = true;
+                mec_obs::counter_add("sim/chaos/stretched_stages", 1);
+            }
+            self.energy[sref.task] += stage.energy.value() * stretch;
+            self.seq += 1;
+            self.heap.push(Reverse(Event {
+                time: now + stage.duration.value() * stretch,
+                seq: self.seq,
+                stage: sref,
+            }));
+            return;
+        }
         self.seq += 1;
         self.heap.push(Reverse(Event {
             time: now + stage.duration.value(),
@@ -340,22 +572,76 @@ impl<'a> Engine<'a> {
         }));
     }
 
+    /// Records the first fault hit on a task and frees the resource its
+    /// failing stage was holding. In-flight sibling stages drain through
+    /// [`Engine::complete_stage`]'s failed-task guard; queued ones are
+    /// skipped by [`Engine::release`].
+    fn fail_task(&mut self, sref: StageRef, stage: Stage, now: f64, kind: FaultHitKind) {
+        if self.failed[sref.task].is_none() {
+            let hit = FaultHit {
+                time: Seconds::new(now),
+                resource: stage.resource,
+                kind,
+            };
+            self.failed[sref.task] = Some(hit);
+            self.hits.push((sref.task, hit));
+            mec_obs::counter_add(
+                match kind {
+                    FaultHitKind::DeviceLost(_) => "sim/chaos/device_lost",
+                    FaultHitKind::LinkOutage(_) => "sim/chaos/link_outage",
+                },
+                1,
+            );
+        }
+        self.release(stage.resource, now);
+    }
+
+    /// Frees a serialized resource and starts the next live waiter,
+    /// skipping queued stages of tasks that have already failed.
+    fn release(&mut self, resource: Resource, now: f64) {
+        if !self.serialized(resource) {
+            return;
+        }
+        loop {
+            let next = self
+                .resources
+                .get_mut(&resource)
+                .expect("released stage had a resource entry")
+                .queue
+                .pop_front();
+            match next {
+                Some((next_ref, _)) if self.failed[next_ref.task].is_some() => continue,
+                Some((next_ref, next_stage)) => {
+                    // May recurse through fail_task back into release if
+                    // the waiter is struck at start; the queue shrinks
+                    // every iteration, so this terminates.
+                    self.schedule(next_ref, next_stage, now);
+                    return;
+                }
+                None => {
+                    self.resources
+                        .get_mut(&resource)
+                        .expect("released stage had a resource entry")
+                        .busy = false;
+                    return;
+                }
+            }
+        }
+    }
+
     fn complete_stage(&mut self, ev: Event) {
         let sref = ev.stage;
         let now = ev.time;
         let stage = self.stage_at(sref);
 
         // Free the resource and start the next waiter.
-        if self.serialized(stage.resource) {
-            let state = self
-                .resources
-                .get_mut(&stage.resource)
-                .expect("completed stage had a resource entry");
-            if let Some((next_ref, next_stage)) = state.queue.pop_front() {
-                self.schedule(next_ref, next_stage, now);
-            } else {
-                state.busy = false;
-            }
+        self.release(stage.resource, now);
+
+        // A stage of a failed task that was already in flight when the
+        // fault struck still drains its resource (above) but no longer
+        // advances the task.
+        if self.failed[sref.task].is_some() {
+            return;
         }
 
         // Advance the task.
@@ -408,6 +694,28 @@ djson::impl_json_struct!(TaskSimResult {
     met_deadline,
 });
 djson::impl_json_struct!(SimReport { results });
+djson::impl_json_struct!(FaultHit {
+    time,
+    resource,
+    kind
+});
+djson::impl_json_enum!(ChaosOutcome {
+    Completed {
+        completion: Seconds,
+        sojourn: Seconds,
+        met_deadline: bool
+    },
+    Failed(FaultHit),
+});
+djson::impl_json_struct!(ChaosTaskResult {
+    id,
+    site,
+    arrival,
+    energy,
+    outcome
+});
+djson::impl_json_struct!(ChaosEvent { task, hit });
+djson::impl_json_struct!(ChaosSimReport { results, events });
 
 #[cfg(test)]
 mod tests {
@@ -601,5 +909,299 @@ mod arrival_tests {
         let s = cfg.generate().unwrap();
         let timed = vec![(s.tasks[0], ExecutionSite::Device, Seconds::new(-1.0))];
         assert!(simulate_with_arrivals(&s.system, &timed, Contention::None).is_err());
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::radio::NetworkProfile;
+    use crate::topology::{Cloud, DeviceId, StationId};
+    use crate::units::{Bytes, Hertz};
+    use crate::workload::ScenarioConfig;
+
+    /// One station, `n` identical devices.
+    fn small_system(n: usize) -> MecSystem {
+        let mut b = MecSystem::builder(Cloud {
+            cpu: Hertz::from_ghz(2.4),
+        });
+        let st = b.add_station(Hertz::from_ghz(4.0), Bytes::from_mb(200.0));
+        for _ in 0..n {
+            b.add_device(
+                st,
+                Hertz::from_ghz(1.0),
+                NetworkProfile::WiFi.link(),
+                Bytes::from_mb(8.0),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn local_task(index: usize, owner: usize) -> HolisticTask {
+        HolisticTask {
+            id: TaskId { user: owner, index },
+            owner: DeviceId(owner),
+            local_size: Bytes::from_kb(1000.0),
+            external_size: Bytes::ZERO,
+            external_source: None,
+            complexity: 1.0,
+            resource: Bytes::from_kb(1000.0),
+            deadline: Seconds::new(30.0),
+        }
+    }
+
+    fn window(from: f64, until: f64) -> Window {
+        Window {
+            from: Seconds::new(from),
+            until: Seconds::new(until),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_fault_free_run() {
+        let s = ScenarioConfig::paper_defaults(41).generate().unwrap();
+        for contention in [Contention::None, Contention::Exclusive] {
+            let assignment: Vec<_> = s
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(k, t)| (*t, ExecutionSite::ALL[k % 3]))
+                .collect();
+            let base = simulate(&s.system, &assignment, contention).unwrap();
+            let chaos =
+                simulate_chaos(&s.system, &assignment, contention, &FaultPlan::none()).unwrap();
+            assert!(chaos.events.is_empty());
+            for (b, c) in base.results.iter().zip(&chaos.results) {
+                assert_eq!(b.id, c.id);
+                assert_eq!(b.energy.value().to_bits(), c.energy.value().to_bits());
+                match c.outcome {
+                    ChaosOutcome::Completed {
+                        completion,
+                        sojourn,
+                        met_deadline,
+                    } => {
+                        assert_eq!(b.completion.value().to_bits(), completion.value().to_bits());
+                        assert_eq!(b.sojourn.value().to_bits(), sojourn.value().to_bits());
+                        assert_eq!(b.met_deadline, met_deadline);
+                    }
+                    ChaosOutcome::Failed(hit) => panic!("{}: spurious failure {hit:?}", b.id),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_fails_every_stage_starting_after_it() {
+        // Three station offloads from one device, serialized on its
+        // uplink. The device dies just after the first upload starts:
+        // the queued uploads fail when the radio frees (exercising the
+        // recursive release path), and the first task dies later at its
+        // result download. Nothing is silently dropped.
+        let system = small_system(1);
+        let assignment: Vec<_> = (0..3)
+            .map(|k| (local_task(k, 0), ExecutionSite::Station))
+            .collect();
+        let faults = FaultPlan::new(
+            &system,
+            vec![Fault::Dropout {
+                device: DeviceId(0),
+                at: Seconds::new(1e-6),
+            }],
+        )
+        .unwrap();
+        let report = simulate_chaos(&system, &assignment, Contention::Exclusive, &faults).unwrap();
+        assert_eq!(report.results.len(), 3);
+        for r in &report.results {
+            assert!(
+                matches!(
+                    r.outcome,
+                    ChaosOutcome::Failed(FaultHit {
+                        kind: FaultHitKind::DeviceLost(DeviceId(0)),
+                        ..
+                    })
+                ),
+                "{}: {:?}",
+                r.id,
+                r.outcome
+            );
+        }
+        // Queued tasks never started a stage, so they spent nothing; the
+        // first task paid for its completed upload.
+        assert_eq!(report.results[1].energy, Joules::ZERO);
+        assert_eq!(report.results[2].energy, Joules::ZERO);
+        assert!(report.results[0].energy > Joules::ZERO);
+        // Failure order: the queued uploads die when the radio frees,
+        // before the first task reaches its download.
+        let order: Vec<usize> = report.events.iter().map(|e| e.task.index).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn outage_is_transient_and_window_scoped() {
+        let system = small_system(1);
+        let assignment = vec![(local_task(0, 0), ExecutionSite::Station)];
+        // Window over the start: the upload fails transiently.
+        let hit_plan = FaultPlan::new(
+            &system,
+            vec![Fault::LinkOutage {
+                device: DeviceId(0),
+                window: window(0.0, 1.0),
+            }],
+        )
+        .unwrap();
+        let report =
+            simulate_chaos(&system, &assignment, Contention::Exclusive, &hit_plan).unwrap();
+        assert!(matches!(
+            report.results[0].outcome,
+            ChaosOutcome::Failed(FaultHit {
+                kind: FaultHitKind::LinkOutage(DeviceId(0)),
+                ..
+            })
+        ));
+        // Window long after the run: bit-identical completion.
+        let miss_plan = FaultPlan::new(
+            &system,
+            vec![Fault::LinkOutage {
+                device: DeviceId(0),
+                window: window(1000.0, 1001.0),
+            }],
+        )
+        .unwrap();
+        let base = simulate(&system, &assignment, Contention::Exclusive).unwrap();
+        let report =
+            simulate_chaos(&system, &assignment, Contention::Exclusive, &miss_plan).unwrap();
+        match report.results[0].outcome {
+            ChaosOutcome::Completed { completion, .. } => assert_eq!(
+                completion.value().to_bits(),
+                base.results[0].completion.value().to_bits()
+            ),
+            ChaosOutcome::Failed(hit) => panic!("spurious failure {hit:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_stretches_duration_and_energy_alike() {
+        let system = small_system(1);
+        let assignment = vec![(local_task(0, 0), ExecutionSite::Device)];
+        let base = simulate(&system, &assignment, Contention::None).unwrap();
+        let faults = FaultPlan::new(
+            &system,
+            vec![Fault::Straggler {
+                device: DeviceId(0),
+                window: window(0.0, 1e6),
+                slowdown: 3.0,
+            }],
+        )
+        .unwrap();
+        let report = simulate_chaos(&system, &assignment, Contention::None, &faults).unwrap();
+        let ChaosOutcome::Completed { completion, .. } = report.results[0].outcome else {
+            panic!("straggler must not kill the task");
+        };
+        let b = &base.results[0];
+        assert!((completion.value() - 3.0 * b.completion.value()).abs() < 1e-9);
+        assert!((report.results[0].energy.value() - 3.0 * b.energy.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiter_queued_behind_a_busy_radio_is_skipped_once_its_task_failed() {
+        // Tasks T and U both gather external data from device 2 (its
+        // uplink serializes them). U's own upload is struck by an outage
+        // at t=0, failing U while its shared-data leg still sits in
+        // device 2's queue — the released radio must skip it.
+        let system = small_system(3);
+        let mk = |index: usize, owner: usize| HolisticTask {
+            external_size: Bytes::from_kb(500.0),
+            external_source: Some(DeviceId(2)),
+            ..local_task(index, owner)
+        };
+        let assignment = vec![
+            (mk(0, 0), ExecutionSite::Station),
+            (mk(1, 1), ExecutionSite::Station),
+        ];
+        let faults = FaultPlan::new(
+            &system,
+            vec![Fault::LinkOutage {
+                device: DeviceId(1),
+                window: window(0.0, 1e-9),
+            }],
+        )
+        .unwrap();
+        let report = simulate_chaos(&system, &assignment, Contention::Exclusive, &faults).unwrap();
+        assert!(matches!(
+            report.results[1].outcome,
+            ChaosOutcome::Failed(FaultHit {
+                kind: FaultHitKind::LinkOutage(DeviceId(1)),
+                ..
+            })
+        ));
+        // U never ran a stage: the struck upload and the skipped queued
+        // leg both cost nothing.
+        assert_eq!(report.results[1].energy, Joules::ZERO);
+        // T is untouched and completes exactly as without faults.
+        let base = simulate(&system, &assignment[..1], Contention::Exclusive).unwrap();
+        match report.results[0].outcome {
+            ChaosOutcome::Completed { completion, .. } => assert_eq!(
+                completion.value().to_bits(),
+                base.results[0].completion.value().to_bits()
+            ),
+            ChaosOutcome::Failed(hit) => panic!("spurious failure {hit:?}"),
+        }
+        assert_eq!(
+            report.results[0].energy.value().to_bits(),
+            base.results[0].energy.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn chaos_report_round_trips_through_json_and_aggregates() {
+        let system = small_system(2);
+        let assignment = vec![
+            (local_task(0, 0), ExecutionSite::Device),
+            (local_task(1, 1), ExecutionSite::Station),
+        ];
+        let faults = FaultPlan::new(
+            &system,
+            vec![Fault::Dropout {
+                device: DeviceId(1),
+                at: Seconds::ZERO,
+            }],
+        )
+        .unwrap();
+        let report = simulate_chaos(&system, &assignment, Contention::Exclusive, &faults).unwrap();
+        assert_eq!(report.failed().count(), 1);
+        assert!(report.total_energy() >= Joules::ZERO);
+        assert!(report.makespan() > Seconds::ZERO);
+        let json = djson::to_string(&report);
+        let back: ChaosSimReport = djson::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn non_finite_plans_are_rejected_not_scheduled() {
+        // An absurd complexity overflows cycles to infinity; build_plan
+        // must refuse rather than hand the executor a non-finite time.
+        let system = small_system(1);
+        let mut task = local_task(0, 0);
+        task.complexity = f64::MAX;
+        let err = build_plan(&system, &task, ExecutionSite::Device).unwrap_err();
+        assert!(
+            matches!(err, MecError::InvalidParameter { name: "plan", .. }),
+            "{err}"
+        );
+        let assignment = vec![(task, ExecutionSite::Device)];
+        assert!(simulate(&system, &assignment, Contention::None).is_err());
+        assert!(
+            simulate_chaos(&system, &assignment, Contention::None, &FaultPlan::none()).is_err()
+        );
+    }
+
+    #[test]
+    fn stations_are_infrastructure_and_never_fault() {
+        // A fault naming a station-level resource is inexpressible by
+        // construction; hit/stretch on infrastructure is always clean.
+        let plan = FaultPlan::none();
+        assert_eq!(plan.hit(Resource::StationCpu(StationId(0)), 0.0), None);
+        assert_eq!(plan.stretch(Resource::CloudBackhaul, 0.0), 1.0);
     }
 }

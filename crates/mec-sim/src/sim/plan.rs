@@ -39,6 +39,21 @@ impl Resource {
     pub fn is_exclusive(self) -> bool {
         !matches!(self, Resource::CloudCpu)
     }
+
+    /// The device this resource belongs to, if any. Station and cloud
+    /// resources are infrastructure and never fault.
+    pub fn device(self) -> Option<DeviceId> {
+        match self {
+            Resource::DeviceUp(d) | Resource::DeviceDown(d) | Resource::DeviceCpu(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this resource is a device radio (up- or downlink), the
+    /// class link outage/degradation faults apply to.
+    pub fn is_radio(self) -> bool {
+        matches!(self, Resource::DeviceUp(_) | Resource::DeviceDown(_))
+    }
 }
 
 /// One timed stage on one resource.
@@ -222,7 +237,46 @@ pub fn build_plan(
             }));
         }
     }
-    Ok(Plan { steps })
+    let plan = Plan { steps };
+    validate_stages(&plan, task)?;
+    Ok(plan)
+}
+
+/// Rejects plans whose physics overflowed: a stage duration or energy
+/// that is negative or non-finite (e.g. an astronomically large input on
+/// a finite-rate link). The executor's event heap orders by time, so a
+/// NaN duration would otherwise corrupt the schedule silently.
+fn validate_stages(plan: &Plan, task: &HolisticTask) -> Result<(), MecError> {
+    let check = |s: &Stage| -> Result<(), MecError> {
+        let ok = s.duration.is_finite()
+            && s.duration.value() >= 0.0
+            && s.energy.is_finite()
+            && s.energy.value() >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(MecError::InvalidParameter {
+                name: "plan",
+                reason: format!(
+                    "{} produces an invalid stage on {:?}: duration {}, energy {}",
+                    task.id, s.resource, s.duration, s.energy
+                ),
+            })
+        }
+    };
+    for step in &plan.steps {
+        match step {
+            PlanStep::Single(s) => check(s)?,
+            PlanStep::Parallel(branches) => {
+                for b in branches {
+                    for s in b {
+                        check(s)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 // JSON codecs (wire-compatible with the former serde derives).
