@@ -107,6 +107,21 @@ fn run_trace(flags: &HashMap<String, String>, positionals: &[String]) -> Result<
             .parse()
             .map_err(|_| "--min-total-ms must be a number".to_string())?;
     }
+    if let Some(spec) = flags.get("floor") {
+        // --floor prefix=ms[,prefix=ms]: per-prefix gate floors.
+        for part in spec.split(',') {
+            let (prefix, ms) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--floor entries look like prefix=ms, got {part:?}"))?;
+            let ms: f64 = ms
+                .parse()
+                .map_err(|_| format!("--floor {prefix}= needs a number, got {part:?}"))?;
+            if prefix.is_empty() || !ms.is_finite() || ms < 0.0 {
+                return Err(format!("--floor entry {part:?} is not a valid prefix=ms"));
+            }
+            args.floors.push((prefix.to_string(), ms));
+        }
+    }
     if let Some(top) = flags.get("top") {
         args.top = top
             .parse()
@@ -285,9 +300,10 @@ fn dispatch(
             eprintln!("            analyze a trace JSON: self-time table, critical path,");
             eprintln!("            flamegraph folded stacks");
             eprintln!("  trace     NEW.json --baseline OLD.json [--gate RATIO] \\");
-            eprintln!("            [--min-total-ms MS]");
+            eprintln!("            [--min-total-ms MS] [--floor prefix=MS[,prefix=MS]]");
             eprintln!("            diff two traces; with --gate, exit nonzero when any");
-            eprintln!("            span's total time regressed past RATIO");
+            eprintln!("            span's total time regressed past RATIO; --floor sets");
+            eprintln!("            per-prefix noise floors (longest matching prefix wins)");
             eprintln!("global flags:");
             eprintln!("  --threads N  worker threads for the LP kernels (0 = auto)");
             eprintln!("  --trace P    write an mec-obs trace JSON with flight-recorder");

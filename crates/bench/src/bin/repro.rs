@@ -38,6 +38,39 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
+/// Distills the revised simplex's warm-start counters from the timed
+/// pass's trace into the speedup report: how often sweeps offered a
+/// previous basis, how often the solver accepted it, and what a warm
+/// solve costs next to a cold one.
+fn warm_start_summary(trace: &mec_obs::TraceSnapshot) -> Json {
+    let counter = |name: &str| trace.counter(name).unwrap_or(0);
+    let attempts = counter("lp_hta/relaxation/warm_attempts");
+    let hits = counter("lp_hta/relaxation/warm_hits");
+    let warm_solves = counter("linprog/revised/warm/solves");
+    let cold_solves = counter("linprog/revised/cold/solves");
+    let mean = |ns: u64, n: u64| if n > 0 { ns as f64 / n as f64 } else { 0.0 };
+    obj(vec![
+        ("attempts", Json::from(attempts)),
+        ("hits", Json::from(hits)),
+        (
+            "hit_rate",
+            Json::from(if attempts > 0 {
+                hits as f64 / attempts as f64
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "warm_solve_mean_ns",
+            Json::from(mean(counter("linprog/revised/warm/solve_ns"), warm_solves)),
+        ),
+        (
+            "cold_solve_mean_ns",
+            Json::from(mean(counter("linprog/revised/cold/solve_ns"), cold_solves)),
+        ),
+    ])
+}
+
 /// Outcome of one timed pass over the selected experiments.
 struct Pass {
     /// `(id, figure)` for every experiment that succeeded.
@@ -358,6 +391,7 @@ fn main() -> ExitCode {
                 ]),
             ),
             ("identical", Json::from(all_identical)),
+            ("warm_start", warm_start_summary(&trace)),
             ("cache", cache_stats.to_json()),
             ("trace", trace.to_json()),
         ]);

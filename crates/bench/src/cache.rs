@@ -154,6 +154,7 @@ fn solver_tag(solver: Solver) -> u8 {
     match solver {
         Solver::InteriorPoint => 0,
         Solver::Simplex => 1,
+        Solver::Revised => 2,
     }
 }
 

@@ -21,6 +21,15 @@ use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Minimum projected *remaining* work (ns) before a map spawns worker
+/// threads. Both maps measure their first item on the calling thread and
+/// extrapolate; below this floor the spawn + join overhead (~tens of µs
+/// per thread) would dominate, so they finish serially instead. Keeps
+/// cheap sweeps — fig6b's division-only points most visibly — from paying
+/// for parallelism they cannot amortize.
+const SPAWN_FLOOR_NS: u128 = 200_000;
 
 /// Locks ignoring std poisoning: the failure slot stays consistent even if
 /// a recording thread dies, because `record` only ever writes a complete
@@ -73,11 +82,23 @@ impl<R> Slots<R> {
     unsafe fn fill(&self, i: usize, value: R) {
         *self.0[i].get() = Some(value);
     }
+
+    fn drain(self) -> Vec<R> {
+        self.0
+            .into_iter()
+            .map(|c| c.into_inner().expect("every slot filled"))
+            .collect()
+    }
 }
 
 /// Parallel map preserving input order. Results land lock-free in
 /// pre-allocated slots; work is distributed through a shared atomic index
 /// so fast workers steal whatever is left.
+///
+/// Granularity is adaptive: the first item runs (and is timed) on the
+/// calling thread, and worker threads are spawned only when the projected
+/// remaining work clears [`SPAWN_FLOOR_NS`] — cheap sweeps finish
+/// serially rather than paying spawn/join overhead per point.
 ///
 /// # Panics
 ///
@@ -93,7 +114,13 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         return items.iter().map(&f).collect();
     }
     let slots = Slots::new(n);
-    let next = AtomicUsize::new(0);
+    // Probe: first item on the calling thread, timed.
+    let probe = Instant::now();
+    let r0 = f(&items[0]);
+    let projected = probe.elapsed().as_nanos().saturating_mul(n as u128 - 1);
+    // Safety: index 0 is not yet claimable (the shared counter starts at 1).
+    unsafe { slots.fill(0, r0) };
+    let next = AtomicUsize::new(1);
     let work = || {
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -111,19 +138,19 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         // recorded here visible once the scope returns.
         mec_obs::flush_current_thread();
     };
-    std::thread::scope(|scope| {
-        // The borrow is load-bearing: the same closure runs on N threads.
-        #[allow(clippy::needless_borrows_for_generic_args)]
-        for _ in 1..workers {
-            scope.spawn(&work);
-        }
+    if projected < SPAWN_FLOOR_NS {
         work();
-    });
-    slots
-        .0
-        .into_iter()
-        .map(|c| c.into_inner().expect("every slot filled"))
-        .collect()
+    } else {
+        std::thread::scope(|scope| {
+            // The borrow is load-bearing: the same closure runs on N threads.
+            #[allow(clippy::needless_borrows_for_generic_args)]
+            for _ in 1..workers {
+                scope.spawn(&work);
+            }
+            work();
+        });
+    }
+    slots.drain()
 }
 
 /// Fallible parallel map preserving input order. The first failure —
@@ -162,6 +189,17 @@ where
         }
         abort.store(true, Ordering::Relaxed);
     };
+    let run_item = |i: usize| {
+        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            // Safety: index `i` was claimed exclusively by the caller.
+            Ok(Ok(r)) => unsafe { slots.fill(i, r) },
+            Ok(Err(e)) => record(i, e),
+            // `&*payload` reborrows the payload itself: `&payload`
+            // would coerce the Box into `dyn Any` and make every
+            // downcast miss.
+            Err(payload) => record(i, E::from_worker_panic(panic_message(&*payload))),
+        }
+    };
     let work = || {
         loop {
             if abort.load(Ordering::Relaxed) {
@@ -171,15 +209,7 @@ where
             if i >= n {
                 break;
             }
-            match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
-                // Safety: index `i` was claimed exclusively above.
-                Ok(Ok(r)) => unsafe { slots.fill(i, r) },
-                Ok(Err(e)) => record(i, e),
-                // `&*payload` reborrows the payload itself: `&payload`
-                // would coerce the Box into `dyn Any` and make every
-                // downcast miss.
-                Err(payload) => record(i, E::from_worker_panic(panic_message(&*payload))),
-            }
+            run_item(i);
         }
         // Join-point flush; see `par_map` for why this cannot rely on the
         // thread-exit backstop.
@@ -188,14 +218,24 @@ where
     if workers <= 1 {
         work();
     } else {
-        std::thread::scope(|scope| {
-            // The borrow is load-bearing: the same closure runs on N threads.
-            #[allow(clippy::needless_borrows_for_generic_args)]
-            for _ in 1..workers {
-                scope.spawn(&work);
-            }
+        // Probe: first item on the calling thread, timed; spawn only when
+        // the projected remaining work clears the floor (see `par_map`).
+        let probe = Instant::now();
+        run_item(0);
+        let projected = probe.elapsed().as_nanos().saturating_mul(n as u128 - 1);
+        next.store(1, Ordering::Relaxed);
+        if projected < SPAWN_FLOOR_NS {
             work();
-        });
+        } else {
+            std::thread::scope(|scope| {
+                // The borrow is load-bearing: the same closure runs on N threads.
+                #[allow(clippy::needless_borrows_for_generic_args)]
+                for _ in 1..workers {
+                    scope.spawn(&work);
+                }
+                work();
+            });
+        }
     }
 
     if let Some((_, e)) = failure
@@ -204,11 +244,7 @@ where
     {
         return Err(e);
     }
-    Ok(slots
-        .0
-        .into_iter()
-        .map(|c| c.into_inner().expect("every slot filled"))
-        .collect())
+    Ok(slots.drain())
 }
 
 /// Serializes tests that mutate the process-global thread count.
@@ -275,6 +311,15 @@ mod tests {
         }
     }
 
+    /// Spins for roughly `us` microseconds; makes a test item expensive
+    /// enough that the adaptive probe chooses the spawning path.
+    fn busy_wait(us: u64) {
+        let start = std::time::Instant::now();
+        while start.elapsed() < std::time::Duration::from_micros(us) {
+            std::hint::spin_loop();
+        }
+    }
+
     /// The join-point flush contract: metrics and flight-recorder events
     /// staged on `par_map` workers are visible in a snapshot taken right
     /// after the call returns, and worker `sweep/point`-style spans link
@@ -293,8 +338,11 @@ mod tests {
         let sweep = mec_obs::span("par_test/sweep");
         let parent = mec_obs::current_span_id();
         let items: Vec<usize> = (0..16).collect();
+        // Each point outlasts the spawn floor so workers really spawn and
+        // the join-point flush (not serial fallback) is what's under test.
         let out = par_map(&items, |&i| {
             let _g = mec_obs::span_with_parent("par_test/point", parent);
+            busy_wait(60);
             i * 3
         });
         sweep.finish();
@@ -325,6 +373,22 @@ mod tests {
             "worker spans link to the coordinator's span"
         );
         assert!(snap.counter("obs/flush").unwrap_or(0) >= 1);
+    }
+
+    /// Below the spawn floor both maps finish on the calling thread: no
+    /// worker threads appear even with a multi-thread setting.
+    #[test]
+    fn cheap_maps_stay_on_the_calling_thread() {
+        let _t = THREADS_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_threads(4);
+        let main_id = std::thread::current().id();
+        let items: Vec<usize> = (0..8).collect();
+        let ids = par_map(&items, |_| std::thread::current().id());
+        let ids_r: Result<Vec<_>, AssignError> =
+            par_map_result(&items, |_| Ok(std::thread::current().id()));
+        set_threads(0);
+        assert!(ids.iter().all(|id| *id == main_id));
+        assert!(ids_r.unwrap().iter().all(|id| *id == main_id));
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct TraceArgs {
     /// Spans whose baseline total is below this are exempt from the gate
     /// (and flagged informationally in the diff): tiny spans are noise.
     pub min_total_ms: f64,
+    /// Per-prefix overrides of `min_total_ms`: `(prefix, ms)` pairs from
+    /// `--floor prefix=ms[,prefix=ms]`; the longest matching prefix wins.
+    /// Lets the gate watch hot-but-cheap subsystems (`linprog/` after the
+    /// sparse-substrate ratchet) at a tighter floor than the global one.
+    pub floors: Vec<(String, f64)>,
     /// Rows shown in the self-time table.
     pub top: usize,
 }
@@ -46,6 +51,7 @@ impl Default for TraceArgs {
             baseline: None,
             gate: None,
             min_total_ms: 1.0,
+            floors: Vec::new(),
             top: 30,
         }
     }
@@ -64,9 +70,9 @@ pub fn trace_command(args: &TraceArgs) -> Result<(), String> {
     if let Some(baseline_path) = &args.baseline {
         let baseline: TraceSnapshot = read_json(baseline_path)?;
         let rows = diff_spans(&baseline, &snap);
-        print!("{}", render_diff(&rows, args.min_total_ms));
+        print!("{}", render_diff(&rows, args.min_total_ms, &args.floors));
         if let Some(gate) = args.gate {
-            check_gate(&rows, gate, args.min_total_ms)?;
+            check_gate(&rows, gate, args.min_total_ms, &args.floors)?;
         }
         return Ok(());
     }
@@ -399,10 +405,21 @@ pub fn diff_spans(baseline: &TraceSnapshot, new: &TraceSnapshot) -> Vec<DiffRow>
 
 const MS_PER_NS: f64 = 1e-6;
 
-/// Renders the diff table; spans under the `min_total_ms` floor are
-/// marked as below the gate's noise threshold.
+/// The gate floor that applies to `name`: the longest matching prefix
+/// override from `floors`, or the global `min_total_ms`.
+fn effective_floor(name: &str, min_total_ms: f64, floors: &[(String, f64)]) -> f64 {
+    floors
+        .iter()
+        .filter(|(prefix, _)| name.starts_with(prefix.as_str()))
+        .max_by_key(|(prefix, _)| prefix.len())
+        .map_or(min_total_ms, |(_, ms)| *ms)
+}
+
+/// Renders the diff table; spans under their gate floor (`min_total_ms`,
+/// or a matching `--floor` prefix override) are marked as below the
+/// gate's noise threshold.
 #[must_use]
-pub fn render_diff(rows: &[DiffRow], min_total_ms: f64) -> String {
+pub fn render_diff(rows: &[DiffRow], min_total_ms: f64, floors: &[(String, f64)]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -412,7 +429,8 @@ pub fn render_diff(rows: &[DiffRow], min_total_ms: f64) -> String {
     let _ = writeln!(out, "{}", "-".repeat(70));
     for row in rows {
         #[allow(clippy::cast_precision_loss)]
-        let below_floor = (row.base_ns as f64) * MS_PER_NS < min_total_ms;
+        let below_floor =
+            (row.base_ns as f64) * MS_PER_NS < effective_floor(&row.name, min_total_ms, floors);
         let note = if below_floor {
             "  (below gate floor)"
         } else {
@@ -431,16 +449,25 @@ pub fn render_diff(rows: &[DiffRow], min_total_ms: f64) -> String {
 }
 
 /// Fails when any span regressed past `gate`, ignoring spans whose
-/// baseline total is under the `min_total_ms` noise floor.
+/// baseline total is under their noise floor (`min_total_ms`, or a
+/// matching `--floor` prefix override).
 ///
 /// # Errors
 ///
 /// Returns a message listing every offending span.
-pub fn check_gate(rows: &[DiffRow], gate: f64, min_total_ms: f64) -> Result<(), String> {
+pub fn check_gate(
+    rows: &[DiffRow],
+    gate: f64,
+    min_total_ms: f64,
+    floors: &[(String, f64)],
+) -> Result<(), String> {
     #[allow(clippy::cast_precision_loss)]
     let offenders: Vec<String> = rows
         .iter()
-        .filter(|r| (r.base_ns as f64) * MS_PER_NS >= min_total_ms && r.ratio() > gate)
+        .filter(|r| {
+            (r.base_ns as f64) * MS_PER_NS >= effective_floor(&r.name, min_total_ms, floors)
+                && r.ratio() > gate
+        })
         .map(|r| {
             format!(
                 "{}: {} ms -> {} ms ({:.3}x > {gate}x)",
@@ -604,7 +631,7 @@ mod tests {
         let snap = fixture();
         let rows = diff_spans(&snap, &snap);
         assert!(rows.iter().all(|r| (r.ratio() - 1.0).abs() < 1e-12));
-        assert!(check_gate(&rows, 1.01, 1.0).is_ok());
+        assert!(check_gate(&rows, 1.01, 1.0, &[]).is_ok());
 
         // Inject a 2x regression on the LP span.
         let mut slow = snap.clone();
@@ -612,11 +639,11 @@ mod tests {
         let rows = diff_spans(&snap, &slow);
         assert_eq!(rows[0].name, "lp_hta/relaxation");
         assert!((rows[0].ratio() - 2.0).abs() < 1e-12);
-        let err = check_gate(&rows, 1.5, 1.0).unwrap_err();
+        let err = check_gate(&rows, 1.5, 1.0, &[]).unwrap_err();
         assert!(err.contains("lp_hta/relaxation"), "{err}");
         assert!(err.contains("2.000x"), "{err}");
         // A generous gate lets it through.
-        assert!(check_gate(&rows, 2.5, 1.0).is_ok());
+        assert!(check_gate(&rows, 2.5, 1.0, &[]).is_ok());
     }
 
     #[test]
@@ -640,10 +667,48 @@ mod tests {
             max_ns: 1_000,
         });
         let rows = diff_spans(&base2, &new);
-        assert!(check_gate(&rows, 1.5, 1.0).is_ok());
+        assert!(check_gate(&rows, 1.5, 1.0, &[]).is_ok());
         // Lowering the floor exposes it.
-        assert!(check_gate(&rows, 1.5, 0.0).is_err());
-        let rendered = render_diff(&rows, 1.0);
+        assert!(check_gate(&rows, 1.5, 0.0, &[]).is_err());
+        let rendered = render_diff(&rows, 1.0, &[]);
+        assert!(rendered.contains("below gate floor"), "{rendered}");
+    }
+
+    #[test]
+    fn prefix_floors_override_the_global_noise_floor() {
+        let base = fixture();
+        let mut new = base.clone();
+        // A linprog span of 100 µs baseline regresses 10x: exempt under
+        // the 1 ms global floor, caught once `linprog/` gets its own
+        // 0.05 ms floor.
+        let mut base2 = base.clone();
+        base2.spans.push(SpanStat {
+            name: "linprog/revised/solve".into(),
+            count: 1,
+            total_ns: 100_000,
+            min_ns: 100_000,
+            max_ns: 100_000,
+        });
+        new.spans.push(SpanStat {
+            name: "linprog/revised/solve".into(),
+            count: 1,
+            total_ns: 1_000_000,
+            min_ns: 1_000_000,
+            max_ns: 1_000_000,
+        });
+        let rows = diff_spans(&base2, &new);
+        assert!(check_gate(&rows, 1.5, 1.0, &[]).is_ok());
+        let floors = vec![("linprog/".to_string(), 0.05)];
+        let err = check_gate(&rows, 1.5, 1.0, &floors).unwrap_err();
+        assert!(err.contains("linprog/revised/solve"), "{err}");
+        // The longest matching prefix wins: a more specific exemption
+        // can lift the subsystem floor back up.
+        let floors = vec![
+            ("linprog/".to_string(), 0.05),
+            ("linprog/revised/".to_string(), 5.0),
+        ];
+        assert!(check_gate(&rows, 1.5, 1.0, &floors).is_ok());
+        let rendered = render_diff(&rows, 1.0, &floors);
         assert!(rendered.contains("below gate floor"), "{rendered}");
     }
 
@@ -662,6 +727,6 @@ mod tests {
         let row = rows.iter().find(|r| r.name == "brand/new").unwrap();
         assert!(row.ratio().is_infinite());
         // New spans never trip the gate: there is nothing to regress from.
-        assert!(check_gate(&rows, 1.5, 1.0).is_ok());
+        assert!(check_gate(&rows, 1.5, 1.0, &[]).is_ok());
     }
 }

@@ -1,0 +1,75 @@
+//! Warm-start correctness across a full figure sweep: chaining point
+//! k+1's relaxation from point k's basis must reproduce the cold
+//! objective at every point, and the chained sweep engine must produce
+//! bit-identical figures under 1 and 4 worker threads (each seed's chain
+//! always runs serially on a single worker).
+
+use dsmec_core::costs::CostTable;
+use dsmec_core::hta::{LpHta, WarmBases};
+use mec_bench::par::set_threads;
+use mec_bench::runner::{eval_algos_warm, sweep_seed_averaged_chained, Algo, WarmChain};
+use mec_sim::workload::ScenarioConfig;
+
+/// A fig2b-shaped size sweep: the LP dimensions are constant across
+/// points, so the warm chain actually hits.
+const POINTS: [f64; 3] = [1000.0, 2000.0, 3000.0];
+const SEEDS: [u64; 2] = [101, 102];
+
+fn sweep_cfg(kb: f64, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_defaults(seed);
+    cfg.tasks_total = 60;
+    cfg.max_input_kb = kb;
+    cfg
+}
+
+fn warm_figure_rows() -> Vec<Vec<f64>> {
+    let algos = [Algo::LpHta(LpHta::paper().without_fast_path())];
+    sweep_seed_averaged_chained(&POINTS, &SEEDS, |&kb, seed, chain: &mut WarmChain| {
+        eval_algos_warm(&sweep_cfg(kb, seed), seed, &algos, chain, |m| {
+            m.total_energy.value()
+        })
+    })
+    .unwrap()
+}
+
+#[test]
+fn warm_chains_match_cold_objectives_across_a_sweep_at_any_thread_count() {
+    // Point k+1 from point k's basis: same LP objective as a cold solve,
+    // at every point of the sweep, for every seed.
+    let algo = LpHta::paper().without_fast_path();
+    for &seed in &SEEDS {
+        let mut warm = WarmBases::new();
+        for &kb in &POINTS {
+            let cfg = sweep_cfg(kb, seed);
+            let s = cfg.generate().unwrap();
+            let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+            let cold = algo.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+            let chained = algo
+                .solve_relaxation_warm(&s.system, &s.tasks, &costs, &mut warm)
+                .unwrap();
+            let scale = 1.0 + cold.lp_objective.abs();
+            assert!(
+                (chained.lp_objective - cold.lp_objective).abs() < 1e-6 * scale,
+                "seed {seed}, {kb} kB: warm objective {} vs cold {}",
+                chained.lp_objective,
+                cold.lp_objective
+            );
+        }
+        assert!(
+            warm.attempts >= 1 && warm.hits >= 1,
+            "seed {seed}: constant-shape sweep should warm-start \
+             (attempts {}, hits {})",
+            warm.attempts,
+            warm.hits
+        );
+    }
+
+    // The engine's determinism contract: the same chained sweep, run with
+    // 1 and 4 worker threads, yields bit-identical figure rows.
+    set_threads(1);
+    let serial = warm_figure_rows();
+    set_threads(4);
+    let parallel = warm_figure_rows();
+    set_threads(0);
+    assert_eq!(serial, parallel);
+}

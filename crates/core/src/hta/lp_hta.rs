@@ -1,7 +1,8 @@
 //! **LP-HTA** — the paper's Section III.A algorithm, all six steps:
 //!
-//! 1. solve the relaxed LP `P2` of every cluster (interior point by
-//!    default, per the paper's citation of Karmarkar);
+//! 1. solve the relaxed LP `P2` of every cluster (sparse revised simplex
+//!    by default — the HTA matrix is extremely sparse; the paper's
+//!    interior-point backend remains available as an ablation);
 //! 2. reshape the solution into the fractional matrix `X`;
 //! 3. round every task to its largest fractional component;
 //! 4. repair deadline violations by moving to the feasible site with the
@@ -20,10 +21,11 @@ use crate::error::AssignError;
 use crate::hta::relaxation::build_cluster_relaxation;
 use crate::hta::{cluster_task_indices, HtaAlgorithm};
 use detrand::ChaCha8Rng;
-use linprog::{solve, LpStatus, Solver};
+use linprog::{solve, Basis, LpStatus, Solver};
 use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
 use mec_sim::topology::{MecSystem, StationId};
 use mec_sim::units::Bytes;
+use std::collections::HashMap;
 
 /// How Step 3 turns fractions into a site choice.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -92,6 +94,45 @@ pub struct FractionalSolution {
     pub lp_iterations: usize,
 }
 
+/// Per-station warm-start bases carried across adjacent LP-HTA solves.
+///
+/// Cluster relaxations of nearby instances (adjacent sweep points, next
+/// mobility epoch) differ only in their data, so the previous point's
+/// optimal basis is usually still feasible and the solver can skip
+/// phase 1 entirely. Feed one `WarmBases` through a chain of
+/// [`LpHta::assign_with_report_warm`] calls; it records hit statistics
+/// as it goes. Only the [`Solver::Revised`] backend consumes bases —
+/// with any other backend the warm entry points behave exactly like
+/// their cold counterparts.
+#[derive(Debug, Clone, Default)]
+pub struct WarmBases {
+    bases: HashMap<StationId, Basis>,
+    /// Solves for which a stored basis existed and was offered.
+    pub attempts: u64,
+    /// Offered bases the solver accepted (phase 1 skipped).
+    pub hits: u64,
+}
+
+impl WarmBases {
+    /// Fresh, empty chain state.
+    #[must_use]
+    pub fn new() -> WarmBases {
+        WarmBases::default()
+    }
+
+    /// Stations currently holding a reusable basis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True when no basis is stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+}
+
 /// The LP-HTA algorithm with a configurable LP backend and rounding rule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LpHta {
@@ -122,11 +163,15 @@ impl Default for LpHta {
 }
 
 impl LpHta {
-    /// LP-HTA exactly as the paper states it: interior-point Step 1,
-    /// arg-max Step 3 (with the exact fast path enabled).
+    /// LP-HTA as the paper states it, on the production backend: sparse
+    /// revised-simplex Step 1 (the relaxation matrix is block-angular and
+    /// extremely sparse), arg-max Step 3, exact fast path enabled. The
+    /// paper's own interior-point backend is the `solver:
+    /// Solver::InteriorPoint` ablation; all backends agree on the optimum
+    /// within the differential-test tolerance.
     pub fn paper() -> LpHta {
         LpHta {
-            solver: Solver::InteriorPoint,
+            solver: Solver::Revised,
             rounding: RoundingRule::ArgMax,
             fast_path: true,
             lp_cluster_limit: 600,
@@ -250,6 +295,40 @@ impl LpHta {
         self.round_with(system, tasks, costs, &fractional)
     }
 
+    /// Like [`Self::assign_with_report`], but threads a [`WarmBases`]
+    /// chain through Step 1 so adjacent solves reuse each other's optimal
+    /// bases. With an empty chain (or a non-[`Solver::Revised`] backend)
+    /// this is behaviorally identical to the cold entry point; warm hits
+    /// may land on a different optimal vertex of a degenerate relaxation,
+    /// which changes nothing about the optimum or the certificates.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::assign_with_report`].
+    pub fn assign_with_report_warm(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+        warm: &mut WarmBases,
+    ) -> Result<(Assignment, LpHtaReport), AssignError> {
+        if tasks.len() != costs.len() {
+            return Err(AssignError::LengthMismatch {
+                tasks: tasks.len(),
+                other: costs.len(),
+            });
+        }
+        let _timer = mec_obs::span("lp_hta/assign");
+        if self.fast_path {
+            if let Some(result) = self.try_fast_path(system, tasks, costs)? {
+                mec_obs::counter_add("lp_hta/fast_path/hits", 1);
+                return Ok(result);
+            }
+        }
+        let fractional = self.solve_relaxation_inner(system, tasks, costs, Some(warm))?;
+        self.round_with(system, tasks, costs, &fractional)
+    }
+
     /// Steps 1–2: solves every cluster's relaxed LP (or seeds oversized
     /// clusters greedily) and returns the fractional matrices. The result
     /// depends on `solver`, `lp_cluster_limit` and the instance — not on
@@ -265,6 +344,33 @@ impl LpHta {
         system: &MecSystem,
         tasks: &[HolisticTask],
         costs: &CostTable,
+    ) -> Result<FractionalSolution, AssignError> {
+        self.solve_relaxation_inner(system, tasks, costs, None)
+    }
+
+    /// [`Self::solve_relaxation`] with a [`WarmBases`] chain: each
+    /// cluster's LP is warm-started from the basis its station produced
+    /// on the previous call, and the final bases are stored back.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve_relaxation`].
+    pub fn solve_relaxation_warm(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+        warm: &mut WarmBases,
+    ) -> Result<FractionalSolution, AssignError> {
+        self.solve_relaxation_inner(system, tasks, costs, Some(warm))
+    }
+
+    fn solve_relaxation_inner(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+        mut warm: Option<&mut WarmBases>,
     ) -> Result<FractionalSolution, AssignError> {
         if tasks.len() != costs.len() {
             return Err(AssignError::LengthMismatch {
@@ -315,8 +421,32 @@ impl LpHta {
                 else {
                     continue;
                 };
-                // Step 1: solve the relaxation.
-                let sol = solve(&rel.lp, self.solver)?;
+                // Step 1: solve the relaxation, chaining bases when a
+                // warm store is supplied and the backend supports them.
+                let sol = match (&mut warm, self.solver) {
+                    (Some(store), Solver::Revised) => {
+                        let prev = store.bases.get(&station);
+                        if prev.is_some() {
+                            store.attempts += 1;
+                            mec_obs::counter_add("lp_hta/relaxation/warm_attempts", 1);
+                        }
+                        let outcome = linprog::solve_from(&rel.lp, prev)?;
+                        if outcome.warm_used {
+                            store.hits += 1;
+                            mec_obs::counter_add("lp_hta/relaxation/warm_hits", 1);
+                        }
+                        match outcome.basis {
+                            Some(basis) => {
+                                store.bases.insert(station, basis);
+                            }
+                            None => {
+                                store.bases.remove(&station);
+                            }
+                        }
+                        outcome.solution
+                    }
+                    _ => solve(&rel.lp, self.solver)?,
+                };
                 fractional.lp_iterations += sol.iterations;
                 // Step 2: the fractional matrix X. If the LP could not be
                 // solved to optimality (pathological custom instances), fall
@@ -884,6 +1014,80 @@ mod tests {
             AssignError::InvalidInput(msg) => assert!(msg.contains("task index"), "{msg}"),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_solves_across_adjacent_instances() {
+        // A miniature sweep: the same scenario under progressively tighter
+        // deadlines (shape-preserving, data-perturbing — exactly what
+        // adjacent sweep points look like). The warm chain must reproduce
+        // every cold optimum and actually hit once the chain is primed.
+        let s = ScenarioConfig::paper_defaults(13).generate().unwrap();
+        let algo = LpHta::paper().without_fast_path();
+        let mut warm = WarmBases::new();
+        for scale in [1.0, 1.0, 0.97, 0.94] {
+            let mut tasks = s.tasks.clone();
+            for t in &mut tasks {
+                t.deadline = Seconds::new(t.deadline.value() * scale);
+            }
+            let costs = CostTable::build(&s.system, &tasks).unwrap();
+            let cold = algo.solve_relaxation(&s.system, &tasks, &costs).unwrap();
+            let chained = algo
+                .solve_relaxation_warm(&s.system, &tasks, &costs, &mut warm)
+                .unwrap();
+            let scale_tol = 1e-6 * (1.0 + cold.lp_objective.abs());
+            assert!(
+                (chained.lp_objective - cold.lp_objective).abs() < scale_tol,
+                "warm objective {} vs cold {} at deadline scale {scale}",
+                chained.lp_objective,
+                cold.lp_objective
+            );
+        }
+        assert!(!warm.is_empty(), "chain should retain bases");
+        assert!(warm.attempts >= 3, "attempts: {}", warm.attempts);
+        assert!(
+            warm.hits >= 1,
+            "re-solving an identical instance must accept the stored basis ({} attempts)",
+            warm.attempts
+        );
+    }
+
+    #[test]
+    fn warm_assignment_is_feasible_and_certified() {
+        let s = ScenarioConfig::paper_defaults(14).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let algo = LpHta::paper().without_fast_path();
+        let mut warm = WarmBases::new();
+        let (_, first) = algo
+            .assign_with_report_warm(&s.system, &s.tasks, &costs, &mut warm)
+            .unwrap();
+        let (a, second) = algo
+            .assign_with_report_warm(&s.system, &s.tasks, &costs, &mut warm)
+            .unwrap();
+        let tol = 1e-6 * (1.0 + first.lp_objective.abs());
+        assert!((first.lp_objective - second.lp_objective).abs() < tol);
+        let usage = capacity_usage(&s.system, &s.tasks, &a).unwrap();
+        assert!(usage.within_limits(&s.system, Bytes::new(1e-6)));
+        assert!(second.final_energy <= second.lp_objective * second.ratio_bound + 1e-6);
+    }
+
+    #[test]
+    fn warm_entry_point_with_empty_chain_matches_cold_exactly() {
+        let s = ScenarioConfig::paper_defaults(15).generate().unwrap();
+        let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+        let algo = LpHta::paper().without_fast_path();
+        let (a_cold, r_cold) = algo
+            .assign_with_report(&s.system, &s.tasks, &costs)
+            .unwrap();
+        let mut warm = WarmBases::new();
+        let (a_warm, r_warm) = algo
+            .assign_with_report_warm(&s.system, &s.tasks, &costs, &mut warm)
+            .unwrap();
+        // First use of a chain offers no basis, so the solve path is the
+        // cold one bit for bit.
+        assert_eq!(a_cold, a_warm);
+        assert_eq!(r_cold, r_warm);
+        assert_eq!(warm.hits, 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub use baselines::{AllOffload, AllToC, LocalFirst, RandomAssign};
 pub use exact::ExactBnB;
 pub use game::{GameOutcome, NashOffload};
 pub use hgos::Hgos;
-pub use lp_hta::{ClusterFractions, FractionalSolution, LpHta, LpHtaReport, RoundingRule};
+pub use lp_hta::{
+    ClusterFractions, FractionalSolution, LpHta, LpHtaReport, RoundingRule, WarmBases,
+};
 pub use online::{OnlineHta, OnlinePolicy};
 pub use partial::{optimal_split, partial_offload_plan, PartialPlan, PartialSplit};
 pub use relaxation::station_capacity_prices;

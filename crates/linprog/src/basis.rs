@@ -1,0 +1,354 @@
+//! Basis factorization for the revised simplex: a dense LU decomposition
+//! (partial pivoting) of the `m × m` basis matrix, extended between
+//! refactorizations by a product-form **eta file**.
+//!
+//! After a pivot replaces basic column `r` with entering column `a_q`,
+//! the new basis is `B' = B · F` where `F` is the identity except column
+//! `r = α = B⁻¹ a_q`. Its inverse is the eta matrix `E` (identity except
+//! column `r`), so
+//!
+//! * **FTRAN** `B'⁻¹ v`: LU-solve, then apply the etas oldest → newest;
+//! * **BTRAN** `B'⁻ᵀ v`: apply the transposed etas newest → oldest, then
+//!   LU-transpose-solve.
+//!
+//! Etas store only the nonzeros of `α`, so a sparse pivot column costs
+//! O(nnz) to record and apply instead of the dense simplex's O(m²)
+//! basis-inverse row update. The eta file is bounded by the caller's
+//! refactorization interval; [`BasisFactor::refactorize`] rebuilds the LU
+//! from scratch and clears it.
+
+use crate::error::LpError;
+
+/// Dense LU factors of an `m × m` matrix with partial (row) pivoting:
+/// `P A = L U`, stored packed in one square buffer.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Row-major packed `L` (unit diagonal, below) and `U` (on/above).
+    lu: Vec<f64>,
+    /// `perm[i]` = source row of permuted row `i`.
+    perm: Vec<usize>,
+}
+
+/// Pivots smaller than this are treated as singular.
+const SINGULAR_TOL: f64 = 1e-12;
+
+impl LuFactors {
+    /// Factors a dense row-major `n × n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::NumericalFailure`] when the matrix is singular
+    /// to working precision.
+    pub fn factor(n: usize, a: &[f64]) -> Result<LuFactors, LpError> {
+        assert_eq!(a.len(), n * n);
+        let mut lu = a.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at/below k.
+            let mut best = k;
+            let mut best_abs = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best_abs {
+                    best = i;
+                    best_abs = v;
+                }
+            }
+            if best_abs <= SINGULAR_TOL {
+                return Err(LpError::NumericalFailure("singular basis matrix"));
+            }
+            if best != k {
+                perm.swap(k, best);
+                for c in 0..n {
+                    lu.swap(k * n + c, best * n + c);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        lu[i * n + c] -= factor * lu[k * n + c];
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// The identity factorization (empty basis of artificial columns).
+    #[must_use]
+    pub fn identity(n: usize) -> LuFactors {
+        let mut lu = vec![0.0; n * n];
+        for i in 0..n {
+            lu[i * n + i] = 1.0;
+        }
+        LuFactors {
+            n,
+            lu,
+            perm: (0..n).collect(),
+        }
+    }
+
+    /// Solves `A x = v` in place.
+    pub fn solve(&self, v: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(v.len(), n);
+        // Apply the row permutation: w = P v.
+        let mut w: Vec<f64> = self.perm.iter().map(|&p| v[p]).collect();
+        // Forward: L y = w (unit diagonal).
+        for i in 1..n {
+            let mut acc = w[i];
+            let row = &self.lu[i * n..i * n + i];
+            for (k, &l) in row.iter().enumerate() {
+                acc -= l * w[k];
+            }
+            w[i] = acc;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let mut acc = w[i];
+            let row = &self.lu[i * n..(i + 1) * n];
+            for (k, &u) in row.iter().enumerate().skip(i + 1) {
+                acc -= u * w[k];
+            }
+            w[i] = acc / row[i];
+        }
+        v.copy_from_slice(&w);
+    }
+
+    /// Solves `Aᵀ x = v` in place.
+    pub fn solve_transposed(&self, v: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(v.len(), n);
+        let mut w = v.to_vec();
+        // Forward: Uᵀ y = v (U is upper, so Uᵀ is lower with the
+        // diagonal of U).
+        for i in 0..n {
+            let mut acc = w[i];
+            for k in 0..i {
+                acc -= self.lu[k * n + i] * w[k];
+            }
+            w[i] = acc / self.lu[i * n + i];
+        }
+        // Backward: Lᵀ z = y (unit diagonal).
+        for i in (0..n).rev() {
+            let mut acc = w[i];
+            for k in (i + 1)..n {
+                acc -= self.lu[k * n + i] * w[k];
+            }
+            w[i] = acc;
+        }
+        // Undo the permutation: x = Pᵀ z.
+        for (i, &p) in self.perm.iter().enumerate() {
+            v[p] = w[i];
+        }
+    }
+}
+
+/// One product-form eta: basic position `row` was replaced by a column
+/// whose FTRAN image was `α`; only `α`'s nonzeros are stored.
+#[derive(Debug, Clone)]
+struct Eta {
+    row: usize,
+    /// `α_row` — the pivot element.
+    pivot: f64,
+    /// Off-pivot nonzeros of `α` as `(position, value)`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// An LU factorization of the basis plus the eta file accumulated since
+/// the last refactorization.
+#[derive(Debug, Clone)]
+pub struct BasisFactor {
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    /// Total stored eta nonzeros (pivot + off-pivot), for observability.
+    eta_nnz: usize,
+}
+
+impl BasisFactor {
+    /// The identity basis (all-artificial start).
+    #[must_use]
+    pub fn identity(m: usize) -> BasisFactor {
+        BasisFactor {
+            lu: LuFactors::identity(m),
+            etas: Vec::new(),
+            eta_nnz: 0,
+        }
+    }
+
+    /// Factors the dense row-major `m × m` basis matrix, clearing the eta
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::NumericalFailure`] for a singular basis.
+    pub fn refactorize(&mut self, m: usize, basis_dense: &[f64]) -> Result<(), LpError> {
+        self.lu = LuFactors::factor(m, basis_dense)?;
+        self.etas.clear();
+        self.eta_nnz = 0;
+        Ok(())
+    }
+
+    /// Number of etas accumulated since the last refactorization.
+    #[must_use]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Total nonzeros stored across the eta file.
+    #[must_use]
+    pub fn eta_nnz(&self) -> usize {
+        self.eta_nnz
+    }
+
+    /// Records a pivot: basic position `row` was replaced by the column
+    /// whose FTRAN image is `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the pivot element is numerically zero — the
+    /// ratio test guarantees it is not.
+    pub fn push_eta(&mut self, row: usize, alpha: &[f64]) {
+        let pivot = alpha[row];
+        debug_assert!(pivot.abs() > 0.0, "zero pivot reached push_eta");
+        let entries: Vec<(usize, f64)> = alpha
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != row && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.eta_nnz += entries.len() + 1;
+        self.etas.push(Eta {
+            row,
+            pivot,
+            entries,
+        });
+    }
+
+    /// FTRAN: `x ← B⁻¹ x` for the current basis.
+    pub fn ftran(&self, x: &mut [f64]) {
+        self.lu.solve(x);
+        for eta in &self.etas {
+            let t = x[eta.row];
+            if t != 0.0 {
+                x[eta.row] = t / eta.pivot;
+                for &(i, v) in &eta.entries {
+                    x[i] -= (v / eta.pivot) * t;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: `x ← B⁻ᵀ x` for the current basis.
+    pub fn btran(&self, x: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = x[eta.row];
+            for &(i, v) in &eta.entries {
+                acc -= v * x[i];
+            }
+            x[eta.row] = acc / eta.pivot;
+        }
+        self.lu.solve_transposed(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn lu_solves_forward_and_transposed() {
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let lu = LuFactors::factor(3, &a).unwrap();
+        let mut x = [8.0, -11.0, -3.0];
+        lu.solve(&mut x);
+        let ax = mul(3, &a, &x);
+        for (got, want) in ax.iter().zip([8.0, -11.0, -3.0]) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        // Transposed solve against Aᵀ y = b.
+        let mut y = [1.0, 2.0, 3.0];
+        lu.solve_transposed(&mut y);
+        let at: Vec<f64> = (0..9).map(|k| a[(k % 3) * 3 + k / 3]).collect();
+        let aty = mul(3, &at, &y);
+        for (got, want) in aty.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(LuFactors::factor(2, &a).is_err());
+    }
+
+    #[test]
+    fn eta_updates_track_column_replacement() {
+        // Start from B = I, replace position 1 with a = (1, 2, 1)ᵀ:
+        // B' = [e0, a, e2]. Check FTRAN/BTRAN against the explicit B'.
+        let mut f = BasisFactor::identity(3);
+        let mut alpha = [1.0, 2.0, 1.0]; // B⁻¹ a = a for B = I
+        f.push_eta(1, &alpha);
+        assert_eq!(f.eta_count(), 1);
+        assert_eq!(f.eta_nnz(), 3);
+
+        let b_new = [1.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 1.0, 1.0];
+        let v = [3.0, 4.0, 5.0];
+        let mut x = v;
+        f.ftran(&mut x);
+        let bx = mul(3, &b_new, &x);
+        for (got, want) in bx.iter().zip(v) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+
+        let mut y = v;
+        f.btran(&mut y);
+        let bt: Vec<f64> = (0..9).map(|k| b_new[(k % 3) * 3 + k / 3]).collect();
+        let bty = mul(3, &bt, &y);
+        for (got, want) in bty.iter().zip(v) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+
+        // A second replacement on top of the first: position 2 with the
+        // column whose FTRAN image is alpha2.
+        let a2 = [0.5, 0.0, 2.0];
+        alpha = a2;
+        f.ftran(&mut alpha);
+        f.push_eta(2, &alpha);
+        let b2 = [1.0, 1.0, 0.5, 0.0, 2.0, 0.0, 0.0, 1.0, 2.0];
+        let mut x2 = [1.0, -2.0, 0.5];
+        f.ftran(&mut x2);
+        let b2x = mul(3, &b2, &x2);
+        for (got, want) in b2x.iter().zip([1.0, -2.0, 0.5]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn refactorize_replaces_the_eta_file() {
+        let mut f = BasisFactor::identity(2);
+        f.push_eta(0, &[2.0, 1.0]);
+        assert_eq!(f.eta_count(), 1);
+        let basis = [3.0, 1.0, 1.0, 2.0];
+        f.refactorize(2, &basis).unwrap();
+        assert_eq!(f.eta_count(), 0);
+        assert_eq!(f.eta_nnz(), 0);
+        let mut x = [5.0, 5.0];
+        f.ftran(&mut x);
+        let bx = mul(2, &basis, &x);
+        for (got, want) in bx.iter().zip([5.0, 5.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        assert!(f.refactorize(2, &[1.0, 1.0, 1.0, 1.0]).is_err());
+    }
+}

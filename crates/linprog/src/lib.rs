@@ -1,10 +1,15 @@
-//! # linprog — a dense linear-programming substrate
+//! # linprog — a linear-programming substrate
 //!
 //! Self-contained LP solvers backing the LP-HTA task-assignment algorithm
-//! of the Data-Shared MEC reproduction. Two interchangeable backends solve
-//! the same [`LpProblem`]:
+//! of the Data-Shared MEC reproduction. Three interchangeable backends
+//! solve the same [`LpProblem`]:
 //!
-//! * [`simplex::solve_simplex`] — two-phase revised simplex with bounded
+//! * [`revised::solve_revised`] — sparse revised simplex over a CSC
+//!   matrix ([`sparse::CscMatrix`]) with an LU-factored basis extended by
+//!   a product-form eta file ([`basis::BasisFactor`]); supports warm
+//!   starts from a previous [`Basis`] via [`solve_from`] (the default for
+//!   LP-HTA, whose constraint matrix is extremely sparse);
+//! * [`simplex::solve_simplex`] — two-phase dense simplex with bounded
 //!   variables (exact vertex solutions; used as the reference oracle);
 //! * [`interior::solve_interior_point`] — Mehrotra predictor–corrector
 //!   primal–dual interior-point method (the paper's Step 1 cites
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod basis;
 pub mod error;
 pub mod interior;
 pub mod matrix;
@@ -44,12 +50,15 @@ pub mod mps;
 pub mod par;
 pub mod presolve;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 pub mod standard;
 
 pub use error::LpError;
 pub use par::{set_threads, threads};
 pub use problem::{Bounds, Constraint, ConstraintSense, LpProblem, LpSolution, LpStatus};
+pub use revised::{Basis, BasisVarStatus, SolveOutcome};
 
 /// Which backend to use for a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -58,8 +67,11 @@ pub enum Solver {
     /// the paper's Step 1 prescribes).
     #[default]
     InteriorPoint,
-    /// Two-phase revised simplex with bounded variables.
+    /// Two-phase dense simplex with bounded variables.
     Simplex,
+    /// Sparse revised simplex (LU-factored basis, eta updates, warm
+    /// starts). Falls back to the dense simplex on numerical failure.
+    Revised,
 }
 
 impl std::fmt::Display for Solver {
@@ -67,6 +79,7 @@ impl std::fmt::Display for Solver {
         match self {
             Solver::InteriorPoint => f.write_str("interior-point"),
             Solver::Simplex => f.write_str("simplex"),
+            Solver::Revised => f.write_str("revised-simplex"),
         }
     }
 }
@@ -82,6 +95,12 @@ impl std::fmt::Display for Solver {
 pub fn solve(lp: &LpProblem, solver: Solver) -> Result<LpSolution, LpError> {
     match solver {
         Solver::Simplex => simplex::solve_simplex(lp),
+        Solver::Revised => match revised::solve_revised(lp) {
+            Ok(sol) => Ok(sol),
+            // A singular basis the eta file cannot recover from; the
+            // dense oracle keeps its own inverse and gets the verdict.
+            Err(_) => simplex::solve_simplex(lp),
+        },
         Solver::InteriorPoint => {
             let attempt = interior::solve_interior_point(lp);
             match attempt {
@@ -94,6 +113,29 @@ pub fn solve(lp: &LpProblem, solver: Solver) -> Result<LpSolution, LpError> {
     }
 }
 
+/// Solves `lp` with the sparse revised simplex, optionally warm-starting
+/// from a [`Basis`] returned by a previous call, and returns the final
+/// basis alongside the solution so sweeps can chain adjacent points.
+///
+/// Falls back to the dense simplex on numerical failure; the fallback
+/// reports `warm_used: false` and no basis (dense solves don't export
+/// one), so a chain simply goes cold at that point.
+///
+/// # Errors
+///
+/// Returns [`LpError::NumericalFailure`] only when both the revised and
+/// the dense backend fail.
+pub fn solve_from(lp: &LpProblem, warm: Option<&Basis>) -> Result<SolveOutcome, LpError> {
+    match revised::solve_revised_from(lp, warm) {
+        Ok(outcome) => Ok(outcome),
+        Err(_) => simplex::solve_simplex(lp).map(|solution| SolveOutcome {
+            solution,
+            basis: None,
+            warm_used: false,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,20 +144,38 @@ mod tests {
     fn solver_display() {
         assert_eq!(Solver::InteriorPoint.to_string(), "interior-point");
         assert_eq!(Solver::Simplex.to_string(), "simplex");
+        assert_eq!(Solver::Revised.to_string(), "revised-simplex");
         assert_eq!(Solver::default(), Solver::InteriorPoint);
     }
 
     #[test]
-    fn dispatch_reaches_both_backends() {
+    fn dispatch_reaches_all_backends() {
         let mut lp = LpProblem::new(1);
         lp.set_objective(vec![1.0]).unwrap();
         lp.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 2.0)
             .unwrap();
-        for solver in [Solver::Simplex, Solver::InteriorPoint] {
+        for solver in [Solver::Simplex, Solver::InteriorPoint, Solver::Revised] {
             let sol = solve(&lp, solver).unwrap();
             assert!(sol.is_optimal(), "{solver} failed");
             assert!((sol.objective - 2.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn solve_from_chains_bases_across_calls() {
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![-1.0, -2.0]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 4.0)
+            .unwrap();
+        lp.set_bounds(0, 0.0, 3.0).unwrap();
+        lp.set_bounds(1, 0.0, 3.0).unwrap();
+        let cold = solve_from(&lp, None).unwrap();
+        assert!(cold.solution.is_optimal());
+        assert!(!cold.warm_used);
+        let basis = cold.basis.expect("optimal solve exports a basis");
+        let warm = solve_from(&lp, Some(&basis)).unwrap();
+        assert!(warm.warm_used);
+        assert!((warm.solution.objective - cold.solution.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -214,6 +214,74 @@ impl Presolved {
     }
 }
 
+/// The block-angular structure [`detect_blocks`] found: groups of columns
+/// that interact only through a small set of coupling rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStructure {
+    /// Column groups, each sorted ascending, ordered by smallest member.
+    /// Columns inside a block share at least one *local* row (support ≤
+    /// the threshold) with another member; columns in different blocks
+    /// only ever meet in coupling rows.
+    pub blocks: Vec<Vec<usize>>,
+    /// Rows whose support exceeds the threshold — the rows that couple
+    /// the blocks together (e.g. the per-station capacity row C3 in the
+    /// HTA relaxation, which touches every task of the cluster).
+    pub coupling_rows: Vec<usize>,
+}
+
+/// Detects block-angular structure: treats every row with at most
+/// `max_support` nonzeros as *local* and unions its columns; wider rows
+/// are reported as coupling rows. For the HTA cluster relaxation (each
+/// task contributes a 3-variable assignment row, devices add narrow
+/// capacity rows, and the station capacity row spans the whole cluster)
+/// this recovers the per-task/per-device blocks hanging off the single
+/// station coupling row.
+#[must_use]
+pub fn detect_blocks(lp: &LpProblem, max_support: usize) -> BlockStructure {
+    let n = lp.num_vars();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut j: usize) -> usize {
+        while parent[j] != j {
+            parent[j] = parent[parent[j]]; // path halving
+            j = parent[j];
+        }
+        j
+    }
+
+    let mut coupling_rows = Vec::new();
+    for (r, row) in lp.constraints().iter().enumerate() {
+        let live: Vec<usize> = row
+            .terms
+            .iter()
+            .filter(|(_, a)| a.abs() > 0.0)
+            .map(|&(j, _)| j)
+            .collect();
+        if live.len() > max_support {
+            coupling_rows.push(r);
+            continue;
+        }
+        for w in live.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                // Union by smaller root keeps block ordering deterministic.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi] = lo;
+            }
+        }
+    }
+
+    let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let root = find(&mut parent, j);
+        by_root[root].push(j);
+    }
+    let blocks: Vec<Vec<usize>> = by_root.into_iter().filter(|b| !b.is_empty()).collect();
+    BlockStructure {
+        blocks,
+        coupling_rows,
+    }
+}
+
 /// Convenience wrapper: presolve, solve the reduction with `solver`, and
 /// restore.
 ///
@@ -329,6 +397,51 @@ mod tests {
         let pres = presolve_and_solve(&lp, Solver::Simplex).unwrap();
         assert!((direct.objective - pres.objective).abs() < 1e-9);
         assert!(lp.max_violation(&pres.x) < 1e-9);
+    }
+
+    #[test]
+    fn detect_blocks_separates_block_angular_structure() {
+        // Two 2-variable blocks plus one coupling row over everything —
+        // the miniature of an HTA cluster: narrow assignment rows, one
+        // wide station-capacity row.
+        let mut lp = LpProblem::new(4);
+        lp.set_objective(vec![1.0; 4]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            ConstraintSense::Le,
+            3.0,
+        )
+        .unwrap();
+        let structure = super::detect_blocks(&lp, 3);
+        assert_eq!(structure.blocks, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(structure.coupling_rows, vec![2]);
+    }
+
+    #[test]
+    fn detect_blocks_merges_through_shared_local_rows() {
+        // A chain of narrow rows links all columns into one block; no row
+        // exceeds the support threshold, so nothing couples.
+        let mut lp = LpProblem::new(3);
+        lp.set_objective(vec![1.0; 3]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(1, 1.0), (2, -1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        let structure = super::detect_blocks(&lp, 3);
+        assert_eq!(structure.blocks, vec![vec![0, 1, 2]]);
+        assert!(structure.coupling_rows.is_empty());
+
+        // Explicit zeros do not join columns.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![1.0; 2]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 0.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        let structure = super::detect_blocks(&lp, 3);
+        assert_eq!(structure.blocks.len(), 2);
     }
 
     #[test]
