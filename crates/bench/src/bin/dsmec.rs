@@ -261,6 +261,46 @@ fn dispatch(
             }
             Ok(())
         }
+        "serve" => {
+            use mec_bench::serve::{serve, ServeConfig};
+            let defaults = ServeConfig::default();
+            let mut cfg = ServeConfig {
+                seed: get_u64(flags, "seed", defaults.seed)?,
+                epochs: get_usize(flags, "epochs", defaults.epochs)?,
+                batch: get_usize(flags, "batch", defaults.batch)?,
+                num_stations: get_usize(flags, "stations", defaults.num_stations)?,
+                devices_per_station: get_usize(
+                    flags,
+                    "devices-per-station",
+                    defaults.devices_per_station,
+                )?,
+                ..defaults
+            };
+            if let Some(kb) = flags.get("max-input-kb") {
+                cfg.max_input_kb = kb
+                    .parse()
+                    .map_err(|_| "--max-input-kb must be a number".to_string())?;
+            }
+            if let Some(rate) = flags.get("rate") {
+                cfg.rate_per_second = rate
+                    .parse()
+                    .map_err(|_| "--rate must be a number (tasks/s)".to_string())?;
+            }
+            cfg.chaos = mec_bench::cli::resolve_chaos(flags.get("chaos").map(String::as_str))?;
+            if let Some(limit) = flags.get("cloud-limit") {
+                cfg.cloud_limit = Some(
+                    limit
+                        .parse()
+                        .map_err(|_| "--cloud-limit must be an integer".to_string())?,
+                );
+            }
+            let report = serve(&cfg).map_err(|e| e.to_string())?;
+            print!("{}", mec_bench::serve::render_serve_report(&report));
+            let out = flags.get("out").cloned().unwrap_or("serve.json".into());
+            write_json(&out, &report)?;
+            println!("wrote {out}");
+            Ok(())
+        }
         "compare" => {
             let scenario: Scenario =
                 read_json(flags.get("scenario").ok_or("--scenario required")?)?;
@@ -294,6 +334,14 @@ fn dispatch(
             eprintln!("            link outages/degradation, stragglers) and replans");
             eprintln!("            stranded tasks; the run is deterministic per seed");
             eprintln!("  report    --scenario F --assignment F");
+            eprintln!("  serve     --seed N --epochs E [--batch B] [--stations K] \\");
+            eprintln!("            [--devices-per-station D] [--rate R] [--chaos SEED] \\");
+            eprintln!("            [--cloud-limit C] [--out serve.json]");
+            eprintln!("            online mode: drain E epoch batches of task arrivals");
+            eprintln!("            through the sharded incremental LP-HTA, warm-starting");
+            eprintln!("            each base-station cluster from its previous basis;");
+            eprintln!("            --chaos adds device churn, --cloud-limit caps cloud");
+            eprintln!("            placements per epoch (excess migrates to stations)");
             eprintln!("  compare   --scenario F");
             eprintln!("  divisible --seed N --tasks T --items M");
             eprintln!("  trace     FILE [--folded OUT.txt] [--top N]");

@@ -27,6 +27,7 @@ pub mod cli;
 pub mod figures;
 pub mod par;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod timing;
 pub mod trace_report;

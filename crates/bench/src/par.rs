@@ -24,12 +24,20 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Minimum projected *remaining* work (ns) before a map spawns worker
-/// threads. Both maps measure their first item on the calling thread and
-/// extrapolate; below this floor the spawn + join overhead (~tens of µs
-/// per thread) would dominate, so they finish serially instead. Keeps
-/// cheap sweeps — fig6b's division-only points most visibly — from paying
-/// for parallelism they cannot amortize.
+/// threads. Both maps measure their first `min(2, len)` items on the
+/// calling thread and extrapolate from the **max** per-item time; below
+/// this floor the spawn + join overhead (~tens of µs per thread) would
+/// dominate, so they finish serially instead. Keeps cheap sweeps —
+/// fig6b's division-only points most visibly — from paying for
+/// parallelism they cannot amortize. Probing two items (not one) matters
+/// for heterogeneous batches: the first item's time absorbs cache-miss
+/// and lazy-init cost and can be unrepresentatively *cheap* when the
+/// expensive state is built lazily elsewhere, which used to pin
+/// expensive-tailed batches to the calling thread.
 const SPAWN_FLOOR_NS: u128 = 200_000;
+
+/// How many leading items the adaptive probe times on the calling thread.
+const PROBE_ITEMS: usize = 2;
 
 /// Locks ignoring std poisoning: the failure slot stays consistent even if
 /// a recording thread dies, because `record` only ever writes a complete
@@ -95,10 +103,12 @@ impl<R> Slots<R> {
 /// pre-allocated slots; work is distributed through a shared atomic index
 /// so fast workers steal whatever is left.
 ///
-/// Granularity is adaptive: the first item runs (and is timed) on the
-/// calling thread, and worker threads are spawned only when the projected
-/// remaining work clears [`SPAWN_FLOOR_NS`] — cheap sweeps finish
-/// serially rather than paying spawn/join overhead per point.
+/// Granularity is adaptive: the first `min(2, len)` items run (and are
+/// timed) on the calling thread, and worker threads are spawned only when
+/// the remaining work projected from the *slowest* probe item clears
+/// [`SPAWN_FLOOR_NS`] — cheap sweeps finish serially rather than paying
+/// spawn/join overhead per point, while a cheap first item cannot mask an
+/// expensive tail.
 ///
 /// # Panics
 ///
@@ -114,13 +124,22 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         return items.iter().map(&f).collect();
     }
     let slots = Slots::new(n);
-    // Probe: first item on the calling thread, timed.
-    let probe = Instant::now();
-    let r0 = f(&items[0]);
-    let projected = probe.elapsed().as_nanos().saturating_mul(n as u128 - 1);
-    // Safety: index 0 is not yet claimable (the shared counter starts at 1).
-    unsafe { slots.fill(0, r0) };
-    let next = AtomicUsize::new(1);
+    // Probe: the first min(2, n) items on the calling thread, timed
+    // individually; project the tail from the slowest one so a cheap
+    // first item (or one whose cost hides in another item's lazy init)
+    // cannot keep an expensive batch serial.
+    let probes = PROBE_ITEMS.min(n);
+    let mut worst: u128 = 0;
+    for (i, item) in items.iter().enumerate().take(probes) {
+        let probe = Instant::now();
+        let r = f(item);
+        worst = worst.max(probe.elapsed().as_nanos());
+        // Safety: probe indices are not claimable (the shared counter
+        // starts at `probes`).
+        unsafe { slots.fill(i, r) };
+    }
+    let projected = worst.saturating_mul((n - probes) as u128);
+    let next = AtomicUsize::new(probes);
     let work = || {
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -218,12 +237,18 @@ where
     if workers <= 1 {
         work();
     } else {
-        // Probe: first item on the calling thread, timed; spawn only when
-        // the projected remaining work clears the floor (see `par_map`).
-        let probe = Instant::now();
-        run_item(0);
-        let projected = probe.elapsed().as_nanos().saturating_mul(n as u128 - 1);
-        next.store(1, Ordering::Relaxed);
+        // Probe: the first min(2, n) items on the calling thread, timed
+        // individually; spawn only when the tail projected from the
+        // slowest probe clears the floor (see `par_map`).
+        let probes = PROBE_ITEMS.min(n);
+        let mut worst: u128 = 0;
+        for i in 0..probes {
+            let probe = Instant::now();
+            run_item(i);
+            worst = worst.max(probe.elapsed().as_nanos());
+        }
+        let projected = worst.saturating_mul((n - probes) as u128);
+        next.store(probes, Ordering::Relaxed);
         if projected < SPAWN_FLOOR_NS {
             work();
         } else {
@@ -389,6 +414,33 @@ mod tests {
         set_threads(0);
         assert!(ids.iter().all(|id| *id == main_id));
         assert!(ids_r.unwrap().iter().all(|id| *id == main_id));
+    }
+
+    /// A cheap first item must not keep a heterogeneous batch serial: the
+    /// probe takes the max over min(2, len) items, so a batch whose tail
+    /// is expensive clears the spawn floor and runs off the calling
+    /// thread. (A single-item probe projected the whole batch from the
+    /// cheap head and stayed serial.)
+    #[test]
+    fn heterogeneous_batches_spawn_despite_a_cheap_first_item() {
+        let _t = THREADS_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_threads(4);
+        let main_id = std::thread::current().id();
+        let items: Vec<usize> = (0..16).collect();
+        let heavy_tail = |&i: &usize| {
+            if i > 0 {
+                busy_wait(300);
+            }
+            std::thread::current().id()
+        };
+        let ids = par_map(&items, heavy_tail);
+        let ids_r: Result<Vec<_>, AssignError> = par_map_result(&items, |i| Ok(heavy_tail(i)));
+        set_threads(0);
+        assert!(
+            ids.iter().any(|id| *id != main_id),
+            "expensive tail behind a cheap probe item must spawn workers"
+        );
+        assert!(ids_r.unwrap().iter().any(|id| *id != main_id));
     }
 
     #[test]

@@ -131,6 +131,60 @@ impl WarmBases {
     pub fn is_empty(&self) -> bool {
         self.bases.is_empty()
     }
+
+    /// The stored basis for `station`, if any. The serve loop reads this
+    /// to hand each sharded cluster solve its own chained basis.
+    #[must_use]
+    pub fn basis(&self, station: StationId) -> Option<&Basis> {
+        self.bases.get(&station)
+    }
+
+    /// Stores (or replaces) `station`'s chained basis.
+    pub fn store(&mut self, station: StationId, basis: Basis) {
+        self.bases.insert(station, basis);
+    }
+
+    /// Drops `station`'s stored basis — e.g. after churn changed the
+    /// cluster's problem shape and the solver rejected the stale basis.
+    pub fn clear(&mut self, station: StationId) {
+        self.bases.remove(&station);
+    }
+
+    /// Fraction of offered bases the solver accepted (0 when none were
+    /// offered yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// One cluster's Step-1/2 solve as produced by [`LpHta::solve_cluster`]:
+/// the fractional matrix plus the chaining state the caller needs to keep
+/// the warm chain going. This is the unit the online serve loop shards
+/// over — clusters are independent by construction, so each can solve on
+/// its own worker carrying its own basis, and the outputs assemble into a
+/// [`FractionalSolution`] in station order.
+#[derive(Debug, Clone)]
+pub struct ClusterSolve {
+    /// The cluster's fractional Step-2 output.
+    pub fractions: ClusterFractions,
+    /// The final basis for chaining (absent on greedy-seeded clusters,
+    /// non-revised backends, or solves that ended without a real-column
+    /// basis).
+    pub basis: Option<Basis>,
+    /// True when the supplied warm basis was accepted (phase 1 skipped).
+    pub warm_used: bool,
+    /// True when the supplied warm basis was structurally rejected
+    /// (problem shape changed under the chain — a churn event).
+    pub warm_rejected: bool,
+    /// This cluster's contribution to `E_LP^(OPT)`.
+    pub objective: f64,
+    /// LP iterations spent on this cluster.
+    pub iterations: usize,
 }
 
 /// The LP-HTA algorithm with a configurable LP backend and rounding rule.
@@ -385,99 +439,162 @@ impl LpHta {
             lp_iterations: 0,
         };
         for (station, idxs) in cluster_task_indices(system, tasks)? {
-            if idxs.is_empty() {
-                continue;
-            }
-            let x: Vec<[f64; 3]> = if idxs.len() > self.lp_cluster_limit {
-                mec_obs::counter_add("lp_hta/relaxation/greedy_seeded", 1);
-                // Scalability guard: greedy cheapest-feasible indicator
-                // seed; the true LP optimum is lower-bounded by the sum
-                // of per-task minima, which keeps the certificate valid.
-                let mut seed = Vec::with_capacity(idxs.len());
-                for &i in &idxs {
-                    let mut row = [0.0; 3];
-                    let best = ExecutionSite::ALL
-                        .iter()
-                        .filter(|&&s| costs.feasible(i, s, tasks[i].deadline))
-                        .min_by(|&&a, &&b| {
-                            costs
-                                .at(i, a)
-                                .energy
-                                .value()
-                                .total_cmp(&costs.at(i, b).energy.value())
-                        })
-                        .copied()
-                        .unwrap_or(ExecutionSite::Cloud);
-                    row[best.index()] = 1.0;
-                    seed.push(row);
-                    fractional.lp_objective += ExecutionSite::ALL
-                        .iter()
-                        .map(|&s| costs.at(i, s).energy.value())
-                        .fold(f64::INFINITY, f64::min);
-                }
-                seed
-            } else {
-                let Some(rel) = build_cluster_relaxation(system, tasks, costs, station, &idxs)?
-                else {
-                    continue;
+            // Offer the chain's basis when the backend consumes one; the
+            // immutable borrow must end before the store is updated below.
+            let (solved, attempted) = {
+                let prev = match (&warm, self.solver) {
+                    (Some(store), Solver::Revised) => store.bases.get(&station),
+                    _ => None,
                 };
-                // Step 1: solve the relaxation, chaining bases when a
-                // warm store is supplied and the backend supports them.
-                let sol = match (&mut warm, self.solver) {
-                    (Some(store), Solver::Revised) => {
-                        let prev = store.bases.get(&station);
-                        if prev.is_some() {
-                            store.attempts += 1;
-                            mec_obs::counter_add("lp_hta/relaxation/warm_attempts", 1);
-                        }
-                        let outcome = linprog::solve_from(&rel.lp, prev)?;
-                        if outcome.warm_used {
-                            store.hits += 1;
-                            mec_obs::counter_add("lp_hta/relaxation/warm_hits", 1);
-                        }
-                        match outcome.basis {
-                            Some(basis) => {
-                                store.bases.insert(station, basis);
-                            }
-                            None => {
-                                store.bases.remove(&station);
-                            }
-                        }
-                        outcome.solution
-                    }
-                    _ => solve(&rel.lp, self.solver)?,
-                };
-                fractional.lp_iterations += sol.iterations;
-                // Step 2: the fractional matrix X. If the LP could not be
-                // solved to optimality (pathological custom instances), fall
-                // back to the always-feasible all-cloud fractional point.
-                if sol.status == LpStatus::Optimal {
-                    fractional.lp_objective += sol.objective;
-                    rel.fractional_matrix(&sol.x)
-                } else {
-                    mec_obs::counter_add("lp_hta/relaxation/non_optimal", 1);
-                    fractional.lp_objective += idxs
-                        .iter()
-                        .map(|&i| costs.at(i, ExecutionSite::Cloud).energy.value())
-                        .sum::<f64>();
-                    idxs.iter().map(|_| [0.0, 0.0, 1.0]).collect()
-                }
+                let attempted = prev.is_some();
+                (
+                    self.solve_cluster(system, tasks, costs, station, &idxs, prev)?,
+                    attempted,
+                )
             };
+            let Some(cs) = solved else { continue };
+            if let Some(store) = &mut warm {
+                if attempted {
+                    store.attempts += 1;
+                    mec_obs::counter_add("lp_hta/relaxation/warm_attempts", 1);
+                }
+                if cs.warm_used {
+                    store.hits += 1;
+                    mec_obs::counter_add("lp_hta/relaxation/warm_hits", 1);
+                }
+                match cs.basis {
+                    Some(basis) => {
+                        store.bases.insert(station, basis);
+                    }
+                    None => {
+                        store.bases.remove(&station);
+                    }
+                }
+            }
             if mec_obs::enabled() {
-                let fractional_vars = x
+                let fractional_vars = cs
+                    .fractions
+                    .x
                     .iter()
                     .flatten()
                     .filter(|&&v| v > 1e-9 && v < 1.0 - 1e-9)
                     .count();
                 mec_obs::counter_add("lp_hta/relaxation/fractional_vars", fractional_vars as u64);
             }
-            fractional.clusters.push(ClusterFractions {
-                station,
-                task_indices: idxs,
-                x,
-            });
+            fractional.lp_objective += cs.objective;
+            fractional.lp_iterations += cs.iterations;
+            fractional.clusters.push(cs.fractions);
         }
         Ok(fractional)
+    }
+
+    /// Steps 1–2 for a single cluster: builds and solves `station`'s
+    /// relaxation — warm-started from `prev` on the [`Solver::Revised`]
+    /// backend — or seeds it greedily past `lp_cluster_limit`. Returns
+    /// `None` for clusters with no tasks or no solvable relaxation.
+    ///
+    /// Pure with respect to chain state: the caller owns basis storage
+    /// (see [`WarmBases`]), which is what lets the serve loop run one
+    /// `solve_cluster` per shard under the deterministic `par_map`
+    /// contract and commit the returned bases serially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for substrate failures or irrecoverable LP
+    /// numerical failures.
+    pub fn solve_cluster(
+        &self,
+        system: &MecSystem,
+        tasks: &[HolisticTask],
+        costs: &CostTable,
+        station: StationId,
+        idxs: &[usize],
+        prev: Option<&Basis>,
+    ) -> Result<Option<ClusterSolve>, AssignError> {
+        if idxs.is_empty() {
+            return Ok(None);
+        }
+        if idxs.len() > self.lp_cluster_limit {
+            mec_obs::counter_add("lp_hta/relaxation/greedy_seeded", 1);
+            // Scalability guard: greedy cheapest-feasible indicator
+            // seed; the true LP optimum is lower-bounded by the sum
+            // of per-task minima, which keeps the certificate valid.
+            let mut objective = 0.0;
+            let mut seed = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                let mut row = [0.0; 3];
+                let best = ExecutionSite::ALL
+                    .iter()
+                    .filter(|&&s| costs.feasible(i, s, tasks[i].deadline))
+                    .min_by(|&&a, &&b| {
+                        costs
+                            .at(i, a)
+                            .energy
+                            .value()
+                            .total_cmp(&costs.at(i, b).energy.value())
+                    })
+                    .copied()
+                    .unwrap_or(ExecutionSite::Cloud);
+                row[best.index()] = 1.0;
+                seed.push(row);
+                objective += ExecutionSite::ALL
+                    .iter()
+                    .map(|&s| costs.at(i, s).energy.value())
+                    .fold(f64::INFINITY, f64::min);
+            }
+            return Ok(Some(ClusterSolve {
+                fractions: ClusterFractions {
+                    station,
+                    task_indices: idxs.to_vec(),
+                    x: seed,
+                },
+                basis: None,
+                warm_used: false,
+                warm_rejected: false,
+                objective,
+                iterations: 0,
+            }));
+        }
+        let Some(rel) = build_cluster_relaxation(system, tasks, costs, station, idxs)? else {
+            return Ok(None);
+        };
+        // Step 1: solve the relaxation. `solve_from(_, None)` and
+        // `solve(_, Revised)` share the same path (revised solve, dense
+        // fallback), so threading the warm option through changes nothing
+        // for cold solves.
+        let (sol, basis, warm_used, warm_rejected) = if self.solver == Solver::Revised {
+            let outcome = linprog::solve_from(&rel.lp, prev)?;
+            let rejected = outcome.warm_rejection.is_some();
+            (outcome.solution, outcome.basis, outcome.warm_used, rejected)
+        } else {
+            (solve(&rel.lp, self.solver)?, None, false, false)
+        };
+        let iterations = sol.iterations;
+        // Step 2: the fractional matrix X. If the LP could not be
+        // solved to optimality (pathological custom instances), fall
+        // back to the always-feasible all-cloud fractional point.
+        let (x, objective) = if sol.status == LpStatus::Optimal {
+            (rel.fractional_matrix(&sol.x), sol.objective)
+        } else {
+            mec_obs::counter_add("lp_hta/relaxation/non_optimal", 1);
+            let cloud: f64 = idxs
+                .iter()
+                .map(|&i| costs.at(i, ExecutionSite::Cloud).energy.value())
+                .sum();
+            (idxs.iter().map(|_| [0.0, 0.0, 1.0]).collect(), cloud)
+        };
+        Ok(Some(ClusterSolve {
+            fractions: ClusterFractions {
+                station,
+                task_indices: idxs.to_vec(),
+                x,
+            },
+            basis,
+            warm_used,
+            warm_rejected,
+            objective,
+            iterations,
+        }))
     }
 
     /// Steps 3–6 plus certificates: rounds a precomputed [`FractionalSolution`]
@@ -1050,6 +1167,44 @@ mod tests {
             "re-solving an identical instance must accept the stored basis ({} attempts)",
             warm.attempts
         );
+    }
+
+    #[test]
+    fn warm_chain_survives_mid_chain_growth_and_shrink() {
+        // Churn regression: a serve session grows and shrinks its task
+        // population mid-chain, so the stored bases go structurally stale
+        // whenever the per-cluster LP changes shape. The chain must never
+        // corrupt a solve — every epoch still matches the cold optimum —
+        // and must keep hitting once the shape stabilises again.
+        let algo = LpHta::paper().without_fast_path();
+        let mut warm = WarmBases::new();
+        for tasks_total in [100usize, 100, 120, 120, 80, 80] {
+            let mut cfg = ScenarioConfig::paper_defaults(16);
+            cfg.tasks_total = tasks_total;
+            let s = cfg.generate().unwrap();
+            let costs = CostTable::build(&s.system, &s.tasks).unwrap();
+            let cold = algo.solve_relaxation(&s.system, &s.tasks, &costs).unwrap();
+            let chained = algo
+                .solve_relaxation_warm(&s.system, &s.tasks, &costs, &mut warm)
+                .unwrap();
+            let scale_tol = 1e-6 * (1.0 + cold.lp_objective.abs());
+            assert!(
+                (chained.lp_objective - cold.lp_objective).abs() < scale_tol,
+                "warm objective {} vs cold {} at {tasks_total} tasks",
+                chained.lp_objective,
+                cold.lp_objective
+            );
+        }
+        // Shape-matched re-solves (epochs 2, 4, 6) must accept the stored
+        // basis; the two resizes must decline rather than hit blindly.
+        assert!(warm.hits >= 1, "stable epochs should warm-hit");
+        assert!(
+            warm.hits < warm.attempts,
+            "resized epochs must reject stale bases ({} hits / {} attempts)",
+            warm.hits,
+            warm.attempts
+        );
+        assert!(warm.hit_rate() > 0.0 && warm.hit_rate() < 1.0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub use exact::ExactBnB;
 pub use game::{GameOutcome, NashOffload};
 pub use hgos::Hgos;
 pub use lp_hta::{
-    ClusterFractions, FractionalSolution, LpHta, LpHtaReport, RoundingRule, WarmBases,
+    ClusterFractions, ClusterSolve, FractionalSolution, LpHta, LpHtaReport, RoundingRule, WarmBases,
 };
 pub use online::{OnlineHta, OnlinePolicy};
 pub use partial::{optimal_split, partial_offload_plan, PartialPlan, PartialSplit};

@@ -309,8 +309,10 @@ pub fn execute_with_repair(
     // Every wave either completes a task, abandons it, or consumes one of
     // its bounded repair tokens (≤ max_retries retries + one re-source +
     // one reassignment), so this cap is never the deciding factor — it is
-    // a backstop against future edits breaking that argument.
-    let max_waves = policy.max_retries + 4;
+    // a backstop against future edits breaking that argument. Saturating:
+    // an adversarial max_retries near u32::MAX must not wrap the cap to a
+    // tiny value and abandon everything on wave one.
+    let max_waves = policy.max_retries.saturating_add(4);
     let mut waves = 0u32;
     while !pending.is_empty() {
         if waves >= max_waves {
@@ -373,8 +375,16 @@ pub fn execute_with_repair(
                         FaultHitKind::LinkOutage(_) => {
                             if attempts[idx] < policy.max_retries {
                                 attempts[idx] += 1;
-                                let backoff =
-                                    policy.backoff * f64::from(1u32 << (attempts[idx] - 1));
+                                // Exponential backoff with a saturated
+                                // exponent: `1u32 << (attempts - 1)`
+                                // overflows once attempts exceeds 32,
+                                // which an adversarial max_retries makes
+                                // reachable (debug panic, masked shift in
+                                // release). 2^60 seconds already exceeds
+                                // any horizon, so capping keeps the
+                                // schedule finite and monotone.
+                                let exponent = (attempts[idx] - 1).min(60);
+                                let backoff = policy.backoff * 2f64.powi(exponent as i32);
                                 let at = hit.time + backoff;
                                 mec_obs::counter_add("chaos/repair/retries", 1);
                                 events.push(RepairEvent {
@@ -885,6 +895,65 @@ mod tests {
             }
         ));
         assert_eq!(report.results[0].attempts, 3);
+    }
+
+    #[test]
+    fn adversarial_max_retries_saturates_backoff_and_wave_cap() {
+        let system = small_system(1);
+        let tasks = vec![task(0, 0, None)];
+        let assignment = Assignment::uniform(1, ExecutionSite::Station);
+        // An outage long enough that the doubled backoff must clear 2^32
+        // multiples before a retry lands outside it: the old multiplier
+        // `1u32 << (attempts - 1)` overflowed at attempt 33 (debug panic,
+        // masked shift in release), and the old wave cap
+        // `max_retries + 4` wrapped for max_retries near u32::MAX.
+        let faults = FaultPlan::new(
+            &system,
+            vec![Fault::LinkOutage {
+                device: DeviceId(0),
+                window: window(0.0, 1e9),
+            }],
+        )
+        .unwrap();
+        let policy = RepairPolicy {
+            max_retries: u32::MAX,
+            backoff: Seconds::new(0.05),
+        };
+        let report = execute_with_repair(
+            &system,
+            &tasks,
+            &assignment,
+            Contention::Exclusive,
+            &faults,
+            &policy,
+        )
+        .unwrap();
+        let r = &report.results[0];
+        assert!(
+            matches!(
+                r.fate,
+                TaskFate::Completed {
+                    recovered: true,
+                    ..
+                }
+            ),
+            "{:?}",
+            r.fate
+        );
+        assert!(
+            r.attempts > 32,
+            "must push past the old shift-overflow point, got {} attempts",
+            r.attempts
+        );
+        // Every scheduled retry stayed finite and monotone.
+        let mut last = f64::NEG_INFINITY;
+        for e in &report.events {
+            if let RepairAction::Retry { at, .. } = e.action {
+                assert!(at.value().is_finite(), "{:?}", e);
+                assert!(at.value() >= last, "retry times must be monotone");
+                last = at.value();
+            }
+        }
     }
 
     #[test]

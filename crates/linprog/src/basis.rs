@@ -180,6 +180,18 @@ impl BasisFactor {
         }
     }
 
+    /// Adopts an existing LU factorization with an empty eta file. Warm
+    /// starts use this to reuse the acceptance probe's factorization
+    /// instead of factoring the same matrix a second time.
+    #[must_use]
+    pub fn from_lu(lu: LuFactors) -> BasisFactor {
+        BasisFactor {
+            lu,
+            etas: Vec::new(),
+            eta_nnz: 0,
+        }
+    }
+
     /// Factors the dense row-major `m × m` basis matrix, clearing the eta
     /// file.
     ///

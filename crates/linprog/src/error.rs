@@ -37,6 +37,22 @@ pub enum LpError {
         /// Upper bound.
         upper: f64,
     },
+    /// A warm-start basis whose recorded shape does not fit the problem
+    /// being solved (or disagrees with its own status vector, which is
+    /// possible because the dimensions are public). The solver never
+    /// fails on this — it falls back to the crash basis — but reports
+    /// the rejection through `SolveOutcome::warm_rejection` so churn
+    /// events that invalidate a chained basis are observable.
+    BasisShapeMismatch {
+        /// Rows recorded in the rejected basis.
+        basis_rows: usize,
+        /// Columns actually carried by the rejected basis' status vector.
+        basis_cols: usize,
+        /// Constraint rows of the problem being solved.
+        lp_rows: usize,
+        /// Standard-form columns of the problem being solved.
+        lp_cols: usize,
+    },
     /// The solver encountered a numerically singular system it could not
     /// recover from.
     NumericalFailure(&'static str),
@@ -62,6 +78,18 @@ impl fmt::Display for LpError {
                 write!(
                     f,
                     "variable {var} has lower bound {lower} above upper bound {upper}"
+                )
+            }
+            LpError::BasisShapeMismatch {
+                basis_rows,
+                basis_cols,
+                lp_rows,
+                lp_cols,
+            } => {
+                write!(
+                    f,
+                    "warm basis shape {basis_rows}x{basis_cols} does not fit \
+                     problem shape {lp_rows}x{lp_cols}"
                 )
             }
             LpError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),

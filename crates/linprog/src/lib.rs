@@ -132,6 +132,7 @@ pub fn solve_from(lp: &LpProblem, warm: Option<&Basis>) -> Result<SolveOutcome, 
             solution,
             basis: None,
             warm_used: false,
+            warm_rejection: None,
         }),
     }
 }

@@ -282,6 +282,86 @@ pub fn detect_blocks(lp: &LpProblem, max_support: usize) -> BlockStructure {
     }
 }
 
+/// One block of a block-angular problem extracted as a standalone
+/// [`LpProblem`] by [`extract_block`], with the column mapping back to
+/// the original problem.
+#[derive(Debug, Clone)]
+pub struct BlockProblem {
+    /// The standalone subproblem over the block's columns (renumbered to
+    /// `0..columns.len()`), containing every row fully supported by the
+    /// block. Rows that touch other blocks — the coupling rows — are
+    /// omitted; reconciling them is the caller's serial pass.
+    pub problem: LpProblem,
+    /// Original column index of each subproblem column, ascending.
+    pub columns: Vec<usize>,
+}
+
+/// Extracts block `block` of `structure` as a standalone problem whose
+/// solution (and exported basis) can be chained across adjacent instances
+/// independently of the other blocks — the per-block warm-solve unit the
+/// online serve loop shards over. Only rows whose live support lies
+/// entirely inside the block are carried; with all coupling rows slack at
+/// the blockwise optimum, the blockwise objectives sum to the full
+/// problem's optimum.
+///
+/// # Errors
+///
+/// Returns [`LpError::VariableOutOfRange`] when `block` does not index a
+/// block of `structure`, and propagates construction errors when
+/// `structure` does not describe `lp` (stale column indices).
+pub fn extract_block(
+    lp: &LpProblem,
+    structure: &BlockStructure,
+    block: usize,
+) -> Result<BlockProblem, LpError> {
+    let Some(columns) = structure.blocks.get(block) else {
+        return Err(LpError::VariableOutOfRange {
+            var: block,
+            num_vars: structure.blocks.len(),
+        });
+    };
+    let mut local = vec![usize::MAX; lp.num_vars()];
+    for (sub, &j) in columns.iter().enumerate() {
+        if j >= lp.num_vars() {
+            return Err(LpError::VariableOutOfRange {
+                var: j,
+                num_vars: lp.num_vars(),
+            });
+        }
+        local[j] = sub;
+    }
+    let mut problem = LpProblem::new(columns.len());
+    let mut objective = Vec::with_capacity(columns.len());
+    for (sub, &j) in columns.iter().enumerate() {
+        objective.push(lp.objective()[j]);
+        let b = &lp.bounds()[j];
+        problem.set_bounds(sub, b.lower, b.upper)?;
+    }
+    problem.set_objective(objective)?;
+    for row in lp.constraints() {
+        let live: Vec<(usize, f64)> = row
+            .terms
+            .iter()
+            .filter(|(_, a)| a.abs() > 0.0)
+            .copied()
+            .collect();
+        if live.is_empty() || !live.iter().all(|&(j, _)| local[j] != usize::MAX) {
+            continue;
+        }
+        let terms: Vec<(usize, f64)> = live.into_iter().map(|(j, a)| (local[j], a)).collect();
+        problem.add_constraint(terms, row.sense, row.rhs)?;
+    }
+    // The solvers' standard form wants at least one row; a block held
+    // together only by bounds gets a vacuous one.
+    if problem.num_constraints() == 0 {
+        problem.add_constraint(vec![(0, 0.0)], ConstraintSense::Le, 1.0)?;
+    }
+    Ok(BlockProblem {
+        problem,
+        columns: columns.clone(),
+    })
+}
+
 /// Convenience wrapper: presolve, solve the reduction with `solver`, and
 /// restore.
 ///
@@ -442,6 +522,47 @@ mod tests {
             .unwrap();
         let structure = super::detect_blocks(&lp, 3);
         assert_eq!(structure.blocks.len(), 2);
+    }
+
+    #[test]
+    fn extracted_blocks_solve_independently_and_chain_warm() {
+        // The block-angular miniature again: two assignment blocks under
+        // one slack coupling row. Blockwise optima must sum to the full
+        // optimum, and each block's exported basis must warm-start its
+        // own next solve.
+        let mut lp = LpProblem::new(4);
+        lp.set_objective(vec![1.0, 2.0, 3.0, 1.0]).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            ConstraintSense::Le,
+            3.0,
+        )
+        .unwrap();
+        for j in 0..4 {
+            lp.set_bounds(j, 0.0, 1.0).unwrap();
+        }
+        let structure = super::detect_blocks(&lp, 3);
+        assert_eq!(structure.blocks.len(), 2);
+        let full = solve(&lp, Solver::Simplex).unwrap();
+        let mut blockwise = 0.0;
+        for k in 0..structure.blocks.len() {
+            let sub = super::extract_block(&lp, &structure, k).unwrap();
+            assert_eq!(sub.problem.num_vars(), 2);
+            let cold = crate::solve_from(&sub.problem, None).unwrap();
+            assert!(cold.solution.is_optimal());
+            blockwise += cold.solution.objective;
+            let basis = cold.basis.expect("optimal revised solve exports a basis");
+            let warm = crate::solve_from(&sub.problem, Some(&basis)).unwrap();
+            assert!(warm.warm_used, "block {k} must chain its own basis");
+            assert!((warm.solution.objective - cold.solution.objective).abs() < 1e-9);
+        }
+        assert!((blockwise - full.objective).abs() < 1e-9);
+        // Out-of-range blocks are a typed error, not a panic.
+        assert!(super::extract_block(&lp, &structure, 9).is_err());
     }
 
     #[test]

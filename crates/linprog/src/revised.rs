@@ -57,6 +57,11 @@ pub struct Basis {
     /// Standard-form columns (structural + slacks).
     pub num_cols: usize,
     statuses: Vec<BasisVarStatus>,
+    /// Pivots accumulated since the chain's last scheduled
+    /// refactorization, carried across warm solves so a long chain
+    /// refactorizes on the *cumulative* count (see
+    /// [`RevisedState::try_warm_start`]).
+    carried_pivots: usize,
 }
 
 impl Basis {
@@ -64,6 +69,16 @@ impl Basis {
     #[must_use]
     pub fn statuses(&self) -> &[BasisVarStatus] {
         &self.statuses
+    }
+
+    /// Pivots this chain has accumulated since its last scheduled
+    /// refactorization. A warm solve adopting this basis starts its
+    /// refactorization countdown here instead of at zero, so chained
+    /// sweeps that warm-start hundreds of points still refactorize every
+    /// `REFACTOR_EVERY` *cumulative* pivots.
+    #[must_use]
+    pub fn carried_pivots(&self) -> usize {
+        self.carried_pivots
     }
 }
 
@@ -79,6 +94,14 @@ pub struct SolveOutcome {
     pub basis: Option<Basis>,
     /// True when the warm basis was accepted and phase 1 was skipped.
     pub warm_used: bool,
+    /// Why a supplied warm basis was structurally rejected, when it was
+    /// ([`LpError::BasisShapeMismatch`] after a churn event changed the
+    /// problem shape, or after its public dimensions were tampered out of
+    /// sync with the status vector). `None` when no basis was supplied,
+    /// it was accepted, or it was declined for silent numerical or
+    /// feasibility reasons. A rejection is not a failure: the solve
+    /// proceeded from the crash basis.
+    pub warm_rejection: Option<LpError>,
 }
 
 /// Solves `lp` with the sparse revised simplex method (cold start).
@@ -112,11 +135,22 @@ pub fn solve_revised_from(lp: &LpProblem, warm: Option<&Basis>) -> Result<SolveO
     let sf = SparseStandardForm::from_problem(lp);
     let mut state = RevisedState::new(&sf);
     let mut warm_used = false;
+    let mut warm_rejection = None;
     if let Some(basis) = warm {
         mec_obs::counter_add("linprog/revised/warm/attempts", 1);
-        warm_used = state.try_warm_start(basis);
-        if warm_used {
-            mec_obs::counter_add("linprog/revised/warm/accepted", 1);
+        match state.try_warm_start(basis) {
+            Ok(true) => {
+                warm_used = true;
+                mec_obs::counter_add("linprog/revised/warm/accepted", 1);
+            }
+            Ok(false) => {}
+            Err(e) => {
+                // Structural mismatch (churned problem shape or tampered
+                // dimensions): record why, then solve from the crash
+                // basis like any other cold start.
+                mec_obs::counter_add("linprog/revised/warm/shape_rejections", 1);
+                warm_rejection = Some(e);
+            }
         }
     }
     let sol = state.run(&sf, warm_used)?;
@@ -159,6 +193,7 @@ pub fn solve_revised_from(lp: &LpProblem, warm: Option<&Basis>) -> Result<SolveO
         solution: sol,
         basis,
         warm_used,
+        warm_rejection,
     })
 }
 
@@ -284,24 +319,41 @@ impl RevisedState {
         }
     }
 
-    /// Attempts to adopt `warm` as the starting basis. On success the
-    /// state is primal feasible with artificials pinned (phase 1 can be
-    /// skipped); on any mismatch the cold-start state is left untouched.
-    fn try_warm_start(&mut self, warm: &Basis) -> bool {
-        if warm.num_rows != self.m || warm.num_cols != self.num_real {
-            return false;
+    /// Attempts to adopt `warm` as the starting basis. On success
+    /// (`Ok(true)`) the state is primal feasible with artificials pinned
+    /// (phase 1 can be skipped); on a silent numerical or feasibility
+    /// mismatch (`Ok(false)`) the cold-start state is left untouched. A
+    /// *structural* mismatch — the basis was built for a different
+    /// problem shape, or its public dimensions disagree with its own
+    /// status vector — is the typed [`LpError::BasisShapeMismatch`]
+    /// rejection: the caller records it and still proceeds cold.
+    fn try_warm_start(&mut self, warm: &Basis) -> Result<bool, LpError> {
+        // Dimensions AND internal consistency: `num_rows`/`num_cols` are
+        // public, so a dimension check alone would still let a basis
+        // whose status vector is shorter than its claimed width index out
+        // of bounds below.
+        if warm.num_rows != self.m
+            || warm.num_cols != self.num_real
+            || warm.statuses.len() != warm.num_cols
+        {
+            return Err(LpError::BasisShapeMismatch {
+                basis_rows: warm.num_rows,
+                basis_cols: warm.statuses.len(),
+                lp_rows: self.m,
+                lp_cols: self.num_real,
+            });
         }
         let basic_cols: Vec<usize> = (0..self.num_real)
             .filter(|&j| warm.statuses[j] == BasisVarStatus::Basic)
             .collect();
         if basic_cols.len() != self.m {
-            return false;
+            return Ok(false);
         }
         // AtUpper only makes sense against a finite bound.
         if (0..self.num_real)
             .any(|j| warm.statuses[j] == BasisVarStatus::AtUpper && !self.upper[j].is_finite())
         {
-            return false;
+            return Ok(false);
         }
 
         // Factor the candidate basis.
@@ -315,7 +367,7 @@ impl RevisedState {
         }
         self.factorizations += 1;
         let Ok(lu) = LuFactors::factor(self.m, &dense) else {
-            return false;
+            return Ok(false);
         };
 
         // x_B = B⁻¹ (b − Σ_{j at upper} a_j u_j); accept only if within
@@ -346,7 +398,7 @@ impl RevisedState {
                 slack_tol
             };
             if rhs[k] < -tol || (ub.is_finite() && rhs[k] > ub + tol) {
-                return false;
+                return Ok(false);
             }
         }
 
@@ -367,13 +419,18 @@ impl RevisedState {
         }
         self.basis = basic_cols;
         self.x_basic = rhs;
-        self.factor = BasisFactor::identity(self.m);
-        // Safe: the exact matrix just factored successfully.
-        self.factor
-            .refactorize(self.m, &dense)
-            .expect("basis factored a moment ago");
-        self.pivots_since_refactor = 0;
-        true
+        // Adopt the acceptance probe's LU directly instead of factoring
+        // the same matrix a second time (this also removes the only
+        // non-test `expect` this path used to carry).
+        self.factor = BasisFactor::from_lu(lu);
+        // Refactorization debt carries across the chain: `REFACTOR_EVERY`
+        // used to be a per-solve counter, so a chained sweep warm-starting
+        // hundreds of points never refactorized between solves. Starting
+        // the countdown at the chain's cumulative pivot count forces a
+        // scheduled refactorization as soon as the *cumulative* file
+        // crosses the threshold.
+        self.pivots_since_refactor = warm.carried_pivots;
+        Ok(true)
     }
 
     fn run(&mut self, sf: &SparseStandardForm, skip_phase1: bool) -> Result<LpSolution, LpError> {
@@ -756,6 +813,7 @@ impl RevisedState {
             num_rows: self.m,
             num_cols: self.num_real,
             statuses,
+            carried_pivots: self.pivots_since_refactor,
         })
     }
 }
@@ -961,6 +1019,120 @@ mod tests {
         let out = solve_revised_from(&other, Some(&basis)).unwrap();
         assert!(!out.warm_used);
         assert_eq!(out.solution.status, LpStatus::Optimal);
+        // The rejection is typed, not silent: churn that changes the
+        // problem shape is observable on the outcome.
+        match out.warm_rejection {
+            Some(LpError::BasisShapeMismatch {
+                basis_rows,
+                basis_cols,
+                lp_rows,
+                lp_cols,
+            }) => {
+                assert_eq!((basis_rows, basis_cols), (1, 3));
+                assert_eq!((lp_rows, lp_cols), (2, 4)); // 2 rows, 2 structural + 2 slacks
+            }
+            other => panic!("expected BasisShapeMismatch, got {other:?}"),
+        }
+        // An accepted warm start reports no rejection.
+        let lp = triangle_lp();
+        let own = solve_revised_from(&lp, None).unwrap().basis.unwrap();
+        let warm = solve_revised_from(&lp, Some(&own)).unwrap();
+        assert!(warm.warm_used && warm.warm_rejection.is_none());
+    }
+
+    /// `Basis` dimensions are public, so a caller can desynchronize them
+    /// from the status vector. This used to pass the dimension check and
+    /// index out of bounds; now it is the same typed rejection with a
+    /// crash-basis fallback.
+    #[test]
+    fn warm_start_rejects_a_tampered_basis_without_panicking() {
+        // A basis from a 1-variable problem: 1 row, 2 standard-form
+        // columns (1 structural + 1 slack).
+        let mut small = LpProblem::new(1);
+        small.set_objective(vec![-1.0]).unwrap();
+        small
+            .add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        small.set_bounds(0, 0.0, 1.0).unwrap();
+        let mut basis = solve_revised_from(&small, None).unwrap().basis.unwrap();
+        assert_eq!(basis.statuses().len(), 2);
+        // Tamper the public width to match the triangle LP's 3 columns
+        // while the status vector stays at length 2.
+        basis.num_cols = 3;
+        let out = solve_revised_from(&triangle_lp(), Some(&basis)).unwrap();
+        assert!(!out.warm_used);
+        assert!(
+            matches!(
+                out.warm_rejection,
+                Some(LpError::BasisShapeMismatch {
+                    basis_cols: 2,
+                    lp_cols: 3,
+                    ..
+                })
+            ),
+            "{:?}",
+            out.warm_rejection
+        );
+        assert_optimal(&out.solution, -7.0, 1e-8);
+    }
+
+    /// Refactorization debt carries across warm solves: no single solve
+    /// in this chain comes near `REFACTOR_EVERY` pivots, but the chain's
+    /// cumulative count must still trigger scheduled refactorizations
+    /// (observable both on `Basis::carried_pivots` and the
+    /// `linprog/revised/refactorizations` counter).
+    #[test]
+    fn warm_chains_refactorize_on_cumulative_pivots() {
+        let _o = mec_obs::TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mec_obs::reset();
+        mec_obs::set_enabled(true);
+
+        // Alternating objectives move the optimum between (1,3) and
+        // (3,1), so every warm solve pivots at least once.
+        let make = |flip: bool| {
+            let mut lp = triangle_lp();
+            if flip {
+                lp.set_objective(vec![-2.0, -1.0]).unwrap();
+            }
+            lp
+        };
+        let mut basis = solve_revised_from(&make(false), None)
+            .unwrap()
+            .basis
+            .unwrap();
+        let mut max_debt = basis.carried_pivots();
+        let mut debt_dropped = false;
+        for k in 0..(2 * REFACTOR_EVERY + 8) {
+            let out = solve_revised_from(&make(k % 2 == 0), Some(&basis)).unwrap();
+            assert!(out.warm_used, "chain went cold at solve {k}");
+            let next = out.basis.unwrap();
+            if next.carried_pivots() < basis.carried_pivots() {
+                debt_dropped = true;
+            }
+            max_debt = max_debt.max(next.carried_pivots());
+            basis = next;
+        }
+        let snap = mec_obs::snapshot();
+        mec_obs::set_enabled(false);
+        mec_obs::reset();
+
+        assert!(
+            max_debt >= REFACTOR_EVERY / 2,
+            "debt never accumulated across the chain (max {max_debt})"
+        );
+        assert!(
+            debt_dropped,
+            "cumulative debt never triggered a refactorization"
+        );
+        let refactors = snap
+            .counter("linprog/revised/refactorizations")
+            .unwrap_or(0);
+        assert!(
+            refactors > 0,
+            "chain must refactorize at least once: {refactors}"
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod error;
 pub mod mobility;
 pub mod radio;
 pub mod sim;
+pub mod stream;
 pub mod task;
 pub mod topology;
 pub mod transfer;

@@ -1,0 +1,118 @@
+//! Cross-thread determinism of the online serve loop: a session run on
+//! one worker thread and on four must produce bit-identical epoch
+//! fingerprints (and identical deterministic report content) — shards
+//! solve concurrently but commit in station order, so the thread count
+//! may only change wall times.
+//!
+//! The worker-thread count is process-global; tests that toggle it hold
+//! one shared lock.
+
+use mec_bench::par;
+use mec_bench::serve::{serve, ServeConfig, ServeReport};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Strips the wall-clock fields so two runs compare on decisions alone.
+fn scrub(mut r: ServeReport) -> ServeReport {
+    r.decision_p50_ms = 0.0;
+    r.decision_p95_ms = 0.0;
+    r.assignments_per_sec = 0.0;
+    for e in &mut r.epochs {
+        e.decision_ns = 0;
+    }
+    r
+}
+
+fn session(cfg: &ServeConfig, threads: usize) -> ServeReport {
+    par::set_threads(threads);
+    serve(cfg).unwrap()
+}
+
+/// The ISSUE acceptance oracle: identical epoch fingerprints between
+/// `--threads 1` and `--threads 4` over several seeds, churn-free.
+#[test]
+fn serve_fingerprints_match_across_thread_counts() {
+    let _guard = threads_lock();
+    for seed in [3u64, 17, 4242] {
+        let cfg = ServeConfig {
+            seed,
+            epochs: 5,
+            ..ServeConfig::default()
+        };
+        let serial = session(&cfg, 1);
+        let parallel = session(&cfg, 4);
+        assert_eq!(
+            serial.session_fingerprint, parallel.session_fingerprint,
+            "seed {seed}: session fingerprints diverge across thread counts"
+        );
+        for (a, b) in serial.epochs.iter().zip(&parallel.epochs) {
+            assert_eq!(
+                a.fingerprint, b.fingerprint,
+                "seed {seed} epoch {}: fingerprints diverge",
+                a.epoch
+            );
+        }
+        assert_eq!(
+            scrub(serial),
+            scrub(parallel),
+            "seed {seed}: report content"
+        );
+    }
+    par::set_threads(0);
+}
+
+/// Same oracle under churn: dead owners and re-sourced tasks shuffle the
+/// per-epoch shard shapes, which must still commit deterministically.
+#[test]
+fn serve_with_churn_is_thread_count_invariant() {
+    let _guard = threads_lock();
+    for (seed, chaos) in [(11u64, 3u64), (23, 9), (5, 21)] {
+        let cfg = ServeConfig {
+            seed,
+            epochs: 6,
+            num_stations: 2,
+            devices_per_station: 3,
+            max_input_kb: 1200.0,
+            chaos: Some(chaos),
+            ..ServeConfig::default()
+        };
+        let serial = session(&cfg, 1);
+        let parallel = session(&cfg, 4);
+        assert_eq!(
+            scrub(serial),
+            scrub(parallel),
+            "seed {seed} chaos {chaos}: churned sessions diverge across threads"
+        );
+    }
+    par::set_threads(0);
+}
+
+/// Warm-start acceptance gate: after the cold first epoch, the default
+/// (churn-free) stream keeps every cluster's LP shape constant, so the
+/// steady-state hit rate must clear the >50% bar with room to spare.
+#[test]
+fn steady_state_warm_hit_rate_clears_the_bar() {
+    let _guard = threads_lock();
+    par::set_threads(2);
+    let cfg = ServeConfig {
+        seed: 42,
+        epochs: 8,
+        ..ServeConfig::default()
+    };
+    let report = serve(&cfg).unwrap();
+    assert!(
+        report.steady_warm_hit_rate > 0.5,
+        "steady warm hit rate {} below the acceptance bar",
+        report.steady_warm_hit_rate
+    );
+    assert_eq!(report.epochs[0].warm_attempts, 0, "epoch 0 must run cold");
+    assert!(report.warm_attempts > 0);
+    par::set_threads(0);
+}
