@@ -19,7 +19,6 @@ use crate::runner::{
     WarmChain,
 };
 use crate::table::Figure;
-use dsmec_core::costs::CostTable;
 use dsmec_core::dta::{
     divide_balanced, divide_min_devices, divisible_as_holistic, dta_device_shares, exact_min_max,
     rebalance, run_dta, DtaConfig,
@@ -249,7 +248,7 @@ fn dta_energy_point(cfg: &DivisibleScenarioConfig) -> Result<[f64; 3], AssignErr
     let scenario = cfg.generate()?;
     // LP-HTA on the raw-data (holistic) version of the same workload.
     let holistic = divisible_as_holistic(&scenario)?;
-    let costs = CostTable::build(&scenario.system, &holistic)?;
+    let costs = crate::pricing::build_cost_table(&scenario.system, &holistic)?;
     let a = LpHta::paper().assign(&scenario.system, &holistic, &costs)?;
     let lp = evaluate_assignment(&holistic, &costs, &a)?
         .total_energy
@@ -673,7 +672,7 @@ pub fn ext_battery(opts: &ExperimentOptions) -> FigResult {
         let mut per_strategy: Vec<Vec<DeviceShare>> = Vec::new();
         // LP-HTA over the raw (holistic) workload.
         let holistic = divisible_as_holistic(&s)?;
-        let costs = CostTable::build(&s.system, &holistic)?;
+        let costs = crate::pricing::build_cost_table(&s.system, &holistic)?;
         let a = LpHta::paper().assign(&s.system, &holistic, &costs)?;
         let mut shares: Vec<DeviceShare> = Vec::new();
         for (idx, task) in holistic.iter().enumerate() {
@@ -754,7 +753,7 @@ pub fn ext_mobility(opts: &ExperimentOptions) -> FigResult {
         cfg.move_prob = p;
         let dynamic = cfg.generate()?;
         // Epoch-0 assignment, reused stale across epochs.
-        let costs0 = CostTable::build(&dynamic.epochs[0], &dynamic.tasks)?;
+        let costs0 = crate::pricing::build_cost_table(&dynamic.epochs[0], &dynamic.tasks)?;
         let stale = LpHta::paper().assign(&dynamic.epochs[0], &dynamic.tasks, &costs0)?;
         let epochs = dynamic.epochs.len() as f64;
         let mut acc = vec![0.0; 4];
@@ -763,7 +762,7 @@ pub fn ext_mobility(opts: &ExperimentOptions) -> FigResult {
         // previous epoch's optimum.
         let mut warm = WarmBases::new();
         for (e, system) in dynamic.epochs.iter().enumerate() {
-            let costs = CostTable::build(system, &dynamic.tasks)?;
+            let costs = crate::pricing::build_cost_table(system, &dynamic.tasks)?;
             let stale_m = evaluate_assignment(&dynamic.tasks, &costs, &stale)?;
             let (fresh, _) = LpHta::paper().assign_with_report_warm(
                 system,
@@ -943,6 +942,68 @@ pub fn ext_arrivals(opts: &ExperimentOptions) -> FigResult {
     ))
 }
 
+/// Scale guard (ROADMAP item 5): a 10⁵-device fleet priced end-to-end
+/// plus a 10⁵-device shared-data universe divided by both DTA greedy
+/// rules. Every series is structural (counts, not wall times), so the CSV
+/// is bit-identical run to run and across thread counts; the timing
+/// signal lives in the `cost/build` and `dta/division` spans this run
+/// dominates, which `dsmec trace` gates against `bench/baseline.json`.
+pub fn scale(opts: &ExperimentOptions) -> FigResult {
+    let seed = opts.seeds.first().copied().unwrap_or(424_242);
+    // The fleet size is the point: quick mode trims the divisible task
+    // count, never the 200 × 500 = 10⁵ devices.
+    let div_tasks = if opts.quick { 1200 } else { 2000 };
+
+    let mut cfg = ScenarioConfig::paper_defaults(seed);
+    cfg.num_stations = 200;
+    cfg.devices_per_station = 500;
+    cfg.tasks_total = 100_000;
+    let s = cfg.generate()?;
+    let costs = crate::pricing::build_cost_table(&s.system, &s.tasks)?;
+    let feasible = s
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| costs.task(*i).cheapest_feasible(t.deadline).is_some())
+        .count();
+
+    let mut dcfg = DivisibleScenarioConfig::paper_defaults(seed);
+    dcfg.base.num_stations = 200;
+    dcfg.base.devices_per_station = 500;
+    dcfg.num_items = 2048;
+    dcfg.tasks_total = div_tasks;
+    dcfg.items_per_task = (4, 20);
+    let d = dcfg.generate()?;
+    let required = d.required_universe();
+    let w = divide_balanced(&d.universe, &required)?;
+    let n = divide_min_devices(&d.universe, &required)?;
+
+    let devices = s.system.num_devices();
+    Ok(assemble(
+        "scale",
+        "10^5-device scale guard: cost pricing + DTA division",
+        "devices",
+        "count",
+        vec![devices.to_string()],
+        &[
+            "priced tasks",
+            "deadline-feasible tasks",
+            "required items",
+            "DTA-Workload devices",
+            "DTA-Number devices",
+            "DTA-Workload max share",
+        ],
+        vec![vec![
+            costs.len() as f64,
+            feasible as f64,
+            required.len() as f64,
+            w.involved_devices() as f64,
+            n.involved_devices() as f64,
+            w.max_share_len() as f64,
+        ]],
+    ))
+}
+
 /// Experiment registry consumed by the `repro` binary and the tests.
 pub type Runner = fn(&ExperimentOptions) -> FigResult;
 
@@ -970,6 +1031,7 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("ext_online", ext_online as Runner),
         ("ext_partial", ext_partial as Runner),
         ("ext_arrivals", ext_arrivals as Runner),
+        ("scale", scale as Runner),
     ]
 }
 
@@ -1001,6 +1063,7 @@ pub fn experiment_span(id: &str) -> &'static str {
         "ext_online" => "experiment/ext_online",
         "ext_partial" => "experiment/ext_partial",
         "ext_arrivals" => "experiment/ext_arrivals",
+        "scale" => "experiment/scale",
         _ => "experiment/other",
     }
 }

@@ -26,6 +26,7 @@ pub mod cache;
 pub mod cli;
 pub mod figures;
 pub mod par;
+pub mod pricing;
 pub mod runner;
 pub mod serve;
 pub mod table;

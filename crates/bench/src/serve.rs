@@ -36,7 +36,6 @@ use mec_sim::task::{ExecutionSite, HolisticTask};
 use mec_sim::topology::{DeviceId, StationId};
 use mec_sim::units::{Bytes, Seconds};
 use mec_sim::workload::ScenarioConfig;
-use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Configuration of one serve session.
@@ -331,6 +330,39 @@ impl Outcome {
     }
 }
 
+/// Replans a task whose external data source died this epoch. The
+/// replacement is the lowest-id live device other than the owner — the
+/// same rule every epoch, so replays agree for any worker-thread count.
+/// When every other device is dead (all holders of the shared datum went
+/// down at once) the external dependency is dropped entirely — source
+/// cleared *and* size zeroed together, preserving the
+/// `external_size > 0 ⟺ external_source` pairing that
+/// `HolisticTask::validate` enforces — so no task ever reaches the LP
+/// still pointing at a dead source. Returns `true` iff the task was
+/// re-sourced or had its dependency dropped.
+///
+/// `is_dead` is indexed by device id and sized to the device count; a
+/// source outside it does not exist in this system and is left alone.
+fn resource_dead_external(task: &mut HolisticTask, is_dead: &[bool]) -> bool {
+    let Some(src) = task.external_source else {
+        return false;
+    };
+    if src.0 >= is_dead.len() || !is_dead[src.0] {
+        return false;
+    }
+    let replacement = (0..is_dead.len())
+        .map(DeviceId)
+        .find(|d| !is_dead[d.0] && *d != task.owner);
+    match replacement {
+        Some(d) => task.external_source = Some(d),
+        None => {
+            task.external_source = None;
+            task.external_size = Bytes::ZERO;
+        }
+    }
+    true
+}
+
 /// Runs a full serve session: generates the stream (and churn plan),
 /// drains every epoch through the sharded incremental LP-HTA, and
 /// returns the session report.
@@ -381,11 +413,15 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
         let _epoch_span = mec_obs::span("serve/epoch");
         let started = Instant::now();
         let now = batch.close_time();
-        let dead: BTreeSet<DeviceId> = dropouts
-            .iter()
-            .filter(|&&(_, at)| at <= now)
-            .map(|&(d, _)| d)
-            .collect();
+        // Dense dead mask over device ids (was a `BTreeSet`): the churn
+        // ingest below probes it per task owner/source, and the
+        // re-sourcing scan probes it per candidate device.
+        let mut is_dead = vec![false; stream.system.num_devices()];
+        for &(d, at) in dropouts.iter() {
+            if at <= now && d.0 < is_dead.len() {
+                is_dead[d.0] = true;
+            }
+        }
 
         // Ingest churn: cancel dead owners, replan dead data sources to
         // the lowest live device (deterministic, same rule every epoch).
@@ -395,27 +431,15 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
         let mut churn_cancelled = 0usize;
         let mut resourced = 0usize;
         for (slot, task) in batch.tasks.iter().enumerate() {
-            if dead.contains(&task.owner) {
+            if task.owner.0 < is_dead.len() && is_dead[task.owner.0] {
                 outcomes[slot] = Outcome::ChurnCancelled;
                 churn_cancelled += 1;
                 continue;
             }
             let mut task = *task;
-            if let Some(src) = task.external_source {
-                if dead.contains(&src) {
-                    let replacement = (0..stream.system.num_devices())
-                        .map(DeviceId)
-                        .find(|d| !dead.contains(d) && *d != task.owner);
-                    match replacement {
-                        Some(d) => task.external_source = Some(d),
-                        None => {
-                            task.external_source = None;
-                            task.external_size = Bytes::ZERO;
-                        }
-                    }
-                    resourced += 1;
-                    mec_obs::counter_add("serve/resourced", 1);
-                }
+            if resource_dead_external(&mut task, &is_dead) {
+                resourced += 1;
+                mec_obs::counter_add("serve/resourced", 1);
             }
             live_map.push(slot);
             live_tasks.push(task);
@@ -425,7 +449,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
         // its own station's chained basis. The warm store is read-only
         // during the parallel region; commits happen serially below, in
         // station order, so the outcome is thread-count independent.
-        let costs = CostTable::build(&stream.system, &live_tasks)?;
+        let costs = crate::pricing::build_cost_table(&stream.system, &live_tasks)?;
         let shards: Vec<(StationId, Vec<usize>)> =
             cluster_task_indices(&stream.system, &live_tasks)?;
         let solves: Vec<Option<ClusterSolve>> = crate::par::par_map_result(&shards, |shard| {
@@ -701,6 +725,106 @@ mod tests {
         let arrived: usize = r.epochs.iter().map(|e| e.arrived).sum();
         assert_eq!(arrived, 6 * cfg.effective_batch());
         assert!(r.cancelled_total > 0);
+    }
+
+    fn shared_task(owner: usize, source: usize) -> HolisticTask {
+        HolisticTask {
+            id: mec_sim::task::TaskId {
+                user: owner,
+                index: 0,
+            },
+            owner: DeviceId(owner),
+            local_size: Bytes::from_kb(100.0),
+            external_size: Bytes::from_kb(50.0),
+            external_source: Some(DeviceId(source)),
+            complexity: 1.0,
+            resource: Bytes::from_kb(10.0),
+            deadline: Seconds::new(5.0),
+        }
+    }
+
+    #[test]
+    fn resourcing_picks_the_lowest_live_non_owner() {
+        // Source 3 died; devices 1 and 2 are also dead, 4 is the lowest
+        // live device that is not the owner.
+        let mut t = shared_task(0, 3);
+        let touched = resource_dead_external(&mut t, &[false, true, true, true, false]);
+        assert!(touched);
+        assert_eq!(t.external_source, Some(DeviceId(4)));
+        assert!(t.external_size.value() > 0.0);
+        t.validate().unwrap();
+
+        // A live source is left alone.
+        let mut t = shared_task(0, 3);
+        assert!(!resource_dead_external(&mut t, &[false, true, true, false]));
+        assert_eq!(t.external_source, Some(DeviceId(3)));
+
+        // A source outside the system's device range does not exist and
+        // is left alone (nothing to re-source it to).
+        let mut t = shared_task(0, 9);
+        assert!(!resource_dead_external(&mut t, &[false, true]));
+        assert_eq!(t.external_source, Some(DeviceId(9)));
+    }
+
+    #[test]
+    fn all_holders_dead_drops_the_dependency_not_the_source_check() {
+        // Every device except the owner died in this epoch: no live
+        // holder of the shared datum remains. The task must not keep its
+        // dead source — the dependency is dropped, source and size
+        // together, and the result still validates.
+        let mut t = shared_task(0, 2);
+        let touched = resource_dead_external(&mut t, &[false, true, true]);
+        assert!(touched);
+        assert_eq!(t.external_source, None);
+        assert_eq!(t.external_size.value(), 0.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn all_holders_die_fingerprints_match_across_thread_counts() {
+        // A two-device system: when a task's source dies, the only other
+        // device is its owner, so re-sourcing is forced down the
+        // drop-the-dependency path every time. Scan (seed, chaos) pairs
+        // for a session that actually exercised it.
+        let mut hit = None;
+        'scan: for seed in 1..6u64 {
+            for chaos in 1..32u64 {
+                let cfg = ServeConfig {
+                    seed,
+                    chaos: Some(chaos),
+                    epochs: 6,
+                    num_stations: 1,
+                    devices_per_station: 2,
+                    max_input_kb: 1200.0,
+                    ..ServeConfig::default()
+                };
+                let r = serve(&cfg).unwrap();
+                if r.resourced_total > 0 {
+                    hit = Some((cfg, r));
+                    break 'scan;
+                }
+            }
+        }
+        let (cfg, base) = hit.expect("no (seed, chaos) pair re-sourced a task");
+        let base = scrub(base);
+        // Replays agree epoch by epoch for any worker-thread count: the
+        // all-holders-die replanning happens in the serial ingest pass.
+        let _t = crate::par::THREADS_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        for threads in [1usize, 4] {
+            crate::par::set_threads(threads);
+            let replay = scrub(serve(&cfg).unwrap());
+            crate::par::set_threads(0);
+            assert_eq!(
+                replay.session_fingerprint, base.session_fingerprint,
+                "threads {threads}"
+            );
+            for (a, b) in replay.epochs.iter().zip(base.epochs.iter()) {
+                assert_eq!(a.fingerprint, b.fingerprint, "threads {threads}");
+            }
+            assert_eq!(replay, base, "threads {threads}");
+        }
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct Measurement {
 /// unsorted input. Every result is an actual sample, so one-sample runs
 /// yield that sample for every percentile — never NaN. An empty slice
 /// returns 0.0 (nothing was measured).
+///
+/// The rank is clamped into `[1, n]` *before* indexing, so out-of-domain
+/// `p` values (negative, above 100, even NaN — `f64::max`/`min` ignore a
+/// NaN operand) degrade to the extreme samples instead of panicking or
+/// reading out of bounds.
 #[must_use]
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
@@ -43,10 +48,13 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
-    // Nearest rank: ceil(p/100 * n), clamped to [1, n], 1-indexed.
+    let n = sorted.len();
+    // Nearest rank: ceil(p/100 * n), clamped to [1, n], 1-indexed. The
+    // float clamp happens before the usize cast so a huge/negative/NaN
+    // rank can never leave the index range.
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0).min(n as f64) as usize;
+    sorted[rank - 1]
 }
 
 /// Collects timed cases and prints one aligned row per case.
@@ -215,6 +223,40 @@ mod tests {
         // Unsorted input is handled; empty input is defined as 0.
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
         assert_eq!(percentile(&[], 95.0), 0.0);
+    }
+
+    /// Nearest-rank property test against a sorted-scan oracle: for
+    /// sample sizes 1..64 and arbitrary `p` (including out-of-domain
+    /// values), the result equals the element the rank definition picks
+    /// from a sorted copy, with the rank clamped to `[1, n]`.
+    #[test]
+    fn percentile_matches_sorted_scan_oracle() {
+        detrand::prop::run_cases("percentile_nearest_rank", 128, |rng| {
+            let n = rng.gen_range(1..64usize);
+            let samples: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+            let p = match rng.gen_range(0..4u64) {
+                0 => rng.gen_range(0.0..100.0),
+                1 => rng.gen_range(-50.0..0.0),
+                2 => rng.gen_range(100.0..250.0),
+                _ => f64::NAN,
+            };
+            let got = percentile(&samples, p);
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let raw = ((p / 100.0) * n as f64).ceil();
+            let rank = if raw.is_nan() {
+                1.0
+            } else {
+                raw.clamp(1.0, n as f64)
+            };
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let expect = sorted[rank as usize - 1];
+            detrand::prop_assert_eq!(got, expect);
+            // The result is always one of the inputs — the nearest-rank
+            // guarantee that keeps one-sample runs NaN-free.
+            detrand::prop_assert!(samples.contains(&got));
+            Ok(())
+        });
     }
 
     #[test]

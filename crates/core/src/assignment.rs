@@ -56,9 +56,30 @@ impl Assignment {
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range; use [`Assignment::try_decision`]
+    /// for indices that are not already validated against the task list.
     pub fn decision(&self, idx: usize) -> Decision {
-        self.decisions[idx]
+        self.try_decision(idx)
+            .unwrap_or_else(|e| panic!("Assignment::decision: {e}"))
+    }
+
+    /// The decision of task `idx`, with a typed error out of range —
+    /// reachable from repair call sites handed a decisions vector
+    /// shorter than the task list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::IndexOutOfRange`] when `idx` has no
+    /// decision.
+    pub fn try_decision(&self, idx: usize) -> Result<Decision, AssignError> {
+        self.decisions
+            .get(idx)
+            .copied()
+            .ok_or(AssignError::IndexOutOfRange {
+                what: "assignment decisions",
+                index: idx,
+                len: self.decisions.len(),
+            })
     }
 
     /// All decisions, parallel to the task list.
@@ -67,8 +88,36 @@ impl Assignment {
     }
 
     /// Mutable access for repair passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range; repair passes validate lengths up
+    /// front via [`Assignment::try_decision`]/length checks.
     pub(crate) fn set(&mut self, idx: usize, d: Decision) {
-        self.decisions[idx] = d;
+        self.try_set(idx, d)
+            .unwrap_or_else(|e| panic!("Assignment::set: {e}"))
+    }
+
+    /// Replaces the decision of task `idx`, with a typed error out of
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::IndexOutOfRange`] when `idx` has no
+    /// decision.
+    pub(crate) fn try_set(&mut self, idx: usize, d: Decision) -> Result<(), AssignError> {
+        let len = self.decisions.len();
+        match self.decisions.get_mut(idx) {
+            Some(slot) => {
+                *slot = d;
+                Ok(())
+            }
+            None => Err(AssignError::IndexOutOfRange {
+                what: "assignment decisions",
+                index: idx,
+                len,
+            }),
+        }
     }
 
     /// Indices of cancelled tasks.
@@ -160,5 +209,43 @@ mod tests {
         let s = ScenarioConfig::paper_defaults(1).generate().unwrap();
         let a = Assignment::uniform(3, ExecutionSite::Device);
         assert!(a.to_executable(&s.tasks).is_err());
+    }
+
+    #[test]
+    fn out_of_range_decision_is_a_typed_error() {
+        let mut a = Assignment::uniform(3, ExecutionSite::Device);
+        let err = a.try_decision(3).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AssignError::IndexOutOfRange {
+                    index: 3,
+                    len: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = a.try_set(7, Decision::Cancelled).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AssignError::IndexOutOfRange {
+                    index: 7,
+                    len: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(a.try_decision(2).is_ok());
+        assert!(a.try_set(2, Decision::Cancelled).is_ok());
+        assert_eq!(a.decision(2), Decision::Cancelled);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn panicking_getter_reports_the_typed_message() {
+        Assignment::uniform(2, ExecutionSite::Cloud).decision(5);
     }
 }

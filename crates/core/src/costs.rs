@@ -1,9 +1,15 @@
 //! Precomputed cost tables: `t_ijl`/`E_ijl` for every task × site, shared
 //! by all assignment algorithms so the Section II formulas are evaluated
-//! exactly once per scenario.
+//! exactly once per scenario. Since the arena refactor (DESIGN.md §11)
+//! the storage is a flat [`CostMatrix`] — two contiguous stride-3
+//! `Vec<f64>`s — built through [`mec_sim::arena::ScenarioArena`] rows, so
+//! pricing 10⁵ tasks is a cache-linear scan and chunked parallel builders
+//! (see the bench layer) can assemble a table from independently priced
+//! ranges.
 
 use crate::error::AssignError;
-use mec_sim::cost::{evaluate, SiteCost, TaskCosts};
+use mec_sim::arena::ScenarioArena;
+use mec_sim::cost::{CostMatrix, SiteCost, TaskCosts};
 use mec_sim::task::{ExecutionSite, HolisticTask};
 use mec_sim::topology::MecSystem;
 use mec_sim::units::Seconds;
@@ -12,49 +18,93 @@ use mec_sim::units::Seconds;
 /// built from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostTable {
-    entries: Vec<TaskCosts>,
+    matrix: CostMatrix,
 }
 
 impl CostTable {
-    /// Prices every task in `tasks` against `system`.
+    /// Prices every task in `tasks` against `system`, serially. The
+    /// bench layer's chunked parallel builder produces a bit-identical
+    /// table via [`CostTable::from_matrix`].
     ///
     /// # Errors
     ///
-    /// Propagates substrate errors (invalid tasks, unknown devices).
+    /// Propagates substrate errors (invalid tasks, unknown devices),
+    /// first task first.
     pub fn build(system: &MecSystem, tasks: &[HolisticTask]) -> Result<CostTable, AssignError> {
-        let entries = tasks
-            .iter()
-            .map(|t| evaluate(system, t))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(CostTable { entries })
+        let _timer = mec_obs::span("cost/build");
+        let arena = ScenarioArena::from_system(system)?;
+        let matrix = CostMatrix::build(system, &arena, tasks)?;
+        Ok(CostTable { matrix })
+    }
+
+    /// Wraps an already-built matrix (e.g. one assembled from parallel
+    /// chunks) as a table.
+    #[must_use]
+    pub fn from_matrix(matrix: CostMatrix) -> CostTable {
+        CostTable { matrix }
     }
 
     /// Number of priced tasks.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.matrix.len()
     }
 
     /// True iff the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.matrix.is_empty()
     }
 
     /// Full per-site costs of task `idx`.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
-    pub fn task(&self, idx: usize) -> &TaskCosts {
-        &self.entries[idx]
+    /// Panics if `idx` is out of range; use [`CostTable::try_task`] for
+    /// indices that are not already validated.
+    pub fn task(&self, idx: usize) -> TaskCosts {
+        self.try_task(idx)
+            .unwrap_or_else(|e| panic!("CostTable::task: {e}"))
+    }
+
+    /// Full per-site costs of task `idx`, with a typed error out of
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::IndexOutOfRange`] when `idx` is not a row.
+    pub fn try_task(&self, idx: usize) -> Result<TaskCosts, AssignError> {
+        self.matrix
+            .task_costs(idx)
+            .ok_or(AssignError::IndexOutOfRange {
+                what: "cost table",
+                index: idx,
+                len: self.len(),
+            })
     }
 
     /// Cost of task `idx` at `site`.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range; use [`CostTable::try_at`] for
+    /// indices that are not already validated.
     pub fn at(&self, idx: usize, site: ExecutionSite) -> SiteCost {
-        self.entries[idx].at(site)
+        self.try_at(idx, site)
+            .unwrap_or_else(|e| panic!("CostTable::at: {e}"))
+    }
+
+    /// Cost of task `idx` at `site`, with a typed error out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::IndexOutOfRange`] when `idx` is not a row.
+    pub fn try_at(&self, idx: usize, site: ExecutionSite) -> Result<SiteCost, AssignError> {
+        self.matrix
+            .site(idx, site)
+            .ok_or(AssignError::IndexOutOfRange {
+                what: "cost table",
+                index: idx,
+                len: self.len(),
+            })
     }
 
     /// Whether task `idx` meets `deadline` when run at `site`.
@@ -70,6 +120,7 @@ impl CostTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_sim::cost::evaluate;
     use mec_sim::workload::ScenarioConfig;
 
     #[test]
@@ -82,7 +133,17 @@ mod tests {
             let direct = evaluate(&s.system, t).unwrap();
             for site in ExecutionSite::ALL {
                 assert_eq!(table.at(i, site), direct.at(site));
+                // Bit-identity of the arena path, not mere closeness.
+                assert_eq!(
+                    table.at(i, site).time.value().to_bits(),
+                    direct.at(site).time.value().to_bits()
+                );
+                assert_eq!(
+                    table.at(i, site).energy.value().to_bits(),
+                    direct.at(site).energy.value().to_bits()
+                );
             }
+            assert_eq!(table.task(i), direct);
             assert!(table.feasible(i, ExecutionSite::Device, Seconds::new(f64::INFINITY)));
         }
     }
@@ -93,5 +154,21 @@ mod tests {
         let mut tasks = s.tasks.clone();
         tasks[0].deadline = Seconds::ZERO;
         assert!(CostTable::build(&s.system, &tasks).is_err());
+    }
+
+    #[test]
+    fn out_of_range_access_is_typed_not_a_panic() {
+        let s = ScenarioConfig::paper_defaults(2).generate().unwrap();
+        let table = CostTable::build(&s.system, &s.tasks).unwrap();
+        let n = table.len();
+        let err = table.try_task(n).unwrap_err();
+        assert!(
+            matches!(err, AssignError::IndexOutOfRange { index, len, .. } if index == n && len == n),
+            "{err}"
+        );
+        let err = table.try_at(n + 7, ExecutionSite::Cloud).unwrap_err();
+        assert!(matches!(err, AssignError::IndexOutOfRange { .. }), "{err}");
+        assert!(table.try_task(n - 1).is_ok());
+        assert!(table.try_at(0, ExecutionSite::Device).is_ok());
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::dta::coverage::Coverage;
 use crate::error::AssignError;
-use mec_sim::data::{DataUniverse, ItemSet};
+use mec_sim::data::{DataUniverse, HoldingsMatrix, ItemSet, OwnersIndex};
 use mec_sim::topology::DeviceId;
 
 /// DTA-Workload: the paper's Section IV.A greedy (smallest usable set
@@ -83,22 +83,30 @@ fn divide_greedy(
     let mut residual = required.clone();
     let mut shares = vec![ItemSet::new(required.capacity()); n];
 
+    // Word-major holdings matrix plus incrementally maintained usable
+    // counts `|D_i ∩ residual|` turn each greedy round into two
+    // cache-linear scans (a u32 argmin/argmax and a per-word decrement
+    // over the grabbed items) instead of re-intersecting every device's
+    // bitset. The counts stay exact because each grab is a subset of the
+    // residual, so the drop per device is precisely `|D_i ∩ grab|`.
+    let matrix = HoldingsMatrix::build(universe);
+    let mut usable = matrix.usable_counts(&residual);
+
     while !residual.is_empty() {
         mec_obs::counter_add("dta/greedy/rounds", 1);
         mec_obs::observe("dta/greedy/residual_items", residual.len() as f64);
-        let mut chosen: Option<(usize, usize)> = None; // (device, usable size)
-        for i in 0..n {
-            let usable = universe.holdings(DeviceId(i))?.intersection_len(&residual);
-            if usable == 0 {
+        let mut chosen: Option<(usize, u32)> = None; // (device, usable size)
+        for (i, &count) in usable.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
             let better = match (selection, chosen) {
                 (_, None) => true,
-                (Selection::SmallestFirst, Some((_, best))) => usable < best,
-                (Selection::LargestFirst, Some((_, best))) => usable > best,
+                (Selection::SmallestFirst, Some((_, best))) => count < best,
+                (Selection::LargestFirst, Some((_, best))) => count > best,
             };
             if better {
-                chosen = Some((i, usable));
+                chosen = Some((i, count));
             }
         }
         let Some((device, _)) = chosen else {
@@ -108,6 +116,7 @@ fn divide_greedy(
             });
         };
         let grab = universe.holdings(DeviceId(device))?.intersection(&residual);
+        matrix.subtract_counts(&mut usable, &grab);
         shares[device].union_with(&grab);
         residual.subtract(&grab);
     }
@@ -136,6 +145,7 @@ pub fn rebalance(universe: &DataUniverse, coverage: &Coverage) -> Result<Coverag
         check_universe("rebalance", universe, share)?;
     }
     let _timer = mec_obs::span("dta/rebalance");
+    let owners = OwnersIndex::build(universe)?;
     let mut shares: Vec<ItemSet> = coverage.shares().to_vec();
     loop {
         let Some((max_dev, max_len)) = shares
@@ -153,15 +163,16 @@ pub fn rebalance(universe: &DataUniverse, coverage: &Coverage) -> Result<Coverag
         // could take.
         let mut best_move: Option<(mec_sim::data::DataItemId, usize)> = None;
         for item in shares[max_dev].iter() {
-            for owner in universe.owners(item) {
-                if owner.0 == max_dev {
+            for &owner in owners.owners(item) {
+                let owner = owner as usize;
+                if owner == max_dev {
                     continue;
                 }
-                let target_len = shares[owner.0].len();
+                let target_len = shares[owner].len();
                 if target_len + 1 < max_len
                     && best_move.is_none_or(|(_, t)| shares[t].len() > target_len)
                 {
-                    best_move = Some((item, owner.0));
+                    best_move = Some((item, owner));
                 }
             }
         }
@@ -197,12 +208,13 @@ pub fn exact_min_max(
         });
     }
     let n = universe.num_devices();
+    let index = OwnersIndex::build(universe)?;
     // Most-constrained items first makes infeasible branches die early.
     let mut ordered = items.clone();
-    ordered.sort_by_key(|&it| universe.owners(it).len());
+    ordered.sort_by_key(|&it| index.owners(it).len());
     let owners: Vec<Vec<usize>> = ordered
         .iter()
-        .map(|&it| universe.owners(it).into_iter().map(|d| d.0).collect())
+        .map(|&it| index.owners(it).iter().map(|&d| d as usize).collect())
         .collect();
     // No placement can beat the pigeonhole bound ⌈M/n⌉ (in fact ⌈M/n'⌉
     // with n' = devices owning anything, but the weaker bound suffices

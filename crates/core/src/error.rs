@@ -46,6 +46,17 @@ pub enum AssignError {
         /// Shares in the coverage.
         shares: usize,
     },
+    /// An index into a per-task parallel array (decisions, cost rows) was
+    /// out of range — previously a slice-index panic reachable from
+    /// repair call sites with truncated inputs.
+    IndexOutOfRange {
+        /// Which array was indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The array's length.
+        len: usize,
+    },
     /// A parallel worker panicked; carries the panic payload's message so
     /// the failure surfaces as an error instead of poisoning the run.
     Worker(String),
@@ -78,6 +89,9 @@ impl fmt::Display for AssignError {
                 f,
                 "coverage has {shares} shares for a universe of {devices} devices"
             ),
+            AssignError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range for length {len}")
+            }
             AssignError::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
             AssignError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }

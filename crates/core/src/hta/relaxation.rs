@@ -13,7 +13,6 @@ use crate::error::AssignError;
 use linprog::{ConstraintSense, LpProblem};
 use mec_sim::task::{ExecutionSite, HolisticTask};
 use mec_sim::topology::{DeviceId, MecSystem, StationId};
-use std::collections::BTreeMap;
 
 /// The relaxed LP of one cluster plus the index bookkeeping needed to map
 /// its solution back onto tasks.
@@ -144,20 +143,30 @@ pub fn build_cluster_relaxation(
         }
     }
 
-    // C2: per-device capacity rows (block A₂).
-    let mut by_device: BTreeMap<DeviceId, Vec<usize>> = BTreeMap::new();
-    for (k, &idx) in task_indices.iter().enumerate() {
-        by_device.entry(tasks[idx].owner).or_default().push(k);
-    }
+    // C2: per-device capacity rows (block A₂). Owners are grouped by a
+    // stable sort on the device id instead of a `BTreeMap`, which keeps
+    // the former map's row order exactly — devices ascending, and each
+    // device's `k` terms ascending because `enumerate` order survives
+    // the stable sort.
+    let mut owner_of_k: Vec<(DeviceId, usize)> = task_indices
+        .iter()
+        .enumerate()
+        .map(|(k, &idx)| (tasks[idx].owner, k))
+        .collect();
+    owner_of_k.sort_by_key(|&(owner, _)| owner.0);
     let mut device_rows = Vec::new();
-    for (device, ks) in &by_device {
-        let cap = system.device(*device)?.max_resource.value();
-        let terms: Vec<(usize, f64)> = ks
-            .iter()
-            .map(|&k| (3 * k, tasks[task_indices[k]].resource.value()))
-            .collect();
+    let mut g = 0;
+    while g < owner_of_k.len() {
+        let device = owner_of_k[g].0;
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        while g < owner_of_k.len() && owner_of_k[g].0 == device {
+            let k = owner_of_k[g].1;
+            terms.push((3 * k, tasks[task_indices[k]].resource.value()));
+            g += 1;
+        }
+        let cap = system.device(device)?.max_resource.value();
         let row = lp.add_constraint(terms, ConstraintSense::Le, cap)?;
-        device_rows.push((*device, row));
+        device_rows.push((device, row));
     }
 
     // C3: the station capacity row (block A₃).

@@ -37,14 +37,13 @@ use crate::costs::CostTable;
 use crate::dta::Coverage;
 use crate::error::AssignError;
 use crate::hta::lp_hta::repair_capacity;
-use mec_sim::data::{DataUniverse, ItemSet};
+use mec_sim::data::{DataUniverse, ItemSet, OwnersIndex};
 use mec_sim::sim::{
     simulate_chaos_with_arrivals, ChaosOutcome, Contention, FaultHit, FaultHitKind, FaultPlan,
 };
 use mec_sim::task::{ExecutionSite, HolisticTask, TaskId};
 use mec_sim::topology::{DeviceId, MecSystem};
 use mec_sim::units::{Joules, Seconds};
-use std::collections::BTreeSet;
 
 /// Retry/backoff knobs of the repair loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -342,7 +341,11 @@ pub fn execute_with_repair(
         let wave: Vec<Pending> = std::mem::take(&mut pending);
         // Residual station capacity for this wave's reassignments: what
         // unaffected (non-wave, non-failed) tasks have not claimed.
-        let wave_idxs: BTreeSet<usize> = wave.iter().map(|p| p.idx).collect();
+        // Dense membership mask over task indices (was a `BTreeSet`).
+        let mut in_wave = vec![false; tasks.len()];
+        for p in &wave {
+            in_wave[p.idx] = true;
+        }
         let costs = CostTable::build(system, &current)?;
 
         // Classify every wave task; collect reassignment candidates for
@@ -517,7 +520,7 @@ pub fn execute_with_repair(
         if !moved.is_empty() {
             for station in system.stations() {
                 let committed: f64 = (0..tasks.len())
-                    .filter(|i| !wave_idxs.contains(i))
+                    .filter(|&i| !in_wave[i])
                     .filter(|&i| {
                         assignment.decision(i) == Decision::Assigned(ExecutionSite::Station)
                             && system.device(tasks[i].owner).map(|d| d.station) == Ok(station.id)
@@ -633,20 +636,30 @@ pub fn repair_coverage(
             shares: coverage.shares().len(),
         });
     }
-    let dead: BTreeSet<DeviceId> = dead.iter().copied().collect();
-    let mut shares: Vec<ItemSet> = coverage.shares().to_vec();
-    let mut orphaned = ItemSet::new(universe.num_items());
-    for d in &dead {
-        if d.0 < shares.len() {
-            orphaned.union_with(&shares[d.0]);
-            shares[d.0] = ItemSet::new(universe.num_items());
+    // Dense dead mask (was a `BTreeSet`). Out-of-range dead ids cannot
+    // hold a share or inherit items, so clamping them out of the mask
+    // preserves the set-based behavior.
+    let mut is_dead = vec![false; universe.num_devices()];
+    for d in dead {
+        if d.0 < is_dead.len() {
+            is_dead[d.0] = true;
         }
     }
+    let mut shares: Vec<ItemSet> = coverage.shares().to_vec();
+    let mut orphaned = ItemSet::new(universe.num_items());
+    for (i, &dead_now) in is_dead.iter().enumerate() {
+        if dead_now {
+            orphaned.union_with(&shares[i]);
+            shares[i] = ItemSet::new(universe.num_items());
+        }
+    }
+    let owners = OwnersIndex::build(universe)?;
     for item in orphaned.iter() {
-        let heir = universe
+        let heir = owners
             .owners(item)
-            .into_iter()
-            .filter(|d| !dead.contains(d))
+            .iter()
+            .map(|&d| DeviceId(d as usize))
+            .filter(|d| !is_dead[d.0])
             .min_by_key(|d| (shares[d.0].len(), d.0));
         match heir {
             Some(d) => {
@@ -773,6 +786,29 @@ mod tests {
             from: Seconds::new(from),
             until: Seconds::new(until),
         }
+    }
+
+    /// A decisions vector shorter than the task list must surface as a
+    /// typed error from the length gate, never as a slice-index panic in
+    /// the wave loop.
+    #[test]
+    fn truncated_decisions_vector_is_a_typed_error() {
+        let s = ScenarioConfig::paper_defaults(11).generate().unwrap();
+        let truncated = Assignment::uniform(s.tasks.len() - 3, ExecutionSite::Device);
+        let err = execute_with_repair(
+            &s.system,
+            &s.tasks,
+            &truncated,
+            Contention::Exclusive,
+            &FaultPlan::default(),
+            &RepairPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AssignError::LengthMismatch { tasks, other }
+                if tasks == s.tasks.len() && other == s.tasks.len() - 3),
+            "{err}"
+        );
     }
 
     #[test]

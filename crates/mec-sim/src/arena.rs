@@ -1,0 +1,309 @@
+//! Index-based struct-of-arrays view of a scenario (DESIGN.md §11).
+//!
+//! The object graph ([`MecSystem`] with per-device structs behind
+//! [`DeviceId`] lookups) is the right *construction* interface, but at
+//! ROADMAP-item-5 scale (10⁵–10⁶ devices) the hot loops — batch cost
+//! pricing, DTA greedy rounds, serve churn ingest — want the fields they
+//! touch packed contiguously and addressed by plain `u32` indices. A
+//! [`ScenarioArena`] is that view: parallel `Vec`s over devices and
+//! stations plus a CSR cluster layout, built once per scenario and read
+//! through the typed handles [`DeviceIdx`] / [`StationIdx`] / [`TaskIdx`].
+//!
+//! Conventions:
+//!
+//! * Handles are `u32` newtypes; conversion from the `usize` id space is
+//!   checked ([`MecError::IndexOverflow`] past `u32::MAX`, which the
+//!   debug-assertions CI pass exercises) and a handle is only meaningful
+//!   for the arena it was minted for.
+//! * The arena is immutable after [`ScenarioArena::from_system`]; it
+//!   borrows nothing, so it can be shared freely across `par_map`
+//!   workers.
+//! * Array order is id order, so arena scans visit entities in exactly
+//!   the order the id-based loops they replace did — the bit-identity
+//!   argument for every refactored consumer.
+
+use crate::error::MecError;
+use crate::radio::RadioLink;
+use crate::topology::{DeviceId, MecSystem, StationId};
+use crate::units::{Bytes, Hertz};
+
+/// Checked `usize` → `u32` index conversion.
+///
+/// # Errors
+///
+/// Returns [`MecError::IndexOverflow`] when `index` exceeds `u32::MAX`.
+pub fn to_u32(what: &'static str, index: usize) -> Result<u32, MecError> {
+    u32::try_from(index).map_err(|_| MecError::IndexOverflow { what, index })
+}
+
+/// Arena handle of a mobile device (row in the device arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceIdx(pub u32);
+
+/// Arena handle of a base station (row in the station arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StationIdx(pub u32);
+
+/// Arena handle of a task (row in a cost matrix / decision array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskIdx(pub u32);
+
+impl DeviceIdx {
+    /// The handle as a plain array index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Checked conversion from the `usize` id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::IndexOverflow`] past `u32::MAX`.
+    pub fn from_id(id: DeviceId) -> Result<DeviceIdx, MecError> {
+        Ok(DeviceIdx(to_u32("device index", id.0)?))
+    }
+
+    /// Back to the id space.
+    #[must_use]
+    pub fn id(self) -> DeviceId {
+        DeviceId(self.index())
+    }
+}
+
+impl StationIdx {
+    /// The handle as a plain array index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Checked conversion from the `usize` id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::IndexOverflow`] past `u32::MAX`.
+    pub fn from_id(id: StationId) -> Result<StationIdx, MecError> {
+        Ok(StationIdx(to_u32("station index", id.0)?))
+    }
+
+    /// Back to the id space.
+    #[must_use]
+    pub fn id(self) -> StationId {
+        StationId(self.index())
+    }
+}
+
+impl TaskIdx {
+    /// The handle as a plain array index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Checked conversion from a task-slice position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::IndexOverflow`] past `u32::MAX`.
+    pub fn from_pos(pos: usize) -> Result<TaskIdx, MecError> {
+        Ok(TaskIdx(to_u32("task index", pos)?))
+    }
+}
+
+/// Struct-of-arrays snapshot of a [`MecSystem`]'s assignment-relevant
+/// fields, indexed by [`DeviceIdx`] / [`StationIdx`] rows in id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArena {
+    // --- devices, row = device id ------------------------------------
+    /// Device CPU frequencies `f_i`.
+    pub dev_cpu: Vec<Hertz>,
+    /// Device radio links (upload/download rate, TX/RX power).
+    pub dev_link: Vec<RadioLink>,
+    /// Station each device attaches to.
+    pub dev_station: Vec<u32>,
+    /// Device resource capacities `max_i`.
+    pub dev_capacity: Vec<Bytes>,
+    // --- stations, row = station id ----------------------------------
+    /// Station CPU frequencies `f_s`.
+    pub st_cpu: Vec<Hertz>,
+    /// Station resource capacities `max_S`.
+    pub st_capacity: Vec<Bytes>,
+    // --- CSR clusters -------------------------------------------------
+    /// Per-station offsets into [`Self::cluster_devices`]
+    /// (`len = stations + 1`).
+    pub cluster_offsets: Vec<u32>,
+    /// Device rows grouped by station, ascending within each cluster.
+    pub cluster_devices: Vec<u32>,
+}
+
+impl ScenarioArena {
+    /// Builds the arena from a system. All indices are checked into
+    /// `u32`, so a fleet past 4 × 10⁹ entities fails loudly instead of
+    /// truncating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::IndexOverflow`] when any id exceeds
+    /// `u32::MAX`.
+    pub fn from_system(system: &MecSystem) -> Result<ScenarioArena, MecError> {
+        let devices = system.devices();
+        let stations = system.stations();
+        to_u32("device count", devices.len())?;
+        to_u32("station count", stations.len())?;
+
+        let mut dev_cpu = Vec::with_capacity(devices.len());
+        let mut dev_link = Vec::with_capacity(devices.len());
+        let mut dev_station = Vec::with_capacity(devices.len());
+        let mut dev_capacity = Vec::with_capacity(devices.len());
+        for d in devices {
+            dev_cpu.push(d.cpu);
+            dev_link.push(d.link);
+            dev_station.push(to_u32("station index", d.station.0)?);
+            dev_capacity.push(d.max_resource);
+        }
+
+        let st_cpu = stations.iter().map(|s| s.cpu).collect();
+        let st_capacity = stations.iter().map(|s| s.max_resource).collect();
+
+        // CSR clusters: count, prefix-sum, fill — devices are visited in
+        // id order, so each cluster's slice stays ascending, matching
+        // `MecSystem::cluster`.
+        let mut counts = vec![0u32; stations.len()];
+        for &st in &dev_station {
+            counts[st as usize] += 1;
+        }
+        let mut cluster_offsets = Vec::with_capacity(stations.len() + 1);
+        let mut acc = 0u32;
+        cluster_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            cluster_offsets.push(acc);
+        }
+        let mut next = cluster_offsets.clone();
+        let mut cluster_devices = vec![0u32; devices.len()];
+        for (i, &st) in dev_station.iter().enumerate() {
+            cluster_devices[next[st as usize] as usize] = to_u32("device index", i)?;
+            next[st as usize] += 1;
+        }
+
+        Ok(ScenarioArena {
+            dev_cpu,
+            dev_link,
+            dev_station,
+            dev_capacity,
+            st_cpu,
+            st_capacity,
+            cluster_offsets,
+            cluster_devices,
+        })
+    }
+
+    /// Number of device rows.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.dev_cpu.len()
+    }
+
+    /// Number of station rows.
+    #[must_use]
+    pub fn num_stations(&self) -> usize {
+        self.st_cpu.len()
+    }
+
+    /// The station row a device attaches to, `None` out of range.
+    #[must_use]
+    pub fn station_of(&self, dev: DeviceIdx) -> Option<StationIdx> {
+        self.dev_station.get(dev.index()).map(|&s| StationIdx(s))
+    }
+
+    /// The device rows of one cluster, ascending; `None` out of range.
+    #[must_use]
+    pub fn cluster(&self, st: StationIdx) -> Option<&[u32]> {
+        let lo = *self.cluster_offsets.get(st.index())? as usize;
+        let hi = *self.cluster_offsets.get(st.index() + 1)? as usize;
+        self.cluster_devices.get(lo..hi)
+    }
+
+    /// True iff both devices attach to the same station; `None` when
+    /// either handle is out of range.
+    #[must_use]
+    pub fn same_cluster(&self, a: DeviceIdx, b: DeviceIdx) -> Option<bool> {
+        Some(self.station_of(a)? == self.station_of(b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ScenarioConfig;
+
+    #[test]
+    fn arena_mirrors_system() {
+        let s = ScenarioConfig::paper_defaults(7).generate().unwrap();
+        let arena = ScenarioArena::from_system(&s.system).unwrap();
+        assert_eq!(arena.num_devices(), s.system.num_devices());
+        assert_eq!(arena.num_stations(), s.system.num_stations());
+        for d in s.system.devices() {
+            let idx = DeviceIdx::from_id(d.id).unwrap();
+            assert_eq!(arena.dev_cpu[idx.index()], d.cpu);
+            assert_eq!(arena.dev_link[idx.index()], d.link);
+            assert_eq!(arena.dev_capacity[idx.index()], d.max_resource);
+            assert_eq!(arena.station_of(idx).unwrap().id(), d.station);
+            assert_eq!(idx.id(), d.id);
+        }
+        for st in s.system.stations() {
+            let idx = StationIdx::from_id(st.id).unwrap();
+            assert_eq!(arena.st_cpu[idx.index()], st.cpu);
+            assert_eq!(arena.st_capacity[idx.index()], st.max_resource);
+            let csr: Vec<DeviceId> = arena
+                .cluster(idx)
+                .unwrap()
+                .iter()
+                .map(|&d| DeviceId(d as usize))
+                .collect();
+            assert_eq!(csr, s.system.cluster(st.id).unwrap());
+        }
+    }
+
+    #[test]
+    fn cluster_slices_partition_devices_in_order() {
+        let mut cfg = ScenarioConfig::paper_defaults(3);
+        cfg.num_stations = 4;
+        cfg.devices_per_station = 7;
+        let s = cfg.generate().unwrap();
+        let arena = ScenarioArena::from_system(&s.system).unwrap();
+        let mut seen = vec![false; arena.num_devices()];
+        for st in 0..arena.num_stations() {
+            let cluster = arena.cluster(StationIdx(st as u32)).unwrap();
+            assert!(cluster.windows(2).all(|w| w[0] < w[1]), "ascending");
+            for &d in cluster {
+                assert!(!seen[d as usize]);
+                seen[d as usize] = true;
+                assert_eq!(arena.dev_station[d as usize] as usize, st);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn out_of_range_handles_are_none() {
+        let s = ScenarioConfig::paper_defaults(7).generate().unwrap();
+        let arena = ScenarioArena::from_system(&s.system).unwrap();
+        let n = arena.num_devices() as u32;
+        assert_eq!(arena.station_of(DeviceIdx(n)), None);
+        assert_eq!(arena.cluster(StationIdx(99)), None);
+        assert_eq!(arena.same_cluster(DeviceIdx(0), DeviceIdx(n)), None);
+        assert!(arena.same_cluster(DeviceIdx(0), DeviceIdx(1)).is_some());
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error() {
+        let err = to_u32("task index", u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, MecError::IndexOverflow { .. }));
+        assert!(err.to_string().contains("task index"));
+        assert_eq!(to_u32("ok", 17).unwrap(), 17);
+        let err = TaskIdx::from_pos(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, MecError::IndexOverflow { .. }));
+    }
+}

@@ -13,11 +13,13 @@
 //!   station–cloud backhaul together with the result, the cloud computes,
 //!   the owner downloads the result.
 
+use crate::arena::{DeviceIdx, ScenarioArena};
 use crate::error::MecError;
+use crate::radio::RadioLink;
 use crate::task::{ExecutionSite, HolisticTask};
 use crate::topology::MecSystem;
 use crate::transfer;
-use crate::units::{Joules, Seconds};
+use crate::units::{Hertz, Joules, Seconds};
 
 /// Delay and energy of running one task at one site.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,15 +101,6 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
     task.validate()?;
     let owner = system.device(task.owner)?;
     let station = system.station(owner.station)?;
-    let cloud = system.cloud();
-    let bb = system.backhaul.station_to_station;
-    let bc = system.backhaul.station_to_cloud;
-
-    let alpha = task.local_size;
-    let beta = task.external_size;
-    let input = task.input_size();
-    let result = system.result_model.result_size(input);
-    let cycles = |_: ()| system.cycle_model.cycles(input, task.complexity);
 
     // External-data facts (absent when β = 0).
     let external = match task.external_source {
@@ -119,14 +112,116 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
         None => None,
     };
 
+    Ok(site_costs(
+        system,
+        task,
+        &owner.link,
+        owner.cpu,
+        station.cpu,
+        external,
+    ))
+}
+
+/// Resolved per-task lookups for the arena batch path: the owner's device
+/// row and, when the task has external data, the source's row plus
+/// whether retrieval crosses clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostFacts {
+    /// The task owner's device row.
+    pub owner: DeviceIdx,
+    /// `(source row, crosses clusters)` when `β > 0`.
+    pub external: Option<(DeviceIdx, bool)>,
+}
+
+/// Validates `task` against `system` and resolves the device rows the
+/// cost kernel needs — the exact checks (and error order) of
+/// [`evaluate`], split out so a batch builder can run them serially once
+/// and then price tasks with the infallible kernel, chunked across
+/// threads.
+///
+/// # Errors
+///
+/// Exactly [`evaluate`]'s errors, plus [`MecError::IndexOverflow`] for
+/// ids past the `u32` handle space.
+pub fn resolve(system: &MecSystem, task: &HolisticTask) -> Result<CostFacts, MecError> {
+    task.validate()?;
+    let owner = system.device(task.owner)?;
+    system.station(owner.station)?;
+    let external = match task.external_source {
+        Some(src) => {
+            system.device(src)?;
+            let cross = !system.same_cluster(task.owner, src)?;
+            Some((DeviceIdx::from_id(src)?, cross))
+        }
+        None => None,
+    };
+    Ok(CostFacts {
+        owner: DeviceIdx::from_id(task.owner)?,
+        external,
+    })
+}
+
+/// Prices one task from pre-resolved [`CostFacts`], reading device and
+/// station fields from the arena rows — bit-identical to [`evaluate`]
+/// because both call the same [`site_costs`] kernel with the same values.
+///
+/// # Panics
+///
+/// Panics if `facts` or `arena` were not built from `system` (row indices
+/// out of range).
+#[must_use]
+#[inline]
+pub fn evaluate_resolved(
+    system: &MecSystem,
+    arena: &ScenarioArena,
+    task: &HolisticTask,
+    facts: CostFacts,
+) -> TaskCosts {
+    let owner = facts.owner.index();
+    let station = arena.dev_station[owner] as usize;
+    let external = facts
+        .external
+        .map(|(src, cross)| (arena.dev_link[src.index()], cross));
+    site_costs(
+        system,
+        task,
+        &arena.dev_link[owner],
+        arena.dev_cpu[owner],
+        arena.st_cpu[station],
+        external,
+    )
+}
+
+/// The Section II arithmetic shared by [`evaluate`] and
+/// [`evaluate_resolved`]: every formula in one place so the struct path
+/// and the arena path cannot drift.
+#[inline]
+fn site_costs(
+    system: &MecSystem,
+    task: &HolisticTask,
+    owner_link: &RadioLink,
+    owner_cpu: Hertz,
+    station_cpu: Hertz,
+    external: Option<(RadioLink, bool)>,
+) -> TaskCosts {
+    let cloud = system.cloud();
+    let bb = system.backhaul.station_to_station;
+    let bc = system.backhaul.station_to_cloud;
+
+    let alpha = task.local_size;
+    let beta = task.external_size;
+    let input = task.input_size();
+    let result = system.result_model.result_size(input);
+    let cycles = |_: ()| system.cycle_model.cycles(input, task.complexity);
+
     // --- l = 1: the owner's mobile device -----------------------------
     let device_cost = {
         let (t_r, e_r) = match external {
             Some((src_link, cross)) => {
                 let mut t = transfer::upload_time(&src_link, beta)
-                    + transfer::download_time(&owner.link, beta);
+                    + transfer::download_time(owner_link, beta);
                 let mut e = transfer::upload_energy(&src_link, beta)
-                    + transfer::download_energy(&owner.link, beta);
+                    + transfer::download_energy(owner_link, beta);
                 if cross {
                     t += bb.transfer_time(beta);
                     e += bb.transfer_energy(beta);
@@ -135,10 +230,10 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
             }
             None => (Seconds::ZERO, Joules::ZERO),
         };
-        let t_c = cycles(()) / owner.cpu;
+        let t_c = cycles(()) / owner_cpu;
         let e_c = system
             .cycle_model
-            .device_energy(input, task.complexity, owner.cpu);
+            .device_energy(input, task.complexity, owner_cpu);
         SiteCost {
             time: t_r + t_c,
             energy: e_r + e_c,
@@ -157,19 +252,19 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
             }
             None => Seconds::ZERO,
         };
-        let alpha_leg = transfer::upload_time(&owner.link, alpha);
+        let alpha_leg = transfer::upload_time(owner_link, alpha);
         let gather = beta_leg.max(alpha_leg);
-        let t_r = gather + transfer::download_time(&owner.link, result);
+        let t_r = gather + transfer::download_time(owner_link, result);
 
-        let mut e_r = transfer::upload_energy(&owner.link, alpha)
-            + transfer::download_energy(&owner.link, result);
+        let mut e_r = transfer::upload_energy(owner_link, alpha)
+            + transfer::download_energy(owner_link, result);
         if let Some((src_link, cross)) = external {
             e_r += transfer::upload_energy(&src_link, beta);
             if cross {
                 e_r += bb.transfer_energy(beta);
             }
         }
-        let t_c = cycles(()) / station.cpu;
+        let t_c = cycles(()) / station_cpu;
         SiteCost {
             time: t_r + t_c,
             energy: e_r,
@@ -182,13 +277,13 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
             Some((src_link, _)) => transfer::upload_time(&src_link, beta),
             None => Seconds::ZERO,
         };
-        let alpha_leg = transfer::upload_time(&owner.link, alpha);
+        let alpha_leg = transfer::upload_time(owner_link, alpha);
         let gather = beta_leg.max(alpha_leg);
         let haul = input + result;
-        let t_r = gather + transfer::download_time(&owner.link, result) + bc.transfer_time(haul);
+        let t_r = gather + transfer::download_time(owner_link, result) + bc.transfer_time(haul);
 
-        let mut e_r = transfer::upload_energy(&owner.link, alpha)
-            + transfer::download_energy(&owner.link, result)
+        let mut e_r = transfer::upload_energy(owner_link, alpha)
+            + transfer::download_energy(owner_link, result)
             + bc.transfer_energy(haul);
         if let Some((src_link, _)) = external {
             e_r += transfer::upload_energy(&src_link, beta);
@@ -200,9 +295,103 @@ pub fn evaluate(system: &MecSystem, task: &HolisticTask) -> Result<TaskCosts, Me
         }
     };
 
-    Ok(TaskCosts {
+    TaskCosts {
         per_site: [device_cost, station_cost, cloud_cost],
-    })
+    }
+}
+
+/// Flat struct-of-arrays cost table: `times`/`energies` hold one stride-3
+/// row per task (`l = device, station, cloud` order), so batch consumers
+/// scan two contiguous `Vec<f64>`s instead of chasing per-task structs
+/// (DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostMatrix {
+    times: Vec<f64>,
+    energies: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// An empty matrix with room for `n` task rows.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> CostMatrix {
+        CostMatrix {
+            times: Vec::with_capacity(3 * n),
+            energies: Vec::with_capacity(3 * n),
+        }
+    }
+
+    /// Prices every task serially: one [`resolve`] pass (first error
+    /// wins, in task order) and one kernel pass — the reference the
+    /// chunked parallel builders must be bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the per-task [`resolve`] errors, first task first.
+    pub fn build(
+        system: &MecSystem,
+        arena: &ScenarioArena,
+        tasks: &[HolisticTask],
+    ) -> Result<CostMatrix, MecError> {
+        let mut m = CostMatrix::with_capacity(tasks.len());
+        for task in tasks {
+            let facts = resolve(system, task)?;
+            m.push(evaluate_resolved(system, arena, task, facts));
+        }
+        Ok(m)
+    }
+
+    /// Appends one task row.
+    #[inline]
+    pub fn push(&mut self, costs: TaskCosts) {
+        for c in costs.per_site {
+            self.times.push(c.time.value());
+            self.energies.push(c.energy.value());
+        }
+    }
+
+    /// Moves every row of `other` onto the end of `self`, preserving row
+    /// order — how chunked parallel builders concatenate their pieces
+    /// back into one task-ordered table.
+    pub fn append(&mut self, other: &mut CostMatrix) {
+        self.times.append(&mut other.times);
+        self.energies.append(&mut other.energies);
+    }
+
+    /// Number of task rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len() / 3
+    }
+
+    /// True iff no rows have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Cost of task `idx` at `site`; `None` out of range.
+    #[must_use]
+    pub fn site(&self, idx: usize, site: ExecutionSite) -> Option<SiteCost> {
+        let at = 3 * idx + site.index();
+        Some(SiteCost {
+            time: Seconds::new(*self.times.get(at)?),
+            energy: Joules::new(*self.energies.get(at)?),
+        })
+    }
+
+    /// All three site costs of task `idx`; `None` out of range.
+    #[must_use]
+    pub fn task_costs(&self, idx: usize) -> Option<TaskCosts> {
+        let row = self.times.get(3 * idx..3 * idx + 3)?;
+        let erow = self.energies.get(3 * idx..3 * idx + 3)?;
+        let site = |l: usize| SiteCost {
+            time: Seconds::new(row[l]),
+            energy: Joules::new(erow[l]),
+        };
+        Some(TaskCosts {
+            per_site: [site(0), site(1), site(2)],
+        })
+    }
 }
 
 // JSON codecs (wire-compatible with the former serde derives).

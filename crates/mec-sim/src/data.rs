@@ -243,6 +243,14 @@ impl ItemSet {
         self.intersection_len(other) == 0
     }
 
+    /// The backing bit words, least-significant item first. Word `w`
+    /// covers items `64·w .. 64·w+63`; bits beyond `capacity` are zero.
+    /// Exposed so flat scans (e.g. [`HoldingsMatrix`]) can run
+    /// word-parallel without going through per-item iteration.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates over the member ids in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -409,6 +417,9 @@ impl DataUniverse {
     }
 
     /// Devices owning a given item, ascending.
+    ///
+    /// One call scans every device's bitset; algorithms that look owners
+    /// up in a loop should build an [`OwnersIndex`] once instead.
     pub fn owners(&self, id: DataItemId) -> Vec<DeviceId> {
         self.holdings
             .iter()
@@ -416,6 +427,156 @@ impl DataUniverse {
             .filter(|(_, h)| h.contains(id))
             .map(|(i, _)| DeviceId(i))
             .collect()
+    }
+}
+
+/// Word-major holdings matrix: word `w` of *every* device's holdings laid
+/// out contiguously (`words[w·n + i]` for device `i`), so a scan over all
+/// devices for one item word is a cache-linear pass (DESIGN.md §11). The
+/// DTA greedy rounds seed and maintain per-device usable counts through
+/// this layout instead of re-intersecting every holdings bitset per
+/// round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldingsMatrix {
+    num_devices: usize,
+    words_per_set: usize,
+    words: Vec<u64>,
+}
+
+impl HoldingsMatrix {
+    /// Transposes a universe's holdings into word-major order.
+    pub fn build(universe: &DataUniverse) -> HoldingsMatrix {
+        let n = universe.num_devices();
+        let words_per_set = universe.num_items().div_ceil(64);
+        let mut words = vec![0u64; words_per_set * n];
+        for (i, h) in universe.holdings.iter().enumerate() {
+            for (w, &word) in h.words().iter().enumerate() {
+                words[w * n + i] = word;
+            }
+        }
+        HoldingsMatrix {
+            num_devices: n,
+            words_per_set,
+            words,
+        }
+    }
+
+    /// Number of devices (columns).
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Words per holdings set (rows).
+    pub fn words_per_set(&self) -> usize {
+        self.words_per_set
+    }
+
+    /// Word `w` of every device's holdings, indexed by device id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= words_per_set`.
+    pub fn word_row(&self, w: usize) -> &[u64] {
+        &self.words[w * self.num_devices..(w + 1) * self.num_devices]
+    }
+
+    /// `|D_i ∩ set|` for every device: one contiguous row pass per
+    /// nonzero word of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `set` was built for a different universe (word count
+    /// mismatch), mirroring the [`ItemSet`] capacity assertions.
+    pub fn usable_counts(&self, set: &ItemSet) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_devices];
+        self.fold_counts(&mut counts, set, false);
+        counts
+    }
+
+    /// Decrements `counts[i]` by `|D_i ∩ removed|` for every device —
+    /// the exact drop in usable counts when `removed ⊆ residual` leaves
+    /// the residual set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on word-count mismatch with the universe, or (in debug
+    /// builds, via overflow checks) when a count underflows — i.e. when
+    /// `removed` was not a subset of the residual the counts track.
+    pub fn subtract_counts(&self, counts: &mut [u32], removed: &ItemSet) {
+        self.fold_counts(counts, removed, true);
+    }
+
+    fn fold_counts(&self, counts: &mut [u32], set: &ItemSet, subtract: bool) {
+        assert_eq!(
+            set.words().len(),
+            self.words_per_set,
+            "capacity mismatch between item set and holdings matrix"
+        );
+        assert_eq!(counts.len(), self.num_devices, "one count per device");
+        for (w, &sw) in set.words().iter().enumerate() {
+            if sw == 0 {
+                continue;
+            }
+            for (c, &hw) in counts.iter_mut().zip(self.word_row(w)) {
+                let overlap = (hw & sw).count_ones();
+                if subtract {
+                    *c -= overlap;
+                } else {
+                    *c += overlap;
+                }
+            }
+        }
+    }
+}
+
+/// CSR index `item → owning devices` (ascending device id per item),
+/// replacing the `O(devices × words)` scan of [`DataUniverse::owners`]
+/// for algorithms that look owners up inside a loop (DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnersIndex {
+    offsets: Vec<u32>,
+    owners: Vec<u32>,
+}
+
+impl OwnersIndex {
+    /// Builds the index in two passes (count, then fill); device ids per
+    /// item come out ascending because devices are scanned in id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::IndexOverflow`] when device count or total
+    /// ownership pairs exceed the `u32` handle space.
+    pub fn build(universe: &DataUniverse) -> Result<OwnersIndex, MecError> {
+        let m = universe.num_items();
+        let pairs: usize = universe.holdings.iter().map(ItemSet::len).sum();
+        crate::arena::to_u32("ownership pair count", pairs)?;
+        let mut offsets = vec![0u32; m + 1];
+        for h in &universe.holdings {
+            for id in h.iter() {
+                offsets[id.0 + 1] += 1;
+            }
+        }
+        for w in 1..=m {
+            offsets[w] += offsets[w - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..m].to_vec();
+        let mut owners = vec![0u32; pairs];
+        for (i, h) in universe.holdings.iter().enumerate() {
+            let dev = crate::arena::to_u32("device index", i)?;
+            for id in h.iter() {
+                owners[cursor[id.0] as usize] = dev;
+                cursor[id.0] += 1;
+            }
+        }
+        Ok(OwnersIndex { offsets, owners })
+    }
+
+    /// Devices owning `id`, ascending; empty for out-of-range ids.
+    pub fn owners(&self, id: DataItemId) -> &[u32] {
+        match (self.offsets.get(id.0), self.offsets.get(id.0 + 1)) {
+            (Some(&a), Some(&b)) => &self.owners[a as usize..b as usize],
+            _ => &[],
+        }
     }
 }
 
@@ -525,6 +686,59 @@ mod tests {
         assert_eq!(u.usable(DeviceId(0), &required).unwrap().len(), 2);
         assert_eq!(u.usable(DeviceId(1), &required).unwrap().len(), 2);
         assert!(u.usable(DeviceId(7), &required).is_err());
+    }
+
+    #[test]
+    fn holdings_matrix_counts_match_per_device_intersections() {
+        let sizes = vec![Bytes::new(1.0); 130];
+        let holdings = vec![
+            ItemSet::from_ids(130, ids(&[0, 63, 64, 129])),
+            ItemSet::from_ids(130, (0..130).map(DataItemId)),
+            ItemSet::from_ids(130, ids(&[64, 65])),
+        ];
+        let u = DataUniverse::new(sizes, holdings.clone()).unwrap();
+        let matrix = HoldingsMatrix::build(&u);
+        assert_eq!(matrix.num_devices(), 3);
+        assert_eq!(matrix.words_per_set(), 3);
+        let required = ItemSet::from_ids(130, ids(&[0, 64, 65, 128]));
+        let counts = matrix.usable_counts(&required);
+        for (i, h) in holdings.iter().enumerate() {
+            assert_eq!(counts[i] as usize, h.intersection_len(&required));
+        }
+        // Subtracting a subset of the tracked set keeps counts exact.
+        let mut counts = counts;
+        let removed = ItemSet::from_ids(130, ids(&[64, 128]));
+        matrix.subtract_counts(&mut counts, &removed);
+        let residual = required.difference(&removed);
+        for (i, h) in holdings.iter().enumerate() {
+            assert_eq!(counts[i] as usize, h.intersection_len(&residual));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn holdings_matrix_rejects_foreign_sets() {
+        let sizes = vec![Bytes::new(1.0); 4];
+        let u = DataUniverse::new(sizes, vec![ItemSet::full(4)]).unwrap();
+        HoldingsMatrix::build(&u).usable_counts(&ItemSet::new(130));
+    }
+
+    #[test]
+    fn owners_index_matches_owners_scan() {
+        let sizes = vec![Bytes::new(1.0); 70];
+        let holdings = vec![
+            ItemSet::from_ids(70, ids(&[0, 5, 69])),
+            ItemSet::from_ids(70, (0..70).map(DataItemId)),
+            ItemSet::from_ids(70, ids(&[5, 6])),
+        ];
+        let u = DataUniverse::new(sizes, holdings).unwrap();
+        let index = OwnersIndex::build(&u).unwrap();
+        for item in 0..70 {
+            let id = DataItemId(item);
+            let via_scan: Vec<u32> = u.owners(id).iter().map(|d| d.0 as u32).collect();
+            assert_eq!(index.owners(id), via_scan.as_slice(), "item {item}");
+        }
+        assert!(index.owners(DataItemId(70)).is_empty(), "out of range");
     }
 
     #[test]

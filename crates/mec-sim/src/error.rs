@@ -22,6 +22,14 @@ pub enum MecError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// An entity index does not fit the arena's `u32` handle space
+    /// (DESIGN.md §11).
+    IndexOverflow {
+        /// Which index space overflowed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MecError {
@@ -33,6 +41,9 @@ impl fmt::Display for MecError {
             MecError::NoDevices => write!(f, "a MEC system needs at least one mobile device"),
             MecError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MecError::IndexOverflow { what, index } => {
+                write!(f, "{what} {index} does not fit a u32 arena handle")
             }
         }
     }

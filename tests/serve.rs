@@ -94,6 +94,31 @@ fn serve_with_churn_is_thread_count_invariant() {
     par::set_threads(0);
 }
 
+/// Pins the reference sessions' fingerprints to their golden values.
+/// These are the byte-for-byte decision digests of `dsmec serve --seed
+/// 42 --epochs 20` with and without the documented chaos seed; storage
+/// refactors (the arena/SoA work of DESIGN.md §11 included) must not
+/// move them. A change here means decisions changed — that is a
+/// behavior change to justify, not a constant to update in passing.
+#[test]
+fn reference_session_fingerprints_are_pinned() {
+    let _guard = threads_lock();
+    par::set_threads(0);
+    let default_cfg = ServeConfig {
+        seed: 42,
+        epochs: 20,
+        ..ServeConfig::default()
+    };
+    let report = serve(&default_cfg).unwrap();
+    assert_eq!(report.session_fingerprint, "33b92d38ebe7d960");
+    let chaos_cfg = ServeConfig {
+        chaos: Some(12_648_430),
+        ..default_cfg
+    };
+    let report = serve(&chaos_cfg).unwrap();
+    assert_eq!(report.session_fingerprint, "03c67e80a4ca687f");
+}
+
 /// Warm-start acceptance gate: after the cold first epoch, the default
 /// (churn-free) stream keeps every cluster's LP shape constant, so the
 /// steady-state hit rate must clear the >50% bar with room to spare.
