@@ -46,9 +46,9 @@ fn run() -> Result<(), String> {
                 "contention" | "quick" => switches.push(name.to_string()),
                 _ => pending = Some(name.to_string()),
             }
-        } else if command == "trace" {
-            // Only `trace` takes positional operands (its input files);
-            // everywhere else a stray word is still a usage error.
+        } else if matches!(command.as_str(), "trace" | "metrics" | "top") {
+            // Only the analyzers take positional operands (their input
+            // files); everywhere else a stray word is still a usage error.
             positionals.push(arg);
         } else {
             return Err(format!("unexpected positional argument `{arg}`"));
@@ -63,6 +63,13 @@ fn run() -> Result<(), String> {
     if command == "trace" {
         // Offline analysis of an existing trace: never records one.
         return run_trace(&flags, &positionals);
+    }
+    if command == "metrics" {
+        // Flight-log analyzer + SLO gate: exits nonzero on violation.
+        return run_metrics(&flags, &positionals);
+    }
+    if command == "top" {
+        return run_top(&flags, &positionals);
     }
     // Tracing: --trace PATH or DSMEC_TRACE=PATH enables mec-obs and
     // writes the snapshot after the command completes.
@@ -128,6 +135,49 @@ fn run_trace(flags: &HashMap<String, String>, positionals: &[String]) -> Result<
             .map_err(|_| "--top must be an integer".to_string())?;
     }
     mec_bench::trace_report::trace_command(&args)
+}
+
+/// `dsmec metrics FLIGHT.jsonl [--slo key=value,…]`.
+fn run_metrics(flags: &HashMap<String, String>, positionals: &[String]) -> Result<(), String> {
+    if positionals.len() > 1 {
+        return Err(format!(
+            "metrics takes one FLIGHT.jsonl operand, got {positionals:?}"
+        ));
+    }
+    let args = mec_bench::metrics::MetricsArgs {
+        file: positionals
+            .first()
+            .cloned()
+            .ok_or("metrics needs a FLIGHT.jsonl operand (see --help)")?,
+        slo: flags.get("slo").cloned(),
+    };
+    mec_bench::metrics::metrics_command(&args)
+}
+
+/// `dsmec top [FLIGHT.jsonl] [--addr HOST:PORT] [--interval-ms N]
+/// [--iterations N]`.
+fn run_top(flags: &HashMap<String, String>, positionals: &[String]) -> Result<(), String> {
+    if positionals.len() > 1 {
+        return Err(format!(
+            "top takes at most one FLIGHT.jsonl operand, got {positionals:?}"
+        ));
+    }
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} must be an integer"))
+            })
+            .unwrap_or(Ok(default))
+    };
+    let args = mec_bench::metrics::TopArgs {
+        file: positionals.first().cloned(),
+        addr: flags.get("addr").cloned(),
+        interval_ms: parse_u64("interval-ms", 1000)?,
+        iterations: parse_u64("iterations", 0)?,
+    };
+    mec_bench::metrics::top_command(&args)
 }
 
 fn dispatch(
@@ -262,7 +312,8 @@ fn dispatch(
             Ok(())
         }
         "serve" => {
-            use mec_bench::serve::{serve, ServeConfig};
+            use mec_bench::metrics::{TelemetryOptions, TelemetryPlane};
+            use mec_bench::serve::{serve, serve_with_hook, ServeConfig};
             let defaults = ServeConfig::default();
             let mut cfg = ServeConfig {
                 seed: get_u64(flags, "seed", defaults.seed)?,
@@ -294,11 +345,32 @@ fn dispatch(
                         .map_err(|_| "--cloud-limit must be an integer".to_string())?,
                 );
             }
-            let report = serve(&cfg).map_err(|e| e.to_string())?;
+            // Telemetry plane: --metrics-out / --metrics-addr (or their
+            // DSMEC_METRICS_* environment fallbacks) feed the per-epoch
+            // hook; fingerprints are identical with the plane on or off.
+            let telemetry = TelemetryOptions::resolve(
+                flags.get("metrics-out").map(String::as_str),
+                flags.get("metrics-addr").map(String::as_str),
+            );
+            let mut plane = TelemetryPlane::start(&telemetry)?;
+            if let Some(addr) = plane.as_ref().and_then(TelemetryPlane::server_addr) {
+                println!("metrics: serving http://{addr}/metrics");
+            }
+            let report = match plane.as_mut() {
+                Some(p) => serve_with_hook(&cfg, &mut |e| p.on_epoch(e)),
+                None => serve(&cfg),
+            }
+            .map_err(|e| e.to_string())?;
             print!("{}", mec_bench::serve::render_serve_report(&report));
             let out = flags.get("out").cloned().unwrap_or("serve.json".into());
             write_json(&out, &report)?;
             println!("wrote {out}");
+            if let Some(p) = plane {
+                let intervals = p.finish()?;
+                if let Some(path) = &telemetry.metrics_out {
+                    println!("wrote {path} ({intervals} intervals)");
+                }
+            }
             Ok(())
         }
         "compare" => {
@@ -336,12 +408,26 @@ fn dispatch(
             eprintln!("  report    --scenario F --assignment F");
             eprintln!("  serve     --seed N --epochs E [--batch B] [--stations K] \\");
             eprintln!("            [--devices-per-station D] [--rate R] [--chaos SEED] \\");
-            eprintln!("            [--cloud-limit C] [--out serve.json]");
+            eprintln!("            [--cloud-limit C] [--out serve.json] \\");
+            eprintln!("            [--metrics-addr HOST:PORT] [--metrics-out FLIGHT.jsonl]");
             eprintln!("            online mode: drain E epoch batches of task arrivals");
             eprintln!("            through the sharded incremental LP-HTA, warm-starting");
             eprintln!("            each base-station cluster from its previous basis;");
             eprintln!("            --chaos adds device churn, --cloud-limit caps cloud");
-            eprintln!("            placements per epoch (excess migrates to stations)");
+            eprintln!("            placements per epoch (excess migrates to stations);");
+            eprintln!("            --metrics-addr serves live Prometheus text at GET");
+            eprintln!("            /metrics, --metrics-out appends one interval snapshot");
+            eprintln!("            per epoch as a JSONL flight log (DESIGN.md §12)");
+            eprintln!("  metrics   FLIGHT.jsonl [--slo p95_ms=X,miss_rate=Y,…]");
+            eprintln!("            summarize a flight log as a per-interval trend table;");
+            eprintln!("            --slo exits nonzero when any interval violates a rule");
+            eprintln!("            (keys: p50_ms p95_ms p99_ms miss_rate warm_rate_min");
+            eprintln!("            queue_max)");
+            eprintln!("  top       FLIGHT.jsonl | --addr HOST:PORT [--interval-ms N] \\");
+            eprintln!("            [--iterations N]");
+            eprintln!("            live trend view: poll a serve session's /metrics");
+            eprintln!("            endpoint (one row per interval, until the session");
+            eprintln!("            ends) or render a recorded flight log once");
             eprintln!("  compare   --scenario F");
             eprintln!("  divisible --seed N --tasks T --items M");
             eprintln!("  trace     FILE [--folded OUT.txt] [--top N]");
@@ -361,6 +447,10 @@ fn dispatch(
             eprintln!("  DSMEC_TRACE=P         trace output path when --trace is not given");
             eprintln!("  DSMEC_TRACE_EVENTS=0  record aggregates only (no span events)");
             eprintln!("  DSMEC_CHAOS=SEED      chaos seed when --chaos is not given");
+            eprintln!("  DSMEC_METRICS_ADDR=A  serve exposition bind when --metrics-addr");
+            eprintln!("                        is not given");
+            eprintln!("  DSMEC_METRICS_OUT=P   flight-log path when --metrics-out is not");
+            eprintln!("                        given");
             eprintln!("algorithms: lp-hta hgos all-to-c all-offload local-first nash random");
             Ok(())
         }

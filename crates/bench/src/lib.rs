@@ -24,7 +24,9 @@
 
 pub mod cache;
 pub mod cli;
+pub mod exposition;
 pub mod figures;
+pub mod metrics;
 pub mod par;
 pub mod pricing;
 pub mod runner;

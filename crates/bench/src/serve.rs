@@ -128,6 +128,19 @@ pub struct EpochStats {
     /// Cloud placements migrated back to stations by the reconciliation
     /// pass.
     pub cloud_migrations: usize,
+    /// Live tasks that missed their deadline: assigned to a site whose
+    /// completion time exceeds the deadline, or cancelled by repair
+    /// (a cancelled task never completes at all). Churn cancellations are
+    /// excluded — a dead owner has no SLA to miss. Deterministic, so it
+    /// participates in report comparisons but not the fingerprint (which
+    /// hashes raw decisions, from which this is derived).
+    pub deadline_misses: usize,
+    /// Wall time spent in the repair paths this epoch — churn ingest
+    /// (owner cancellation, data re-sourcing) plus the cloud
+    /// reconciliation pass — in milliseconds. Wall time, so excluded from
+    /// fingerprints and scrubbed in deterministic comparisons exactly
+    /// like `decision_ns`.
+    pub repair_ms: f64,
     /// Cluster solves offered a chained basis.
     pub warm_attempts: usize,
     /// Offered bases the solver accepted (phase 1 skipped).
@@ -208,6 +221,8 @@ djson::impl_json_struct!(EpochStats {
     churn_cancelled,
     resourced,
     cloud_migrations,
+    deadline_misses,
+    repair_ms,
     warm_attempts,
     warm_hits,
     warm_rejections,
@@ -377,6 +392,24 @@ fn resource_dead_external(task: &mut HolisticTask, is_dead: &[bool]) -> bool {
 /// numerical failures; per-task infeasibility lands in the report as
 /// cancellations.
 pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
+    serve_with_hook(config, &mut |_| {})
+}
+
+/// [`serve`] with a per-epoch observer: `on_epoch` runs after each
+/// epoch's statistics are final (decisions committed, fingerprint
+/// hashed, obs counters/gauges recorded), in epoch order, on the serve
+/// thread. The telemetry plane hangs its interval snapshots and flight
+/// log off this hook; the hook is infallible by design — telemetry
+/// failures must never abort an assignment session, so implementations
+/// stash errors and surface them after the session ends.
+///
+/// # Errors
+///
+/// Same contract as [`serve`].
+pub fn serve_with_hook(
+    config: &ServeConfig,
+    on_epoch: &mut dyn FnMut(&EpochStats),
+) -> Result<ServeReport, AssignError> {
     let _session = mec_obs::span("serve/session");
     let stream = config.stream_config().generate()?;
     let plan = match config.chaos {
@@ -425,6 +458,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
 
         // Ingest churn: cancel dead owners, replan dead data sources to
         // the lowest live device (deterministic, same rule every epoch).
+        let repair_started = Instant::now();
         let mut outcomes = vec![Outcome::RepairCancelled; batch.tasks.len()];
         let mut live_tasks: Vec<HolisticTask> = Vec::with_capacity(batch.tasks.len());
         let mut live_map: Vec<usize> = Vec::with_capacity(batch.tasks.len());
@@ -444,6 +478,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
             live_map.push(slot);
             live_tasks.push(task);
         }
+        let mut repair_ns = repair_started.elapsed().as_nanos();
 
         // Shard per cluster and solve concurrently, each shard offered
         // its own station's chained basis. The warm store is read-only
@@ -498,8 +533,28 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
         let (assignment, report) =
             algo.round_with(&stream.system, &live_tasks, &costs, &fractional)?;
         let mut decisions: Vec<Decision> = assignment.decisions().to_vec();
+        let reconcile_started = Instant::now();
         let cloud_migrations =
             reconcile_cloud(config, &stream, &live_tasks, &costs, &mut decisions);
+        repair_ns += reconcile_started.elapsed().as_nanos();
+
+        // Deadline misses over the epoch's live tasks: an assignment is a
+        // miss when its site cannot complete within the task's deadline,
+        // and a repair cancellation is a miss by definition (the task
+        // never runs). Churn cancellations are excluded above — they
+        // never reach `decisions`.
+        let mut deadline_misses = 0usize;
+        for (live_idx, d) in decisions.iter().enumerate() {
+            let missed = match d {
+                Decision::Assigned(site) => {
+                    !costs.feasible(live_idx, *site, live_tasks[live_idx].deadline)
+                }
+                Decision::Cancelled => true,
+            };
+            if missed {
+                deadline_misses += 1;
+            }
+        }
 
         for (live_idx, &slot) in live_map.iter().enumerate() {
             outcomes[slot] = match decisions[live_idx] {
@@ -526,11 +581,42 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
         decision_ns_total = decision_ns_total.saturating_add(decision_ns);
         let ms = decision_ns as f64 / 1e6;
         latencies_ms.push(ms);
+        #[allow(clippy::cast_precision_loss)]
+        let repair_ms = repair_ns as f64 / 1e6;
         mec_obs::counter_add("serve/assignments", assigned as u64);
         mec_obs::counter_add("serve/epochs", 1);
+        mec_obs::counter_add("serve/deadline_misses", deadline_misses as u64);
         mec_obs::observe("serve/decision_latency_ms", ms);
+        mec_obs::observe("serve/repair_ms", repair_ms);
 
-        epochs.push(EpochStats {
+        // The SLO gauges the telemetry plane exposes per epoch: the
+        // current epoch index, the live queue depth after churn ingest,
+        // and the rates a scrape or `dsmec top` renders directly.
+        #[allow(clippy::cast_precision_loss)]
+        {
+            mec_obs::gauge_set("serve/epoch", batch.epoch as f64);
+            mec_obs::gauge_set("serve/queue_depth", live_tasks.len() as f64);
+            mec_obs::gauge_set(
+                "serve/slo/deadline_miss_rate",
+                if live_tasks.is_empty() {
+                    0.0
+                } else {
+                    deadline_misses as f64 / live_tasks.len() as f64
+                },
+            );
+            mec_obs::gauge_set(
+                "serve/slo/warm_hit_rate",
+                if warm_attempts == 0 {
+                    0.0
+                } else {
+                    warm_hits as f64 / warm_attempts as f64
+                },
+            );
+            mec_obs::gauge_set("serve/slo/repair_ms", repair_ms);
+            mec_obs::gauge_set("serve/slo/cloud_migrations", cloud_migrations as f64);
+        }
+
+        let stats = EpochStats {
             epoch: batch.epoch,
             arrived: batch.tasks.len(),
             assigned,
@@ -538,6 +624,8 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
             churn_cancelled,
             resourced,
             cloud_migrations,
+            deadline_misses,
+            repair_ms,
             warm_attempts,
             warm_hits,
             warm_rejections,
@@ -546,7 +634,9 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, AssignError> {
             final_energy: report.final_energy,
             decision_ns,
             fingerprint,
-        });
+        };
+        on_epoch(&stats);
+        epochs.push(stats);
     }
 
     let arrived_total: usize = epochs.iter().map(|e| e.arrived).sum();
@@ -666,6 +756,7 @@ mod tests {
         r.assignments_per_sec = 0.0;
         for e in &mut r.epochs {
             e.decision_ns = 0;
+            e.repair_ms = 0.0;
         }
         r
     }

@@ -1,5 +1,5 @@
 //! Offline analysis behind `dsmec trace`: reconstructs the span forest
-//! from a flight-recorder trace (schema v2, DESIGN.md §7) and renders
+//! from a flight-recorder trace (schema v2/v3, DESIGN.md §7) and renders
 //!
 //! * a per-name **self-time / total-time table** — where the wall clock
 //!   actually goes, with double-counted child time subtracted out;
@@ -11,9 +11,11 @@
 //!   `dsmec trace --baseline old.json new.json --gate 1.15` fails when
 //!   any span's total time regresses past the ratio.
 //!
-//! Aggregate-only traces (schema v1, or v2 recorded with
+//! Aggregate-only traces (schema v1, or later recorded with
 //! `DSMEC_TRACE_EVENTS=0`) still get the table and the diff/gate; the
-//! forest-based views need events and say so instead of guessing.
+//! forest-based views need events and say so instead of guessing. When
+//! the trace carries histograms, both table paths append their v3
+//! nearest-rank p50/p95/p99 columns.
 
 use crate::cli::read_json;
 use mec_obs::TraceSnapshot;
@@ -175,6 +177,7 @@ pub fn render_table(snapshot: &TraceSnapshot, forest: &SpanForest, top: usize) -
                 fmt_ms(s.max_ns)
             );
         }
+        out.push_str(&render_histograms(snapshot));
         return out;
     }
 
@@ -226,6 +229,42 @@ pub fn render_table(snapshot: &TraceSnapshot, forest: &SpanForest, top: usize) -
             fmt_ms(row.total_ns),
             fmt_ms(row.self_ns),
             share
+        );
+    }
+    out.push_str(&render_histograms(snapshot));
+    out
+}
+
+/// Renders the histogram aggregates with their v3 nearest-rank
+/// percentiles (p50/p95/p99 are bucket upper bounds clamped into
+/// `[min, max]`; pre-v3 traces decode them as 0). Empty when the trace
+/// recorded no histograms.
+fn render_histograms(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    if snapshot.histograms.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "\nhistograms (nearest-rank percentiles over log2 buckets)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "histogram", "count", "mean", "p50", "p95", "p99"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(87));
+    for h in &snapshot.histograms {
+        #[allow(clippy::cast_precision_loss)]
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum / h.count as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            h.name, h.count, mean, h.p50, h.p95, h.p99
         );
     }
     out
@@ -493,7 +532,7 @@ pub fn check_gate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mec_obs::{CounterStat, SpanEvent, SpanStat, SCHEMA_VERSION};
+    use mec_obs::{CounterStat, HistogramStat, SpanEvent, SpanStat, SCHEMA_VERSION};
 
     /// A hand-written v2 fixture: one sweep (50 ms) containing one
     /// experiment (48 ms) with two parallel points (30 + 28 ms, on
@@ -535,7 +574,17 @@ mod tests {
                 name: "obs/flush".into(),
                 value: 3,
             }],
-            histograms: vec![],
+            gauges: vec![],
+            histograms: vec![HistogramStat {
+                name: "serve/decision_latency_ms".into(),
+                count: 4,
+                sum: 20.0,
+                min: 2.0,
+                max: 8.0,
+                p50: 4.0,
+                p95: 8.0,
+                p99: 8.0,
+            }],
             events,
         }
     }
@@ -566,6 +615,26 @@ mod tests {
         let first_data_row = table.lines().nth(4).unwrap();
         assert!(first_data_row.starts_with("lp_hta/relaxation"), "{table}");
         assert!(first_data_row.contains("43.000"), "{table}");
+        // The fixture's histogram renders with its percentile columns in
+        // the appended histogram table (mean 20/4 = 5).
+        assert!(table.contains("histograms"), "{table}");
+        let hist_row = table
+            .lines()
+            .find(|l| l.starts_with("serve/decision_latency_ms"))
+            .unwrap();
+        for col in ["4", "5.000", "4.000", "8.000"] {
+            assert!(hist_row.contains(col), "{hist_row}");
+        }
+    }
+
+    #[test]
+    fn aggregate_only_tables_also_render_histogram_percentiles() {
+        let mut snap = fixture();
+        snap.events.clear();
+        let table = render_table(&snap, &SpanForest::build(&snap), 30);
+        assert!(table.contains("aggregate span statistics"), "{table}");
+        assert!(table.contains("serve/decision_latency_ms"), "{table}");
+        assert!(table.contains("p99"), "{table}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! # mec-obs — zero-dependency tracing and metrics
 //!
 //! The observability substrate for the workspace: span timers, monotonic
-//! counters, value histograms, and an opt-in **flight recorder** of
-//! individual span events, aggregated per metric name and exportable as
-//! deterministic JSON (via `djson`). std-only, consistent with the
-//! hermetic workspace — no crate registry required.
+//! counters, last-write-wins gauges, log-bucketed value histograms, and
+//! an opt-in **flight recorder** of individual span events, aggregated
+//! per metric name and exportable as deterministic JSON (via `djson`).
+//! std-only, consistent with the hermetic workspace — no crate registry
+//! required.
 //!
 //! ## Design
 //!
@@ -53,6 +54,21 @@
 //! and feed the offline `dsmec trace` analysis: self-time tables, the
 //! critical path, flamegraph folded stacks, and the regression gate.
 //!
+//! ## Interval snapshots (the live telemetry plane)
+//!
+//! [`snapshot`] is cumulative: it reports everything since the last
+//! [`reset`], which suits post-mortem traces but not a long-running
+//! `dsmec serve` session that wants *rates*. [`snapshot_interval`]
+//! closes one **window**: it flushes the calling thread, computes the
+//! delta of every counter and histogram against a per-metric cumulative
+//! baseline kept since the previous tick, advances the baselines, and
+//! returns an [`IntervalSnapshot`] — delta counters (plus the running
+//! totals), current gauge values, and windowed histograms with
+//! nearest-rank p50/p95/p99 derived from fixed power-of-two log buckets
+//! ([`HIST_BUCKETS`] of them, bounds `2^-30 … 2^33`). The cumulative
+//! snapshot is untouched: taking interval snapshots never perturbs
+//! [`snapshot`]'s output, only reads it.
+//!
 //! ## Naming convention
 //!
 //! Metric names are static, `/`-separated paths: `layer/component/metric`
@@ -66,7 +82,8 @@
 mod snapshot;
 
 pub use snapshot::{
-    CounterStat, HistogramStat, SpanEvent, SpanStat, TraceSnapshot, SCHEMA_VERSION,
+    BucketCount, CounterStat, CounterWindow, GaugeStat, HistogramStat, HistogramWindow,
+    IntervalSnapshot, SpanEvent, SpanStat, TraceSnapshot, SCHEMA_VERSION,
 };
 
 use std::cell::RefCell;
@@ -96,6 +113,15 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 /// The global registry every staging store merges into.
 static GLOBAL: Mutex<Store> = Mutex::new(Store::new());
+
+/// Per-metric cumulative baselines behind [`snapshot_interval`]. Locked
+/// strictly after [`GLOBAL`] (the only place both are held).
+static INTERVAL: Mutex<IntervalBaseline> = Mutex::new(IntervalBaseline::new());
+
+/// Global sequence for gauge writes: [`Store::absorb`] keeps the entry
+/// with the larger sequence, so "last write wins" holds across the
+/// thread-local staging stores regardless of merge order.
+static GAUGE_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Default per-store bound on staged span events (see
 /// [`set_event_capacity`]).
@@ -204,6 +230,70 @@ impl SpanAgg {
     }
 }
 
+/// Number of fixed log-spaced histogram buckets. Bucket `i` covers
+/// `(2^(i-31), 2^(i-30)]`; bucket 0 additionally absorbs everything at or
+/// below `2^-30` (including zero and negatives) and the last bucket
+/// absorbs everything above `2^32` — so the covered span `2^-30 … 2^33`
+/// holds every value the workspace observes (nanoseconds-as-ms up to
+/// item counts) with ≤ 2× relative quantile error.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Exponent of bucket 0's upper bound: `2^BUCKET_MIN_EXP`.
+const BUCKET_MIN_EXP: i32 = -30;
+
+/// The bucket index for one observed value. Pure bit manipulation on the
+/// IEEE-754 exponent — no libm calls — so the mapping is bit-identical
+/// on every platform and thread count.
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    let bits = value.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        return 0; // subnormal: far below the smallest bucket bound
+    }
+    let exp = biased - 1023; // floor(log2(value))
+    let exact_pow2 = bits & ((1u64 << 52) - 1) == 0;
+    let idx = exp - BUCKET_MIN_EXP + i32::from(!exact_pow2);
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    {
+        idx.clamp(0, (HIST_BUCKETS - 1) as i32) as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `index`: `2^(BUCKET_MIN_EXP + i)`.
+#[allow(clippy::cast_sign_loss)]
+fn bucket_upper(index: usize) -> f64 {
+    let exp = BUCKET_MIN_EXP + i32::try_from(index).unwrap_or(0);
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
+
+/// Nearest-rank percentile over bucket counts: walk the cumulative
+/// counts to the bucket holding rank `ceil(p/100 · count)` and report
+/// its upper bound, clamped into the observed `[min, max]` so quantiles
+/// of a window never leave the range actually seen (and single-value
+/// histograms are exact).
+fn bucket_percentile(buckets: &[u64; HIST_BUCKETS], count: u64, min: f64, max: f64, p: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    #[allow(clippy::cast_possible_truncation)]
+    let rank = ((p / 100.0) * count as f64)
+        .ceil()
+        .max(1.0)
+        .min(count as f64) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_upper(i).clamp(min, max);
+        }
+    }
+    max
+}
+
 /// Per-histogram aggregate while recording.
 #[derive(Debug, Clone, Copy)]
 struct HistAgg {
@@ -211,15 +301,19 @@ struct HistAgg {
     sum: f64,
     min: f64,
     max: f64,
+    buckets: [u64; HIST_BUCKETS],
 }
 
 impl HistAgg {
     fn one(value: f64) -> Self {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[bucket_index(value)] = 1;
         HistAgg {
             count: 1,
             sum: value,
             min: value,
             max: value,
+            buckets,
         }
     }
 
@@ -228,7 +322,22 @@ impl HistAgg {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
     }
+
+    fn percentile(&self, p: f64) -> f64 {
+        bucket_percentile(&self.buckets, self.count, self.min, self.max, p)
+    }
+}
+
+/// One gauge cell: the value of the most recent [`gauge_set`] (by the
+/// global write sequence, not merge order).
+#[derive(Debug, Clone, Copy)]
+struct GaugeCell {
+    seq: u64,
+    value: f64,
 }
 
 /// One flight-recorder record: a finished span occurrence.
@@ -249,6 +358,7 @@ struct EventRec {
 struct Store {
     spans: BTreeMap<&'static str, SpanAgg>,
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, GaugeCell>,
     hists: BTreeMap<&'static str, HistAgg>,
     /// Flight-recorder ring: bounded by [`event_capacity`], oldest
     /// dropped first.
@@ -264,6 +374,7 @@ impl Store {
         Store {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
             events: VecDeque::new(),
             events_dropped: 0,
@@ -274,6 +385,7 @@ impl Store {
     fn is_empty(&self) -> bool {
         self.spans.is_empty()
             && self.counters.is_empty()
+            && self.gauges.is_empty()
             && self.hists.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
@@ -290,6 +402,16 @@ impl Store {
 
     fn record_counter(&mut self, name: &'static str, delta: u64) {
         *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn record_gauge(&mut self, name: &'static str, cell: GaugeCell) {
+        match self.gauges.get_mut(name) {
+            Some(mine) if mine.seq >= cell.seq => {}
+            Some(mine) => *mine = cell,
+            None => {
+                self.gauges.insert(name, cell);
+            }
+        }
     }
 
     fn record_hist(&mut self, name: &'static str, value: f64) {
@@ -327,6 +449,9 @@ impl Store {
         }
         for (name, delta) in std::mem::take(&mut other.counters) {
             *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, cell) in std::mem::take(&mut other.gauges) {
+            self.record_gauge(name, cell);
         }
         for (name, agg) in std::mem::take(&mut other.hists) {
             match self.hists.get_mut(name) {
@@ -373,6 +498,49 @@ thread_local! {
 /// because every write is a complete merge.
 fn lock_global() -> std::sync::MutexGuard<'static, Store> {
     GLOBAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Cumulative values at the close of the previous interval tick, per
+/// metric. [`snapshot_interval`] subtracts these from the current global
+/// aggregates to window the stream, then advances them.
+struct IntervalBaseline {
+    /// Ticks taken since the last [`reset`]; the next snapshot's
+    /// `interval` index.
+    ticks: u64,
+    counters: BTreeMap<&'static str, u64>,
+    /// Per-histogram `(count, sum, buckets)` at the previous tick.
+    hists: BTreeMap<&'static str, (u64, f64, [u64; HIST_BUCKETS])>,
+    /// Baselines of the self-diagnostic registry fields.
+    flushes: u64,
+    events_dropped: u64,
+}
+
+impl IntervalBaseline {
+    const fn new() -> Self {
+        IntervalBaseline {
+            ticks: 0,
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            flushes: 0,
+            events_dropped: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for IntervalBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalBaseline")
+            .field("ticks", &self.ticks)
+            .field("counters", &self.counters.len())
+            .field("hists", &self.hists.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock_interval() -> std::sync::MutexGuard<'static, IntervalBaseline> {
+    INTERVAL
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -525,6 +693,20 @@ pub fn observe(name: &'static str, value: f64) {
     }
 }
 
+/// Sets the gauge `name` to `value`, last write wins (no-op while
+/// disabled; non-finite values are dropped like [`observe`]). "Last" is
+/// decided by a process-global write sequence, so the winner is the most
+/// recent *call* even when several threads' staging stores merge into
+/// the registry out of order. Gauges report instantaneous state — queue
+/// depth, an SLO rate — and appear in both [`snapshot`] and
+/// [`snapshot_interval`] at their current value (never windowed).
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() && value.is_finite() {
+        let seq = GAUGE_SEQ.fetch_add(1, Ordering::Relaxed);
+        with_staging(|s| s.record_gauge(name, GaugeCell { seq, value }));
+    }
+}
+
 /// Merges the calling thread's staged metrics and events into the global
 /// registry. Worker threads flush automatically on exit; long-lived
 /// threads — the main thread between sweeps, the `par_map` caller at its
@@ -549,14 +731,22 @@ pub fn flush() {
     flush_current_thread();
 }
 
-/// Clears the global registry and the calling thread's staging store.
-/// Metrics still staged on *other* live threads survive and merge on
-/// their next flush.
+/// Clears the global registry, the calling thread's staging store, and
+/// the interval baselines behind [`snapshot_interval`] (the next tick is
+/// interval 0 again). Metrics still staged on *other* live threads
+/// survive and merge on their next flush.
+///
+/// The calling thread's staged store is **discarded, not flushed**: a
+/// reset between two back-to-back serve sessions in one process must not
+/// leak the first session's staged epoch counters into the second
+/// session's registry via a later flush. (Regression-tested below —
+/// clearing only the global registry would do exactly that.)
 pub fn reset() {
     let _ = STAGING.try_with(|s| {
         *s.0.borrow_mut() = Store::new();
     });
     *lock_global() = Store::new();
+    *lock_interval() = IntervalBaseline::new();
 }
 
 /// Flushes the calling thread and returns the merged aggregates plus any
@@ -616,6 +806,14 @@ pub fn snapshot() -> TraceSnapshot {
             })
             .collect(),
         counters,
+        gauges: global
+            .gauges
+            .iter()
+            .map(|(&name, cell)| GaugeStat {
+                name: name.to_string(),
+                value: cell.value,
+            })
+            .collect(),
         histograms: global
             .hists
             .iter()
@@ -625,10 +823,131 @@ pub fn snapshot() -> TraceSnapshot {
                 sum: agg.sum,
                 min: agg.min,
                 max: agg.max,
+                p50: agg.percentile(50.0),
+                p95: agg.percentile(95.0),
+                p99: agg.percentile(99.0),
             })
             .collect(),
         events,
     }
+}
+
+/// Closes one telemetry window: flushes the calling thread, computes the
+/// delta of every counter and histogram against the baselines stored at
+/// the previous tick, advances the baselines, and returns the window.
+/// Gauges report their current value. The cumulative registry (and thus
+/// [`snapshot`]) is read, never modified, so interval ticks cannot
+/// disturb a trace being recorded alongside them.
+///
+/// Windowed histogram `min`/`max` are bucket-bound estimates tightened
+/// by the cumulative extremes (exact per-window extremes would need
+/// per-window state on the hot path); the percentiles are nearest-rank
+/// over the window's bucket deltas, clamped into that range.
+#[must_use]
+pub fn snapshot_interval() -> IntervalSnapshot {
+    flush_current_thread();
+    let global = lock_global();
+    let mut base = lock_interval();
+    let interval = base.ticks;
+    base.ticks += 1;
+
+    let mut counters: Vec<CounterWindow> = Vec::with_capacity(global.counters.len() + 2);
+    for (&name, &total) in &global.counters {
+        let prev = base.counters.insert(name, total).unwrap_or(0);
+        counters.push(CounterWindow {
+            name: name.to_string(),
+            total,
+            delta: total.saturating_sub(prev),
+        });
+    }
+    if global.flushes > 0 {
+        counters.push(CounterWindow {
+            name: "obs/flush".to_string(),
+            total: global.flushes,
+            delta: global.flushes.saturating_sub(base.flushes),
+        });
+        base.flushes = global.flushes;
+    }
+    if global.events_dropped > 0 {
+        counters.push(CounterWindow {
+            name: "obs/events/dropped".to_string(),
+            total: global.events_dropped,
+            delta: global.events_dropped.saturating_sub(base.events_dropped),
+        });
+        base.events_dropped = global.events_dropped;
+    }
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let gauges: Vec<GaugeStat> = global
+        .gauges
+        .iter()
+        .map(|(&name, cell)| GaugeStat {
+            name: name.to_string(),
+            value: cell.value,
+        })
+        .collect();
+
+    let mut histograms: Vec<HistogramWindow> = Vec::with_capacity(global.hists.len());
+    for (&name, agg) in &global.hists {
+        let (prev_count, prev_sum, prev_buckets) = base
+            .hists
+            .insert(name, (agg.count, agg.sum, agg.buckets))
+            .unwrap_or((0, 0.0, [0u64; HIST_BUCKETS]));
+        let count = agg.count.saturating_sub(prev_count);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = agg.buckets[i].saturating_sub(prev_buckets[i]);
+        }
+        // Window extremes: bucket bounds of the occupied range, tightened
+        // by the cumulative extremes (which bound every window).
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        let (min, max) = match (first, last) {
+            (Some(f), Some(l)) => {
+                let lower = if f == 0 { 0.0 } else { bucket_upper(f - 1) };
+                (lower.max(agg.min), bucket_upper(l).min(agg.max))
+            }
+            _ => (0.0, 0.0),
+        };
+        histograms.push(HistogramWindow {
+            name: name.to_string(),
+            total_count: agg.count,
+            count,
+            sum: agg.sum - prev_sum,
+            min,
+            max,
+            p50: bucket_percentile(&buckets, count, min, max, 50.0),
+            p95: bucket_percentile(&buckets, count, min, max, 95.0),
+            p99: bucket_percentile(&buckets, count, min, max, 99.0),
+            buckets: sparse_buckets(&buckets),
+        });
+    }
+
+    IntervalSnapshot {
+        interval,
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Compresses a window's bucket counts to the Prometheus `le` form:
+/// cumulative counts at each *occupied* bucket's upper bound (ascending
+/// bounds, non-decreasing counts; the implicit `+Inf` bucket is the
+/// window count itself).
+fn sparse_buckets(buckets: &[u64; HIST_BUCKETS]) -> Vec<BucketCount> {
+    let mut out = Vec::new();
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0 {
+            cum += c;
+            out.push(BucketCount {
+                le: bucket_upper(i),
+                count: cum,
+            });
+        }
+    }
+    out
 }
 
 /// Serializes tests that toggle the process-global registry. Exposed so
@@ -874,5 +1193,134 @@ mod tests {
         assert!(snap.events.is_empty());
         assert_eq!(snap.counter("obs/events/dropped"), Some(1));
         assert_eq!(snap.span("test/none").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn bucket_index_is_exact_exponent_math() {
+        // Powers of two land in the bucket they bound; anything strictly
+        // above spills into the next one.
+        assert_eq!(bucket_upper(bucket_index(1.0)), 1.0);
+        assert_eq!(bucket_upper(bucket_index(2.0)), 2.0);
+        assert_eq!(bucket_upper(bucket_index(2.0000001)), 4.0);
+        assert_eq!(bucket_upper(bucket_index(50.0)), 64.0);
+        // Zero, negatives and subnormals collapse into bucket 0; huge
+        // values saturate into the last bucket.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.5), 0);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0);
+        assert_eq!(bucket_index(1e300), HIST_BUCKETS - 1);
+        // The covered range is 2^-30 .. 2^33.
+        assert_eq!(bucket_upper(0), 2.0f64.powi(-30));
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), 2.0f64.powi(33));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank_over_buckets() {
+        let _x = exclusive();
+        for v in 1..=100 {
+            observe("test/latency", f64::from(v));
+        }
+        let snap = snapshot();
+        let h = snap.histogram("test/latency").unwrap();
+        assert_eq!(h.count, 100);
+        // Rank 50 lands in (32, 64]; the bucket bound is the estimate.
+        assert_eq!(h.p50, 64.0);
+        // Ranks 95 and 99 land in (64, 128], clamped to the observed max.
+        assert_eq!(h.p95, 100.0);
+        assert_eq!(h.p99, 100.0);
+        // A single-valued histogram is exact at every percentile.
+        observe("test/single", 7.25);
+        let snap = snapshot();
+        let h = snap.histogram("test/single").unwrap();
+        assert_eq!((h.p50, h.p95, h.p99), (7.25, 7.25, 7.25));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_across_threads() {
+        let _x = exclusive();
+        gauge_set("test/depth", 3.0);
+        gauge_set("test/depth", 8.0);
+        gauge_set("test/nan", f64::NAN); // dropped: non-finite
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test/depth"), Some(8.0));
+        assert_eq!(snap.gauge("test/nan"), None);
+
+        // A worker's earlier write must not clobber the coordinator's
+        // later one, no matter when the worker's staging store merges:
+        // the worker writes first but its exit flush lands after the
+        // main thread's own write below.
+        std::thread::spawn(|| gauge_set("test/order", 1.0))
+            .join()
+            .expect("worker");
+        gauge_set("test/order", 2.0);
+        assert_eq!(snapshot().gauge("test/order"), Some(2.0));
+
+        // Out-of-order merge, tested on the store level: the staging
+        // store holding the *older* write merges last and must lose.
+        let mut registry = Store::new();
+        let mut late_flusher = Store::new();
+        late_flusher.record_gauge("g", GaugeCell { seq: 1, value: 1.0 });
+        registry.record_gauge("g", GaugeCell { seq: 2, value: 2.0 });
+        registry.absorb(&mut late_flusher);
+        assert_eq!(registry.gauges.get("g").map(|c| c.value), Some(2.0));
+    }
+
+    #[test]
+    fn interval_snapshots_window_counters_and_histograms() {
+        let _x = exclusive();
+        counter_add("test/items", 5);
+        observe("test/ms", 4.0);
+        observe("test/ms", 4.0);
+        let w0 = snapshot_interval();
+        assert_eq!(w0.interval, 0);
+        let c = w0.counter("test/items").unwrap();
+        assert_eq!((c.total, c.delta), (5, 5));
+        let h = w0.histogram("test/ms").unwrap();
+        assert_eq!((h.total_count, h.count, h.sum), (2, 2, 8.0));
+        assert_eq!((h.p50, h.p95), (4.0, 4.0));
+        assert_eq!(h.buckets.len(), 1);
+        assert_eq!((h.buckets[0].le, h.buckets[0].count), (4.0, 2));
+
+        // Second window: only the new activity shows as delta, totals
+        // keep accumulating, and an idle histogram windows to zero.
+        counter_add("test/items", 3);
+        gauge_set("test/depth", 9.0);
+        let w1 = snapshot_interval();
+        assert_eq!(w1.interval, 1);
+        let c = w1.counter("test/items").unwrap();
+        assert_eq!((c.total, c.delta), (8, 3));
+        assert_eq!(w1.gauge("test/depth"), Some(9.0));
+        let h = w1.histogram("test/ms").unwrap();
+        assert_eq!((h.total_count, h.count, h.sum), (2, 0, 0.0));
+        assert!(h.buckets.is_empty());
+        assert_eq!((h.p50, h.p95, h.p99), (0.0, 0.0, 0.0));
+
+        // The cumulative snapshot never noticed the interval ticks.
+        let snap = snapshot();
+        assert_eq!(snap.counter("test/items"), Some(8));
+        assert_eq!(snap.histogram("test/ms").map(|h| h.count), Some(2));
+    }
+
+    /// The regression the reset fix guards: staged (unflushed) metrics on
+    /// the calling thread and the interval baselines must both die with
+    /// `reset()`, or a second serve session in the same process inherits
+    /// the first one's epoch counters and tick numbering.
+    #[test]
+    fn reset_drains_staged_state_and_interval_baselines() {
+        let _x = exclusive();
+        counter_add("test/session", 5); // staged, deliberately unflushed
+        let _ = snapshot_interval(); // tick 0: baseline now holds the 5
+        reset();
+        // Staged data must not resurface via a later flush…
+        flush_current_thread();
+        assert_eq!(snapshot().counter("test/session"), None);
+        // …and the interval plane restarts from tick 0 with no baseline:
+        // a fresh 2 reads as delta 2, not as a negative delta or a
+        // continuation of the old tick sequence.
+        counter_add("test/session", 2);
+        let w = snapshot_interval();
+        assert_eq!(w.interval, 0);
+        let c = w.counter("test/session").unwrap();
+        assert_eq!((c.total, c.delta), (2, 2));
     }
 }

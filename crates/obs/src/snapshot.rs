@@ -10,13 +10,18 @@
 //! decoder at the top level: unknown top-level keys are ignored and the
 //! `events` array (new in v2) defaults to empty — so a v2 reader parses
 //! v1 files and a v1-shaped reader keeps parsing v2 aggregates. The
-//! nested record types stay strict; their shapes are frozen per version.
+//! nested record types stay strict; their shapes are frozen per version
+//! — with one carve-out: [`HistogramStat`] grew `p50`/`p95`/`p99` in v3,
+//! and its hand-written decoder defaults them to 0 when absent so v3
+//! readers keep parsing v1/v2 files (`bench/baseline.json` included).
 
 use djson::{impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Version of the trace JSON schema emitted by [`TraceSnapshot`].
 /// v1: aggregates only. v2: adds the flight-recorder `events` array.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: adds the top-level `gauges` array and nearest-rank `p50`/`p95`/
+/// `p99` percentile fields on histogram aggregates.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Aggregated statistics of one named span (timed region).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +57,17 @@ pub struct CounterStat {
 
 impl_json_struct!(CounterStat { name, value });
 
+/// Current value of one gauge (last write wins). New in schema v3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStat {
+    /// Metric path, e.g. `serve/queue_depth`.
+    pub name: String,
+    /// The most recently set value.
+    pub value: f64,
+}
+
+impl_json_struct!(GaugeStat { name, value });
+
 /// Aggregated statistics of one value histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramStat {
@@ -65,15 +81,72 @@ pub struct HistogramStat {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Nearest-rank median, estimated from the fixed log buckets
+    /// (upper bucket bound, clamped into `[min, max]`). New in v3.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile, same estimator. New in v3.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile, same estimator. New in v3.
+    pub p99: f64,
 }
 
-impl_json_struct!(HistogramStat {
-    name,
-    count,
-    sum,
-    min,
-    max
-});
+impl ToJson for HistogramStat {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), self.name.to_json()),
+            ("count".to_string(), self.count.to_json()),
+            ("sum".to_string(), self.sum.to_json()),
+            ("min".to_string(), self.min.to_json()),
+            ("max".to_string(), self.max.to_json()),
+            ("p50".to_string(), self.p50.to_json()),
+            ("p95".to_string(), self.p95.to_json()),
+            ("p99".to_string(), self.p99.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HistogramStat {
+    /// Hand-written for the v3 carve-out: the v1 fields are required,
+    /// the percentile fields default to 0 when absent (v1/v2 files),
+    /// and unknown keys are ignored like at the snapshot top level.
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let Json::Obj(entries) = value else {
+            return Err(JsonError::expected("object", value).at("HistogramStat"));
+        };
+        let mut name = None;
+        let mut count = None;
+        let mut sum = None;
+        let mut min = None;
+        let mut max = None;
+        let (mut p50, mut p95, mut p99) = (0.0, 0.0, 0.0);
+        for (key, field) in entries {
+            let pathed = |e: JsonError| e.at(format!("HistogramStat.{key}"));
+            match key.as_str() {
+                "name" => name = Some(String::from_json(field).map_err(pathed)?),
+                "count" => count = Some(u64::from_json(field).map_err(pathed)?),
+                "sum" => sum = Some(f64::from_json(field).map_err(pathed)?),
+                "min" => min = Some(f64::from_json(field).map_err(pathed)?),
+                "max" => max = Some(f64::from_json(field).map_err(pathed)?),
+                "p50" => p50 = f64::from_json(field).map_err(pathed)?,
+                "p95" => p95 = f64::from_json(field).map_err(pathed)?,
+                "p99" => p99 = f64::from_json(field).map_err(pathed)?,
+                _ => {}
+            }
+        }
+        let require =
+            |field: &str| JsonError::msg(format!("missing field `{field}`")).at("HistogramStat");
+        Ok(HistogramStat {
+            name: name.ok_or_else(|| require("name"))?,
+            count: count.ok_or_else(|| require("count"))?,
+            sum: sum.ok_or_else(|| require("sum"))?,
+            min: min.ok_or_else(|| require("min"))?,
+            max: max.ok_or_else(|| require("max"))?,
+            p50,
+            p95,
+            p99,
+        })
+    }
+}
 
 /// One flight-recorder event: a single finished occurrence of a span,
 /// with identity and parent linkage (schema v2, see DESIGN.md §7).
@@ -124,6 +197,9 @@ pub struct TraceSnapshot {
     pub spans: Vec<SpanStat>,
     /// Counter values, sorted by name.
     pub counters: Vec<CounterStat>,
+    /// Gauge values, sorted by name, empty before any `gauge_set` (and
+    /// in every v1/v2 file). New in schema v3.
+    pub gauges: Vec<GaugeStat>,
     /// Histogram aggregates, sorted by name.
     pub histograms: Vec<HistogramStat>,
     /// Flight-recorder events sorted by start time, empty unless events
@@ -137,6 +213,7 @@ impl ToJson for TraceSnapshot {
             ("version".to_string(), self.version.to_json()),
             ("spans".to_string(), self.spans.to_json()),
             ("counters".to_string(), self.counters.to_json()),
+            ("gauges".to_string(), self.gauges.to_json()),
             ("histograms".to_string(), self.histograms.to_json()),
             ("events".to_string(), self.events.to_json()),
         ])
@@ -155,6 +232,7 @@ impl FromJson for TraceSnapshot {
             version: 0,
             spans: Vec::new(),
             counters: Vec::new(),
+            gauges: Vec::new(),
             histograms: Vec::new(),
             events: Vec::new(),
         };
@@ -168,6 +246,7 @@ impl FromJson for TraceSnapshot {
                 }
                 "spans" => snap.spans = Vec::from_json(field).map_err(pathed)?,
                 "counters" => snap.counters = Vec::from_json(field).map_err(pathed)?,
+                "gauges" => snap.gauges = Vec::from_json(field).map_err(pathed)?,
                 "histograms" => snap.histograms = Vec::from_json(field).map_err(pathed)?,
                 "events" => snap.events = Vec::from_json(field).map_err(pathed)?,
                 _ => {} // forward compatibility: later versions add keys
@@ -186,6 +265,7 @@ impl TraceSnapshot {
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
             && self.counters.is_empty()
+            && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.events.is_empty()
     }
@@ -205,9 +285,124 @@ impl TraceSnapshot {
             .map(|c| c.value)
     }
 
+    /// Looks up a gauge value by exact name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
     /// Looks up a histogram aggregate by exact name.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// One counter inside an interval window: the running total plus the
+/// delta accumulated since the previous tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterWindow {
+    /// Metric path.
+    pub name: String,
+    /// Cumulative value since the last reset.
+    pub total: u64,
+    /// Increment within this window.
+    pub delta: u64,
+}
+
+impl_json_struct!(CounterWindow { name, total, delta });
+
+/// One occupied histogram bucket of a window, in Prometheus `le` form:
+/// the cumulative count of window observations at or below `le`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket (a power of two).
+    pub le: f64,
+    /// Window observations with value `<= le` (non-decreasing across
+    /// the bucket list; the implicit `+Inf` count is the window count).
+    pub count: u64,
+}
+
+impl_json_struct!(BucketCount { le, count });
+
+/// One histogram windowed over an interval: the delta statistics since
+/// the previous tick plus the running total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramWindow {
+    /// Metric path.
+    pub name: String,
+    /// Cumulative observation count since the last reset.
+    pub total_count: u64,
+    /// Observations within this window.
+    pub count: u64,
+    /// Sum of the window's observed values.
+    pub sum: f64,
+    /// Lower bound on the window's smallest value (bucket bound
+    /// tightened by the cumulative minimum); 0 when the window is empty.
+    pub min: f64,
+    /// Upper bound on the window's largest value; 0 when empty.
+    pub max: f64,
+    /// Nearest-rank median over the window's bucket deltas.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile over the window.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile over the window.
+    pub p99: f64,
+    /// The window's occupied buckets, ascending `le`.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl_json_struct!(HistogramWindow {
+    name,
+    total_count,
+    count,
+    sum,
+    min,
+    max,
+    p50,
+    p95,
+    p99,
+    buckets,
+});
+
+/// One closed telemetry window, returned by `mec_obs::snapshot_interval`
+/// and appended per epoch to the `dsmec serve --metrics-out` JSONL
+/// flight log (one compact-encoded snapshot per line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSnapshot {
+    /// Zero-based tick index since the last reset.
+    pub interval: u64,
+    /// Counter windows, sorted by name.
+    pub counters: Vec<CounterWindow>,
+    /// Current gauge values, sorted by name.
+    pub gauges: Vec<GaugeStat>,
+    /// Histogram windows, sorted by name.
+    pub histograms: Vec<HistogramWindow>,
+}
+
+impl_json_struct!(IntervalSnapshot {
+    interval,
+    counters,
+    gauges,
+    histograms,
+});
+
+impl IntervalSnapshot {
+    /// Looks up a counter window by exact name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<&CounterWindow> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a gauge value by exact name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram window by exact name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramWindow> {
         self.histograms.iter().find(|h| h.name == name)
     }
 }
@@ -230,12 +425,19 @@ mod tests {
                 name: "linprog/simplex/pivots".into(),
                 value: 42,
             }],
+            gauges: vec![GaugeStat {
+                name: "serve/queue_depth".into(),
+                value: 12.0,
+            }],
             histograms: vec![HistogramStat {
                 name: "dta/greedy/residual_items".into(),
                 count: 2,
                 sum: 9.0,
                 min: 3.0,
                 max: 6.0,
+                p50: 3.0,
+                p95: 6.0,
+                p99: 6.0,
             }],
             events: vec![
                 SpanEvent {
@@ -275,8 +477,78 @@ mod tests {
         let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             keys,
-            ["version", "spans", "counters", "histograms", "events"]
+            [
+                "version",
+                "spans",
+                "counters",
+                "gauges",
+                "histograms",
+                "events"
+            ]
         );
+    }
+
+    /// Compat rule for the v3 histogram fields: a pre-v3 file whose
+    /// histograms lack `p50`/`p95`/`p99` (and whose top level lacks
+    /// `gauges`) still decodes, with the percentiles zeroed.
+    #[test]
+    fn pre_v3_histograms_without_percentiles_still_parse() {
+        let v2 = r#"{
+            "version": 2,
+            "spans": [],
+            "counters": [],
+            "histograms": [{"name": "h", "count": 2, "sum": 9.0, "min": 3.0, "max": 6.0}],
+            "events": []
+        }"#;
+        let snap: TraceSnapshot = djson::from_str(v2).unwrap();
+        assert!(snap.gauges.is_empty());
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.p50, 0.0);
+        assert_eq!(h.p95, 0.0);
+        assert_eq!(h.p99, 0.0);
+    }
+
+    /// Interval snapshots — the per-epoch flight-log record — round-trip
+    /// through djson and expose name lookups like the cumulative shape.
+    #[test]
+    fn interval_snapshot_round_trips_through_djson() {
+        let window = IntervalSnapshot {
+            interval: 3,
+            counters: vec![CounterWindow {
+                name: "serve/assigned".into(),
+                total: 100,
+                delta: 40,
+            }],
+            gauges: vec![GaugeStat {
+                name: "serve/queue_depth".into(),
+                value: 5.0,
+            }],
+            histograms: vec![HistogramWindow {
+                name: "serve/repair_ms".into(),
+                total_count: 9,
+                count: 4,
+                sum: 10.0,
+                min: 1.0,
+                max: 4.0,
+                p50: 2.0,
+                p95: 4.0,
+                p99: 4.0,
+                buckets: vec![
+                    BucketCount { le: 2.0, count: 3 },
+                    BucketCount { le: 4.0, count: 4 },
+                ],
+            }],
+        };
+        let text = djson::to_string(&window);
+        let back: IntervalSnapshot = djson::from_str(&text).unwrap();
+        assert_eq!(back, window);
+        assert_eq!(back.counter("serve/assigned").unwrap().delta, 40);
+        assert_eq!(back.gauge("serve/queue_depth"), Some(5.0));
+        assert_eq!(back.histogram("serve/repair_ms").unwrap().buckets.len(), 2);
+        assert!(back.counter("nope").is_none());
+        assert_eq!(back.gauge("nope"), None);
+        assert!(back.histogram("nope").is_none());
     }
 
     /// Compat rule, backward half: a v1 file (no `events` key) still
@@ -299,10 +571,10 @@ mod tests {
     /// version are ignored, so today's reader parses tomorrow's file.
     #[test]
     fn unknown_top_level_keys_are_ignored() {
-        let v3 = r#"{"version": 3, "spans": [], "counters": [], "histograms": [],
-                     "events": [], "future_section": [1, 2, 3]}"#;
-        let snap: TraceSnapshot = djson::from_str(v3).unwrap();
-        assert_eq!(snap.version, 3);
+        let v4 = r#"{"version": 4, "spans": [], "counters": [], "gauges": [],
+                     "histograms": [], "events": [], "future_section": [1, 2, 3]}"#;
+        let snap: TraceSnapshot = djson::from_str(v4).unwrap();
+        assert_eq!(snap.version, 4);
         assert!(snap.is_empty());
     }
 
@@ -329,11 +601,17 @@ mod tests {
                 name: "cache/scenario/hits".into(),
                 value: 7,
             }],
+            gauges: vec![GaugeStat {
+                name: "serve/epoch".into(),
+                value: 3.0,
+            }],
             histograms: vec![],
             events: vec![],
         };
         assert_eq!(snap.counter("cache/scenario/hits"), Some(7));
         assert_eq!(snap.counter("cache/scenario/misses"), None);
+        assert_eq!(snap.gauge("serve/epoch"), Some(3.0));
+        assert_eq!(snap.gauge("nope"), None);
         assert!(snap.span("nope").is_none());
         assert!(snap.histogram("nope").is_none());
         assert!(!snap.is_empty());

@@ -8,7 +8,7 @@
 //! one shared lock.
 
 use mec_bench::par;
-use mec_bench::serve::{serve, ServeConfig, ServeReport};
+use mec_bench::serve::{serve, EpochStats, ServeConfig, ServeReport};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 fn threads_lock() -> MutexGuard<'static, ()> {
@@ -26,6 +26,7 @@ fn scrub(mut r: ServeReport) -> ServeReport {
     r.assignments_per_sec = 0.0;
     for e in &mut r.epochs {
         e.decision_ns = 0;
+        e.repair_ms = 0.0;
     }
     r
 }
@@ -117,6 +118,40 @@ fn reference_session_fingerprints_are_pinned() {
     };
     let report = serve(&chaos_cfg).unwrap();
     assert_eq!(report.session_fingerprint, "03c67e80a4ca687f");
+}
+
+/// The telemetry-era `EpochStats` fields: `deadline_misses` is
+/// deterministic content that must survive a djson round-trip and match
+/// across runs; `repair_ms` is wall time that must stay out of the
+/// fingerprint (two runs of the same session agree on every fingerprint
+/// even though their repair timings differ).
+#[test]
+fn epoch_stats_new_fields_round_trip_and_stay_out_of_fingerprints() {
+    let _guard = threads_lock();
+    par::set_threads(0);
+    let cfg = ServeConfig {
+        seed: 42,
+        epochs: 4,
+        num_stations: 2,
+        devices_per_station: 3,
+        max_input_kb: 1200.0,
+        ..ServeConfig::default()
+    };
+    let a = serve(&cfg).unwrap();
+    let b = serve(&cfg).unwrap();
+
+    let json = djson::to_string(&a.epochs[0]);
+    assert!(json.contains("\"deadline_misses\""), "{json}");
+    assert!(json.contains("\"repair_ms\""), "{json}");
+    let back: EpochStats = djson::from_str(&json).unwrap();
+    assert_eq!(back, a.epochs[0]);
+
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.fingerprint, y.fingerprint, "epoch {}", x.epoch);
+        assert_eq!(x.deadline_misses, y.deadline_misses, "epoch {}", x.epoch);
+        assert!(x.repair_ms >= 0.0);
+    }
+    assert_eq!(scrub(a), scrub(b));
 }
 
 /// Warm-start acceptance gate: after the cold first epoch, the default

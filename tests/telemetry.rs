@@ -1,0 +1,270 @@
+//! The telemetry plane's acceptance oracles (ISSUE 9):
+//!
+//! * interval snapshots are bit-identical across worker-thread counts on
+//!   their deterministic subset (counters, gauges, observation counts —
+//!   everything except wall-clock-valued series),
+//! * the pinned reference session keeps its golden fingerprint with the
+//!   plane enabled — telemetry must be a pure observer,
+//! * `GET /metrics` serves parseable Prometheus exposition *mid-session*,
+//! * the exposition renderer matches a golden fixture byte for byte,
+//! * `dsmec metrics --slo` gates a real flight log with correct
+//!   zero/nonzero outcomes.
+//!
+//! Both the obs registry and the worker-thread count are process-global,
+//! so every test holds `mec_obs::TEST_LOCK` for its whole body.
+
+use mec_bench::exposition::{http_get, parse_exposition, render_exposition, MetricsServer};
+use mec_bench::metrics::{
+    metrics_command, read_flight_log, MetricsArgs, TelemetryOptions, TelemetryPlane,
+};
+use mec_bench::par;
+use mec_bench::serve::{serve_with_hook, ServeConfig};
+use mec_obs::{BucketCount, CounterWindow, GaugeStat, HistogramWindow, IntervalSnapshot};
+use std::fmt::Write as _;
+use std::sync::MutexGuard;
+use std::time::Duration;
+
+/// Serializes the registry-touching tests and resets the process-global
+/// obs state (registries, interval baselines, staged thread-locals).
+fn obs_lock() -> MutexGuard<'static, ()> {
+    let guard = mec_obs::TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    mec_obs::reset();
+    mec_obs::set_enabled(true);
+    mec_obs::set_events(false);
+    guard
+}
+
+fn tiny_config() -> ServeConfig {
+    ServeConfig {
+        seed: 42,
+        epochs: 5,
+        num_stations: 2,
+        devices_per_station: 3,
+        max_input_kb: 1200.0,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one serve session collecting an interval snapshot per epoch.
+fn session_intervals(cfg: &ServeConfig, threads: usize) -> Vec<IntervalSnapshot> {
+    mec_obs::reset();
+    mec_obs::set_enabled(true);
+    par::set_threads(threads);
+    let mut snaps = Vec::new();
+    serve_with_hook(cfg, &mut |_| snaps.push(mec_obs::snapshot_interval())).unwrap();
+    par::set_threads(0);
+    snaps
+}
+
+/// Projects interval snapshots onto their deterministic subset: the
+/// `serve/*` counters and gauges (decision content, recorded on the
+/// serve thread) and every histogram's observation counts. Excluded:
+/// wall-clock-valued series (`serve/slo/repair_ms`, histogram
+/// sums/bounds/percentiles) and the `obs/*`, `linprog/*` internals whose
+/// per-interval flush timing is scheduling-dependent.
+fn deterministic_view(snaps: &[IntervalSnapshot]) -> String {
+    let mut out = String::new();
+    for s in snaps {
+        let _ = writeln!(out, "interval {}", s.interval);
+        for c in s.counters.iter().filter(|c| c.name.starts_with("serve/")) {
+            let _ = writeln!(out, "  counter {} {} {}", c.name, c.total, c.delta);
+        }
+        for g in s
+            .gauges
+            .iter()
+            .filter(|g| g.name.starts_with("serve/") && g.name != "serve/slo/repair_ms")
+        {
+            let _ = writeln!(out, "  gauge {} {}", g.name, g.value);
+        }
+        for h in s.histograms.iter().filter(|h| h.name.starts_with("serve/")) {
+            let _ = writeln!(out, "  hist {} {} {}", h.name, h.total_count, h.count);
+        }
+    }
+    out
+}
+
+/// ISSUE acceptance: delta counters and windowed observation counts are
+/// bit-identical across `--threads 1` vs `4` on the reference seeds.
+#[test]
+fn interval_snapshots_are_thread_count_invariant() {
+    let _guard = obs_lock();
+    for chaos in [None, Some(9u64)] {
+        let cfg = ServeConfig {
+            chaos,
+            ..tiny_config()
+        };
+        let serial = session_intervals(&cfg, 1);
+        let parallel = session_intervals(&cfg, 4);
+        assert_eq!(serial.len(), cfg.epochs);
+        let (a, b) = (deterministic_view(&serial), deterministic_view(&parallel));
+        assert_eq!(
+            a, b,
+            "chaos {chaos:?}: interval windows diverge across threads"
+        );
+        // The view is not vacuous: it carries the assignment counter with
+        // a full-batch delta and the SLO gauges.
+        assert!(a.contains("counter serve/assignments"), "{a}");
+        assert!(a.contains("gauge serve/slo/warm_hit_rate"), "{a}");
+        assert!(a.contains("hist serve/decision_latency_ms"), "{a}");
+        let first = serial[0].counter("serve/assignments").unwrap();
+        assert_eq!(
+            first.total, first.delta,
+            "interval 0 baseline starts at zero"
+        );
+    }
+}
+
+/// Telemetry is a pure observer: the pinned reference session (`--seed
+/// 42 --epochs 20`, the same golden as tests/serve.rs) keeps its
+/// fingerprint with the full plane enabled — flight log, exposition
+/// endpoint and all. The flight log it produces then drives the SLO
+/// gate both ways.
+#[test]
+fn metrics_on_keeps_the_pinned_fingerprint_and_gates_slo() {
+    let _guard = obs_lock();
+    par::set_threads(0);
+    let dir = std::env::temp_dir().join("dsmec_telemetry_pinned");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("flight.jsonl");
+    let log = log_path.to_str().unwrap().to_string();
+
+    let opts = TelemetryOptions {
+        metrics_out: Some(log.clone()),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+    };
+    let mut plane = TelemetryPlane::start(&opts).unwrap().unwrap();
+    assert!(plane.server_addr().is_some());
+    let cfg = ServeConfig {
+        seed: 42,
+        epochs: 20,
+        ..ServeConfig::default()
+    };
+    let report = serve_with_hook(&cfg, &mut |e| plane.on_epoch(e)).unwrap();
+    assert_eq!(
+        report.session_fingerprint, "33b92d38ebe7d960",
+        "telemetry must not perturb decisions"
+    );
+    assert_eq!(plane.finish().unwrap(), 20);
+
+    let records = read_flight_log(&log).unwrap();
+    assert_eq!(records.len(), 20);
+    assert_eq!(
+        records
+            .last()
+            .unwrap()
+            .counter("serve/assignments")
+            .unwrap()
+            .total,
+        report.assigned_total as u64
+    );
+
+    // The SLO gate over the same flight log: permissive rules pass,
+    // an impossible queue bound fails with violations.
+    let ok = MetricsArgs {
+        file: log.clone(),
+        slo: Some("p95_ms=1000000,miss_rate=1.0,queue_max=1000000".to_string()),
+    };
+    metrics_command(&ok).unwrap();
+    let fail = MetricsArgs {
+        file: log,
+        slo: Some("queue_max=0".to_string()),
+    };
+    let err = metrics_command(&fail).unwrap_err();
+    assert!(err.contains("SLO violation"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The endpoint answers *during* the session: a scrape issued from
+/// inside the epoch hook (while the serve loop is mid-flight) returns
+/// valid exposition carrying that epoch's interval.
+#[test]
+fn metrics_endpoint_is_scrapeable_mid_session() {
+    let _guard = obs_lock();
+    mec_obs::reset();
+    mec_obs::set_enabled(true);
+    let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let mut mid_session: Option<(u16, String)> = None;
+    serve_with_hook(&tiny_config(), &mut |_| {
+        let window = mec_obs::snapshot_interval();
+        server.publish(render_exposition(&window));
+        if window.interval == 2 {
+            mid_session = Some(http_get(&addr, "/metrics", Duration::from_secs(5)).unwrap());
+        }
+    })
+    .unwrap();
+    let (status, body) = mid_session.expect("epoch hook never fired at interval 2");
+    assert_eq!(status, 200);
+    let exp = parse_exposition(&body).unwrap();
+    assert_eq!(exp.value("dsmec_interval"), Some(2.0));
+    assert!(exp.value("dsmec_serve_assignments_total").unwrap() > 0.0);
+    assert!(exp.value("dsmec_serve_queue_depth").is_some());
+    assert!(exp
+        .types
+        .get("dsmec_serve_decision_latency_ms")
+        .is_some_and(|t| t == "histogram"));
+    server.shutdown();
+}
+
+/// Golden fixture: the exposition renderer's exact output for a fixed
+/// window. Any byte-level change here is a format change every scraper
+/// sees — update deliberately, with DESIGN.md §12.
+#[test]
+fn exposition_rendering_matches_the_golden_fixture() {
+    let window = IntervalSnapshot {
+        interval: 5,
+        counters: vec![CounterWindow {
+            name: "serve/assignments".into(),
+            total: 250,
+            delta: 50,
+        }],
+        gauges: vec![GaugeStat {
+            name: "serve/slo/warm_hit_rate".into(),
+            value: 0.75,
+        }],
+        histograms: vec![HistogramWindow {
+            name: "serve/decision_latency_ms".into(),
+            total_count: 6,
+            count: 2,
+            sum: 0.75,
+            min: 0.25,
+            max: 0.5,
+            p50: 0.25,
+            p95: 0.5,
+            p99: 0.5,
+            buckets: vec![
+                BucketCount { le: 0.25, count: 1 },
+                BucketCount { le: 0.5, count: 2 },
+            ],
+        }],
+    };
+    let golden = "\
+# TYPE dsmec_interval gauge
+dsmec_interval 5
+# TYPE dsmec_serve_assignments counter
+dsmec_serve_assignments_total 250
+# TYPE dsmec_serve_assignments_window gauge
+dsmec_serve_assignments_window 50
+# TYPE dsmec_serve_slo_warm_hit_rate gauge
+dsmec_serve_slo_warm_hit_rate 0.75
+# TYPE dsmec_serve_decision_latency_ms histogram
+dsmec_serve_decision_latency_ms_bucket{le=\"0.25\"} 1
+dsmec_serve_decision_latency_ms_bucket{le=\"0.5\"} 2
+dsmec_serve_decision_latency_ms_bucket{le=\"+Inf\"} 2
+dsmec_serve_decision_latency_ms_sum 0.75
+dsmec_serve_decision_latency_ms_count 2
+# TYPE dsmec_serve_decision_latency_ms_p50 gauge
+dsmec_serve_decision_latency_ms_p50 0.25
+# TYPE dsmec_serve_decision_latency_ms_p95 gauge
+dsmec_serve_decision_latency_ms_p95 0.5
+# TYPE dsmec_serve_decision_latency_ms_p99 gauge
+dsmec_serve_decision_latency_ms_p99 0.5
+";
+    let rendered = render_exposition(&window);
+    assert_eq!(rendered, golden);
+    // And the golden text is valid exposition by our own validator.
+    let exp = parse_exposition(golden).unwrap();
+    assert_eq!(exp.samples.len(), 12);
+}
